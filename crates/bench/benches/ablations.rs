@@ -1,0 +1,79 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out: the
+//! pipelined panel broadcast (vs binomial tree), the Open-MX rendezvous
+//! threshold, and the Tibidabo tree topology (vs an idealised single
+//! switch). Each measures *simulated* outcomes — the figures of merit are
+//! printed as custom criterion throughput labels in the run log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpc_apps::hpl::{run_hpl, HplConfig};
+use hpc_apps::Mode;
+use netsim::{ProtocolModel, TopologySpec};
+use simmpi::{run_mpi, JobSpec, Msg};
+use soc_arch::Platform;
+use std::hint::black_box;
+
+/// Broadcast strategy ablation: the simulated completion time of an HPL-
+/// panel-sized broadcast under both algorithms, on 24 ranks.
+fn ablation_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bcast");
+    g.sample_size(10);
+    let total: u64 = 12 << 20;
+    for (name, pipelined) in [("binomial_tree", false), ("pipelined_ring", true)] {
+        g.bench_function(format!("hpl_panel_12MiB_24ranks_{name}"), |b| {
+            b.iter(|| {
+                let run = run_mpi(JobSpec::new(Platform::tegra2(), 24), move |r| {
+                    let msg = (r.rank() == 0).then(|| Msg::size_only(total));
+                    if pipelined {
+                        r.bcast_pipelined(0, msg, total, 256 * 1024);
+                    } else {
+                        r.bcast(0, msg);
+                    }
+                    r.now().as_secs_f64()
+                })
+                .unwrap();
+                black_box(run.results.iter().cloned().fold(0.0, f64::max))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Rendezvous-threshold ablation: ping-pong bandwidth at the threshold
+/// boundary for different Open-MX thresholds.
+fn ablation_rendezvous(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rendezvous");
+    g.sample_size(10);
+    for threshold_kib in [8u32, 32, 128] {
+        g.bench_function(format!("omx_threshold_{threshold_kib}KiB"), |b| {
+            b.iter(|| {
+                let mut proto = ProtocolModel::open_mx();
+                proto.rendezvous_bytes = Some(threshold_kib * 1024);
+                let spec = JobSpec::new(Platform::tegra2(), 2).with_proto(proto);
+                black_box(simmpi::pingpong(spec, &[64 * 1024], 2))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Topology ablation: the same model-mode HPL on the Tibidabo tree vs an
+/// idealised full-crossbar star (how much does the 8 Gb/s bisection cost?).
+fn ablation_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_topology");
+    g.sample_size(10);
+    let cfg = HplConfig { n: 4096, nb: 128, mode: Mode::Model };
+    for (name, topo) in
+        [("tibidabo_tree", TopologySpec::tibidabo()), ("ideal_star", TopologySpec::Star { nodes: 192 })]
+    {
+        g.bench_function(format!("hpl_16n_{name}"), |b| {
+            b.iter(|| {
+                let spec = JobSpec::new(Platform::tegra2(), 16).with_topology(topo);
+                black_box(run_hpl(spec, cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation_bcast, ablation_rendezvous, ablation_topology);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmarks of the Fig 7 interconnect simulations (full DES
+//! ping-pong runs per iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::ProtocolModel;
+use simmpi::{pingpong, JobSpec};
+use soc_arch::Platform;
+use std::hint::black_box;
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interconnect");
+    g.sample_size(10);
+    let sizes: Vec<u64> = vec![4, 4096, 1 << 20];
+    for (name, proto) in [("tcp", ProtocolModel::tcp_ip()), ("omx", ProtocolModel::open_mx())] {
+        let sizes = sizes.clone();
+        g.bench_function(format!("pingpong_tegra2_{name}"), |b| {
+            b.iter(|| {
+                let spec = JobSpec::new(Platform::tegra2(), 2).with_proto(proto);
+                black_box(pingpong(spec, &sizes, 2))
+            })
+        });
+    }
+    g.bench_function("fig7_all_panels", |b| b.iter(|| black_box(bench::fig7())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_pingpong);
+criterion_main!(benches);

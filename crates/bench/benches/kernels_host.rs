@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the REAL kernel implementations running on the
+//! host (sequential vs rayon-parallel) — the Execute-mode side of the suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels_host");
+    g.sample_size(10);
+
+    {
+        use kernels::vecop::*;
+        let cfg = VecopConfig { n: 1 << 20, alpha: 1.5 };
+        let (x, y) = inputs(&cfg);
+        let mut z = vec![0.0; cfg.n];
+        g.bench_function("vecop_seq_1m", |b| b.iter(|| run_seq(&cfg, &x, &y, black_box(&mut z))));
+        g.bench_function("vecop_par_1m", |b| b.iter(|| run_par(&cfg, &x, &y, black_box(&mut z))));
+    }
+    {
+        use kernels::dmmm::*;
+        let cfg = DmmmConfig { n: 192 };
+        let (a, b_) = inputs(&cfg);
+        let mut cm = vec![0.0; cfg.n * cfg.n];
+        g.bench_function("dmmm_seq_192", |b| b.iter(|| run_seq(&cfg, &a, &b_, black_box(&mut cm))));
+        g.bench_function("dmmm_par_192", |b| b.iter(|| run_par(&cfg, &a, &b_, black_box(&mut cm))));
+    }
+    {
+        use kernels::fft::*;
+        let cfg = FftConfig { n: 1 << 14 };
+        let input = inputs(&cfg);
+        g.bench_function("fft_seq_16k", |b| {
+            b.iter(|| {
+                let mut d = input.clone();
+                run_seq(black_box(&mut d), false);
+            })
+        });
+    }
+    {
+        use kernels::spmv::*;
+        let cfg = SpmvConfig { n: 50_000, avg_nnz_per_row: 10, skew: 8 };
+        let a = build_matrix(&cfg);
+        let x = input_vector(cfg.n);
+        let mut y = vec![0.0; cfg.n];
+        g.bench_function("spmv_seq_50k", |b| b.iter(|| run_seq(&a, &x, black_box(&mut y))));
+        g.bench_function("spmv_par_50k", |b| b.iter(|| run_par(&a, &x, black_box(&mut y))));
+    }
+    {
+        use kernels::stream::*;
+        let cfg = StreamConfig { n: 1 << 20, scalar: 3.0 };
+        let mut arr = inputs(&cfg);
+        g.bench_function("stream_triad_seq_1m", |b| {
+            b.iter(|| run_seq(StreamOp::Triad, cfg.scalar, black_box(&mut arr)))
+        });
+        g.bench_function("stream_triad_par_1m", |b| {
+            b.iter(|| run_par(StreamOp::Triad, cfg.scalar, black_box(&mut arr)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the Fig 6 cluster simulations at reduced scale
+//! (the full 96-node weak-scaling run is the repro binary's job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cluster::Machine;
+use hpc_apps::hpl::{run_hpl, HplConfig};
+use hpc_apps::hydro::{run_hydro, HydroConfig};
+use hpc_apps::sem::{run_sem, SemConfig};
+use hpc_apps::Mode;
+use std::hint::black_box;
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability");
+    g.sample_size(10);
+    let m = Machine::tibidabo();
+    g.bench_function("hpl_model_16n", |b| {
+        b.iter(|| {
+            let cfg = HplConfig { n: 4096, nb: 128, mode: Mode::Model };
+            black_box(run_hpl(m.job(16), cfg))
+        })
+    });
+    g.bench_function("hydro_model_16n", |b| {
+        b.iter(|| {
+            let cfg = HydroConfig { steps: 5, ..HydroConfig::fig6() };
+            black_box(run_hydro(m.job(16), cfg))
+        })
+    });
+    g.bench_function("sem_model_16n", |b| {
+        b.iter(|| {
+            let cfg = SemConfig { steps: 5, ..SemConfig::fig6() };
+            black_box(run_sem(m.job(16), cfg))
+        })
+    });
+    g.bench_function("hpl_execute_4n_n96", |b| {
+        b.iter(|| black_box(run_hpl(m.job(4), HplConfig::small(96, 16))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion benchmarks of the Fig 3/4/5 model evaluation: how fast the
+//! analytical reproduction itself runs (one full DVFS sweep per iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_model_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_figures");
+    g.sample_size(20);
+    g.bench_function("fig3_full_sweep", |b| b.iter(|| black_box(bench::fig3())));
+    g.bench_function("fig4_full_sweep", |b| b.iter(|| black_box(bench::fig4())));
+    g.bench_function("fig5_stream_table", |b| b.iter(|| black_box(bench::fig5())));
+    g.bench_function("fig2b_regressions", |b| b.iter(|| black_box(bench::fig2b())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_model_figures);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro --all            # everything at full scale (Fig 6 takes minutes)
+//! repro --quick          # everything, Fig 6 truncated to 32 nodes
+//! repro --figure 6       # one figure (1, 2a, 2b, 3..7)
+//! repro --table 4        # one table (1..4)
+//! repro --headline hpl   # the §4 HPL/Green500 numbers (96 nodes)
+//! repro --headline latency-penalty
+//! repro --headline extensions   # beyond-the-paper analyses (ECC, EEE, ...)
+//! repro --json DIR       # additionally dump machine-readable JSON
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use hpc_apps::FIG6_NODES;
+
+struct Opts {
+    items: Vec<String>,
+    quick: bool,
+    json_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Opts {
+    let mut items = Vec::new();
+    let mut quick = false;
+    let mut json_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--all" => items.push("all".into()),
+            "--quick" => {
+                quick = true;
+                if items.is_empty() {
+                    items.push("all".into());
+                }
+            }
+            "--figure" => items.push(format!("fig{}", args.next().expect("--figure needs a value"))),
+            "--table" => items.push(format!("table{}", args.next().expect("--table needs a value"))),
+            "--headline" => items.push(args.next().expect("--headline needs a value")),
+            "--json" => json_dir = Some(PathBuf::from(args.next().expect("--json needs a dir"))),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if items.is_empty() {
+        items.push("all".into());
+        quick = true;
+    }
+    Opts { items, quick, json_dir }
+}
+
+fn dump_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        let mut f = std::fs::File::create(&path).expect("create json file");
+        f.write_all(serde_json::to_string_pretty(value).unwrap().as_bytes()).unwrap();
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let want = |k: &str| opts.items.iter().any(|i| i == "all" || i == k);
+    let fig6_nodes: Vec<u32> = if opts.quick {
+        vec![4, 8, 16, 32]
+    } else {
+        FIG6_NODES.to_vec()
+    };
+
+    if want("fig1") {
+        let fg = bench::fig1();
+        println!("{}", fg.render());
+        dump_json(&opts.json_dir, "fig1", &fg);
+    }
+    if want("fig2a") || want("fig2") {
+        let fg = bench::fig2a();
+        println!("{}", fg.render());
+        dump_json(&opts.json_dir, "fig2a", &fg);
+    }
+    if want("fig2b") || want("fig2") {
+        let fg = bench::fig2b();
+        println!("{}", fg.render());
+        dump_json(&opts.json_dir, "fig2b", &fg);
+    }
+    if want("table1") {
+        println!("{}", bench::table1_render());
+    }
+    if want("table2") {
+        println!("{}", bench::table2_render());
+    }
+    if want("fig3") {
+        let fg = bench::fig3();
+        println!("{}", fg.render());
+        dump_json(&opts.json_dir, "fig3", &fg);
+    }
+    if want("fig4") {
+        let fg = bench::fig4();
+        println!("{}", fg.render());
+        dump_json(&opts.json_dir, "fig4", &fg);
+    }
+    if want("fig5") {
+        let fg = bench::fig5();
+        println!("{}", fg.render());
+        println!("{}", bench::fig5_efficiency_summary());
+        dump_json(&opts.json_dir, "fig5", &fg);
+    }
+    if want("table3") {
+        println!("{}", bench::table3_render());
+    }
+    if want("fig6") {
+        eprintln!("running Fig 6 on nodes {fig6_nodes:?} (HPL weak scaling dominates the wall time)...");
+        let fg = bench::fig6(&fig6_nodes);
+        println!("{}", fg.render());
+        dump_json(&opts.json_dir, "fig6", &fg);
+    }
+    if want("fig7") {
+        let fg = bench::fig7();
+        println!("{}", fg.render());
+        dump_json(&opts.json_dir, "fig7", &fg);
+    }
+    if want("table4") {
+        println!("{}", bench::table4_render());
+    }
+    if want("hpl") || want("all") {
+        let nodes = if opts.quick { 16 } else { 96 };
+        let h = bench::hpl_headline(nodes);
+        println!("{}", h.render());
+        dump_json(&opts.json_dir, "hpl_headline", &h);
+    }
+    if want("latency-penalty") || want("all") {
+        println!("{}", bench::latency_penalty_render());
+    }
+    if want("extensions") || want("all") {
+        println!("{}", bench::ecc_risk_render());
+        println!("{}", bench::eee_render());
+        println!("{}", bench::roofline_render());
+        println!("{}", bench::imb_render());
+    }
+}

@@ -1,0 +1,150 @@
+//! Fig 1 (TOP500 composition) and Fig 2(a)/(b) (peak FP64 over the years
+//! with exponential regressions).
+
+use serde::Serialize;
+use trends::{fig2a_points, fig2b_points, trend_of, CpuClass, CpuPoint, ExpTrend, Top500Edition};
+
+use crate::table::{f, render_table};
+
+/// Fig 1 output.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig1 {
+    /// The reconstructed June-edition counts.
+    pub editions: Vec<Top500Edition>,
+}
+
+/// Generate Fig 1.
+pub fn fig1() -> Fig1 {
+    Fig1 { editions: trends::editions() }
+}
+
+impl Fig1 {
+    /// Text rendering of the figure's series.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .editions
+            .iter()
+            .map(|e| {
+                vec![
+                    e.year.to_string(),
+                    e.vector_simd.to_string(),
+                    e.risc.to_string(),
+                    e.x86.to_string(),
+                ]
+            })
+            .collect();
+        render_table(
+            "Fig 1: TOP500 systems by architecture class (June editions)",
+            &["year", "Vector/SIMD", "RISC", "x86"],
+            &rows,
+        )
+    }
+}
+
+/// One Fig 2 panel: the points and the two fitted regressions.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig2 {
+    /// Panel name ("2a" or "2b").
+    pub panel: &'static str,
+    /// The data points.
+    pub points: Vec<CpuPoint>,
+    /// Upper-series trend (vector / server).
+    pub upper_trend: ExpTrend,
+    /// Lower-series trend (micro / mobile).
+    pub lower_trend: ExpTrend,
+    /// Upper/lower class names.
+    pub classes: (&'static str, &'static str),
+    /// Projected crossover year of the two regressions, if any.
+    pub crossover_year: Option<f64>,
+}
+
+/// Generate Fig 2(a): vector vs commodity microprocessors.
+pub fn fig2a() -> Fig2 {
+    let points = fig2a_points();
+    let upper = trend_of(&points, CpuClass::Vector);
+    let lower = trend_of(&points, CpuClass::Micro);
+    Fig2 {
+        panel: "2a",
+        crossover_year: lower.crossover(&upper),
+        points,
+        upper_trend: upper,
+        lower_trend: lower,
+        classes: ("Vector", "Microprocessor"),
+    }
+}
+
+/// Generate Fig 2(b): server vs mobile SoCs.
+pub fn fig2b() -> Fig2 {
+    let points = fig2b_points();
+    let upper = trend_of(&points, CpuClass::Server);
+    let lower = trend_of(&points, CpuClass::Mobile);
+    Fig2 {
+        panel: "2b",
+        crossover_year: lower.crossover(&upper),
+        points,
+        upper_trend: upper,
+        lower_trend: lower,
+        classes: ("Server", "Mobile"),
+    }
+}
+
+impl Fig2 {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.year.to_string(),
+                    format!("{:?}", p.class),
+                    p.name.to_string(),
+                    f(p.mflops),
+                ]
+            })
+            .collect();
+        rows.sort_by_key(|r| r[0].clone());
+        let mut out = render_table(
+            &format!("Fig {}: peak FP64 MFLOPS over the years", self.panel),
+            &["year", "class", "processor", "MFLOPS"],
+            &rows,
+        );
+        out.push_str(&format!(
+            "{} regression: doubling every {:.2} years (r2={:.3})\n",
+            self.classes.0,
+            self.upper_trend.doubling_time(),
+            self.upper_trend.r2
+        ));
+        out.push_str(&format!(
+            "{} regression: doubling every {:.2} years (r2={:.3})\n",
+            self.classes.1,
+            self.lower_trend.doubling_time(),
+            self.lower_trend.r2
+        ));
+        if let Some(x) = self.crossover_year {
+            out.push_str(&format!("projected trend crossover: {x:.1}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_renders_all_years() {
+        let s = fig1().render();
+        assert!(s.contains("1993"));
+        assert!(s.contains("2013"));
+    }
+
+    #[test]
+    fn fig2_panels_have_trends_and_crossovers() {
+        let a = fig2a();
+        assert!(a.lower_trend.b > a.upper_trend.b);
+        let b = fig2b();
+        assert!(b.crossover_year.is_some());
+        assert!(b.render().contains("Tegra 2"));
+    }
+}

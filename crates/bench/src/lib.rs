@@ -1,0 +1,38 @@
+//! # bench — the reproduction harness
+//!
+//! One generator per paper artefact (every table and figure), each returning
+//! serialisable data plus a text rendering. The `repro` binary drives them;
+//! the criterion benches under `benches/` measure the underlying kernels and
+//! simulations.
+//!
+//! | artefact | function |
+//! |---|---|
+//! | Fig 1 | [`fig1`] |
+//! | Fig 2(a)/(b) | [`fig2a`] / [`fig2b`] |
+//! | Table 1 / 2 | [`table1_render`] / [`table2_render`] |
+//! | Fig 3 / 4 | [`fig3`] / [`fig4`] |
+//! | Fig 5 | [`fig5`] |
+//! | Fig 6 | [`fig6`] |
+//! | Fig 7 | [`fig7`] |
+//! | Table 3 / 4 | [`table3_render`] / [`table4_render`] |
+//! | §4 HPL headline | [`hpl_headline`] |
+//! | §4.1 latency penalty | [`latency_penalty_render`] |
+
+#![warn(missing_docs)]
+
+mod extensions;
+mod fig12;
+mod fig345;
+mod fig67;
+pub mod table;
+
+pub use fig12::{fig1, fig2a, fig2b, Fig1, Fig2};
+pub use fig345::{
+    fig3, fig4, fig5, fig5_efficiency_summary, socs, table1_render, table2_render, Fig34, Fig5,
+    SweepPoint, SweepSeries,
+};
+pub use extensions::{ecc_risk_render, eee_render, imb_render, roofline_render};
+pub use fig67::{
+    fig6, fig7, hpl_headline, latency_penalty, latency_penalty_render, table3_render,
+    table4_render, Fig6, Fig7, Fig7Panel, HplHeadline,
+};

@@ -1,0 +1,69 @@
+//! Minimal fixed-width text-table rendering for the repro harness output.
+
+/// Render a titled table with aligned columns.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let header_line: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with a sensible number of digits for tables.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_with_alignment() {
+        let s = render_table(
+            "T",
+            &["a", "bbbb"],
+            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "22".into()]],
+        );
+        assert!(s.contains("== T =="));
+        assert!(s.contains("a     bbbb"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn float_formatting_picks_precision() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1234.5), "1234"); // round-half-even
+        assert_eq!(f(12.34), "12.3");
+        assert_eq!(f(1.234), "1.234");
+        assert_eq!(f(0.0001234), "1.23e-4");
+    }
+}

@@ -1,0 +1,108 @@
+//! Table 4: network bytes/FLOPS ratios — interconnect bandwidth divided by
+//! peak FP64 performance, per platform, for three network classes.
+
+use serde::{Deserialize, Serialize};
+use soc_arch::Platform;
+
+/// The network classes of Table 4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NetClass {
+    /// 1 Gbit Ethernet.
+    GbE1,
+    /// 10 Gbit Ethernet.
+    GbE10,
+    /// 40 Gbit InfiniBand.
+    Ib40,
+}
+
+impl NetClass {
+    /// All classes in Table 4 column order.
+    pub const ALL: [NetClass; 3] = [NetClass::GbE1, NetClass::GbE10, NetClass::Ib40];
+
+    /// Usable bandwidth in bytes/second.
+    pub fn bw_bytes(self) -> f64 {
+        match self {
+            NetClass::GbE1 => 125e6,
+            NetClass::GbE10 => 1.25e9,
+            NetClass::Ib40 => 5e9,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetClass::GbE1 => "1GbE",
+            NetClass::GbE10 => "10GbE",
+            NetClass::Ib40 => "40Gb InfiniBand",
+        }
+    }
+}
+
+/// One row of Table 4.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BalanceRow {
+    /// Platform id.
+    pub platform: String,
+    /// bytes/FLOPS for each class in [`NetClass::ALL`] order.
+    pub ratios: [f64; 3],
+}
+
+/// Bytes/FLOPS for one platform and network class ("FP64, excluding GPU").
+pub fn bytes_per_flop(p: &Platform, net: NetClass) -> f64 {
+    net.bw_bytes() / (p.soc.peak_gflops_max() * 1e9)
+}
+
+/// The full Table 4.
+pub fn table4() -> Vec<BalanceRow> {
+    Platform::table1()
+        .iter()
+        .map(|p| BalanceRow {
+            platform: p.id.to_string(),
+            ratios: [
+                bytes_per_flop(p, NetClass::GbE1),
+                bytes_per_flop(p, NetClass::GbE10),
+                bytes_per_flop(p, NetClass::Ib40),
+            ],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values_match_paper() {
+        // Paper Table 4 (two decimal places).
+        let expect = [
+            ("tegra2", [0.06, 0.63, 2.50]),
+            ("tegra3", [0.02, 0.24, 0.96]),
+            ("exynos5250", [0.02, 0.18, 0.74]),
+            ("i7-2760qm", [0.00, 0.02, 0.07]),
+        ];
+        for (row, (id, vals)) in table4().iter().zip(expect) {
+            assert_eq!(row.platform, id);
+            for (got, want) in row.ratios.iter().zip(vals) {
+                assert!((got - want).abs() < 0.006, "{id}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn mobile_socs_have_server_class_balance_on_gbe() {
+        // §4.1: "A 1GbE network interface for a Tegra 3 or Exynos 5250 has a
+        // bytes/FLOPS ratio close to that of a dual-socket Intel Sandy
+        // Bridge" (with 10GbE).
+        let t3 = bytes_per_flop(&Platform::tegra3(), NetClass::GbE1);
+        let snb_10g = bytes_per_flop(&Platform::core_i7_2760qm(), NetClass::GbE10) * 0.5; // dual socket
+        assert!((t3 / snb_10g) > 1.0 && (t3 / snb_10g) < 4.0, "{t3} vs {snb_10g}");
+    }
+
+    #[test]
+    fn faster_networks_raise_the_ratio() {
+        for p in Platform::table1() {
+            let r: Vec<f64> = NetClass::ALL.iter().map(|&n| bytes_per_flop(&p, n)).collect();
+            assert!(r[0] < r[1] && r[1] < r[2]);
+        }
+    }
+}

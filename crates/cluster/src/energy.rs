@@ -1,0 +1,120 @@
+//! Whole-cluster power and energy accounting for simulated jobs, feeding the
+//! Green500 metric of §4 ("we also measured the system's power consumption
+//! while executing HPL, giving an energy efficiency of 120 MFLOPS/W").
+
+use serde::{Deserialize, Serialize};
+use simmpi::MpiRun;
+use soc_power::{mflops_per_watt, EfficiencyReport};
+
+use crate::machine::Machine;
+
+/// Power/energy summary of one cluster job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobEnergy {
+    /// Number of nodes used.
+    pub nodes: u32,
+    /// Job wall-clock, seconds.
+    pub elapsed_s: f64,
+    /// Average total system power (nodes + switches), watts.
+    pub avg_power_w: f64,
+    /// Energy to solution, Joules.
+    pub energy_j: f64,
+}
+
+/// Estimate the power and energy of a job run on `machine` using `nodes`
+/// nodes: each node draws its idle power for the whole job plus the active
+/// core/DRAM/NIC increment for the fraction of time its rank was busy.
+pub fn job_energy<R>(machine: &Machine, run: &MpiRun<R>, nodes: u32, freq_ghz: f64) -> JobEnergy {
+    let elapsed = run.elapsed.as_secs_f64().max(1e-12);
+    let pm = &machine.node_power;
+    let cores = machine.platform.soc.cores;
+    // Average per-node busy fraction (compute and protocol CPU time).
+    let mut node_energy = 0.0;
+    for r in 0..run.compute_busy.len() {
+        let busy = run.compute_busy[r].as_secs_f64() + run.comm_busy[r].as_secs_f64();
+        let busy_frac = (busy / elapsed).min(1.0);
+        let p_active = pm.platform_power_w(freq_ghz, cores, 1.0, true);
+        let p_idle = pm.idle_power_w();
+        node_energy += elapsed * (p_idle + busy_frac * (p_active - p_idle));
+    }
+    // Ranks might be fewer than nodes (never more nodes than ranks here);
+    // idle nodes outside the job are not charged (Green500 measures the
+    // partition in use). Switch power is charged in proportion to the nodes
+    // used.
+    let switch_share = machine.switches as f64
+        * machine.switch_power_w
+        * (nodes as f64 / machine.nodes() as f64).min(1.0);
+    let total_energy = node_energy + switch_share * elapsed;
+    JobEnergy {
+        nodes,
+        elapsed_s: elapsed,
+        avg_power_w: total_energy / elapsed,
+        energy_j: total_energy,
+    }
+}
+
+/// Green500 report for a job that sustained `gflops`.
+pub fn green500<R>(
+    machine: &Machine,
+    run: &MpiRun<R>,
+    nodes: u32,
+    freq_ghz: f64,
+    gflops: f64,
+) -> EfficiencyReport {
+    let e = job_energy(machine, run, nodes, freq_ghz);
+    mflops_per_watt(gflops, e.avg_power_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::{run_mpi, Msg};
+
+    #[test]
+    fn busy_jobs_cost_more_than_idle_jobs() {
+        let m = Machine::tibidabo();
+        let busy = run_mpi(m.job(4), |r| r.compute_secs(1.0)).unwrap();
+        let idle = run_mpi(m.job(4), |r| {
+            if r.rank() == 0 {
+                r.compute_secs(1.0);
+                for d in 1..r.size() {
+                    r.send(d, 0, Msg::empty());
+                }
+            } else {
+                r.recv(0, 0);
+            }
+        })
+        .unwrap();
+        let e_busy = job_energy(&m, &busy, 4, 1.0);
+        let e_idle = job_energy(&m, &idle, 4, 1.0);
+        assert!(e_busy.avg_power_w > e_idle.avg_power_w);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = Machine::tibidabo();
+        let run = run_mpi(m.job(8), |r| r.compute_secs(0.5)).unwrap();
+        let e = job_energy(&m, &run, 8, 1.0);
+        assert!((e.energy_j - e.avg_power_w * e.elapsed_s).abs() < 1e-6);
+        assert_eq!(e.nodes, 8);
+    }
+
+    #[test]
+    fn per_node_power_is_in_the_tibidabo_range() {
+        // ~808 W for 96 HPL nodes => ~8.4 W/node including switch share.
+        let m = Machine::tibidabo();
+        let run = run_mpi(m.job(96), |r| r.compute_secs(2.0)).unwrap();
+        let e = job_energy(&m, &run, 96, 1.0);
+        let per_node = e.avg_power_w / 96.0;
+        assert!((6.0..11.0).contains(&per_node), "{per_node} W/node");
+    }
+
+    #[test]
+    fn green500_metric_flows_through() {
+        let m = Machine::tibidabo();
+        let run = run_mpi(m.job(2), |r| r.compute_secs(1.0)).unwrap();
+        let rep = green500(&m, &run, 2, 1.0, 2.0);
+        assert!(rep.mflops_per_watt > 0.0);
+        assert_eq!(rep.gflops, 2.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # cluster — machine-level composition of the §4 experiments
+//!
+//! Puts the pieces together: a [`Machine`] bundles a node platform
+//! (`soc-arch`), a per-node power model (`soc-power`), and an interconnect
+//! (`netsim`), and produces ready-to-run `simmpi` job specs. [`job_energy`] /
+//! [`green500`] turn a completed run into the §4 power and MFLOPS/W numbers,
+//! and [`table4`] reproduces the paper's network-balance table.
+
+#![warn(missing_docs)]
+
+mod balance;
+mod energy;
+mod machine;
+mod reliability;
+
+pub use balance::{bytes_per_flop, table4, BalanceRow, NetClass};
+pub use energy::{green500, job_energy, JobEnergy};
+pub use machine::Machine;
+pub use reliability::{risk_table, EccRisk, RiskRow, GOOGLE_ANNUAL_INCIDENCE};

@@ -1,0 +1,120 @@
+//! Cluster machine models: the Tibidabo prototype (§4) and what-if variants.
+
+use netsim::{ProtocolModel, TopologySpec};
+use simmpi::JobSpec;
+use soc_arch::Platform;
+use soc_power::PowerModel;
+
+/// A complete cluster: homogeneous nodes + interconnect + power model.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Machine name.
+    pub name: &'static str,
+    /// Node platform.
+    pub platform: Platform,
+    /// Per-node wall power model.
+    pub node_power: PowerModel,
+    /// Interconnect topology.
+    pub topology: TopologySpec,
+    /// Default protocol stack.
+    pub proto: ProtocolModel,
+    /// Number of Ethernet switches.
+    pub switches: u32,
+    /// Power per switch, watts.
+    pub switch_power_w: f64,
+}
+
+impl Machine {
+    /// Tibidabo (§4): "the first large-scale cluster to be deployed using
+    /// multi-core ARM-based SoCs. Tibidabo has 192 nodes, each with an
+    /// Nvidia Tegra 2 SoC on a SECO Q7 module... a hierarchical 1 GbE
+    /// network built with 48-port 1 GbE switches, giving a bisection
+    /// bandwidth of 8 Gb/s and a maximum latency of three hops."
+    pub fn tibidabo() -> Machine {
+        Machine {
+            name: "Tibidabo",
+            platform: Platform::tegra2(),
+            node_power: PowerModel::tibidabo_node(),
+            topology: TopologySpec::tibidabo(),
+            proto: ProtocolModel::tcp_ip(),
+            switches: 5, // 4 edge + 1 core
+            switch_power_w: 25.0,
+        }
+    }
+
+    /// A hypothetical Tibidabo successor built from Arndale-class nodes
+    /// (Exynos 5250), as §3's results invite.
+    pub fn arndale_cluster(nodes: u32) -> Machine {
+        Machine {
+            name: "Arndale cluster (what-if)",
+            platform: Platform::exynos5250(),
+            node_power: PowerModel::exynos5250_devkit(),
+            topology: TopologySpec::Star { nodes },
+            proto: ProtocolModel::open_mx(),
+            switches: nodes.div_ceil(48),
+            switch_power_w: 25.0,
+        }
+    }
+
+    /// A projected ARMv8 cluster (§6.3 / §7: the "descendants of today's
+    /// mobile SoCs").
+    pub fn armv8_cluster(nodes: u32) -> Machine {
+        Machine {
+            name: "ARMv8 cluster (projected)",
+            platform: Platform::armv8_projection(),
+            node_power: PowerModel::exynos5250_devkit(),
+            topology: TopologySpec::Star { nodes },
+            proto: ProtocolModel::open_mx(),
+            switches: nodes.div_ceil(48),
+            switch_power_w: 25.0,
+        }
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> u32 {
+        self.topology.nodes()
+    }
+
+    /// A `simmpi` job spec for `ranks` ranks on this machine at the node's
+    /// maximum frequency.
+    pub fn job(&self, ranks: u32) -> JobSpec {
+        JobSpec::new(self.platform.clone(), ranks)
+            .with_proto(self.proto)
+            .with_topology(self.topology)
+    }
+
+    /// Peak FP64 GFLOPS of `n` nodes at fmax.
+    pub fn peak_gflops(&self, n: u32) -> f64 {
+        self.platform.soc.peak_gflops_max() * n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tibidabo_matches_section_4() {
+        let m = Machine::tibidabo();
+        assert_eq!(m.nodes(), 192);
+        assert_eq!(m.platform.id, "tegra2");
+        // Peak of 96 nodes = 192 GFLOPS (the 51%-of-peak denominator).
+        assert!((m.peak_gflops(96) - 192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_spec_uses_machine_defaults() {
+        let m = Machine::tibidabo();
+        let j = m.job(96);
+        assert_eq!(j.ranks, 96);
+        assert_eq!(j.proto.name, "TCP/IP");
+        assert_eq!(j.topology, TopologySpec::tibidabo());
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn what_if_machines_are_buildable() {
+        assert_eq!(Machine::arndale_cluster(64).nodes(), 64);
+        assert_eq!(Machine::armv8_cluster(32).platform.id, "armv8-4c-2ghz");
+    }
+}

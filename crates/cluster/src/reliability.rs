@@ -1,0 +1,155 @@
+//! §6.3's first mobile-SoC limitation, quantified: "the memory controller
+//! does not support ECC protection in the DRAM. A Google study in 2009 found
+//! that, within a year, 4% to 20% of all DIMMs encounter a correctable
+//! error... these figures suggest that a 1,500 node system, with 2 DIMMs per
+//! node, has a 30% error probability on any given day."
+//!
+//! This module reproduces that arithmetic (Schroeder, Pinheiro & Weber,
+//! "DRAM errors in the wild") and extends it into the design tool the
+//! paper's argument implies: how large can an unprotected mobile-SoC cluster
+//! grow before daily memory errors make it unusable?
+
+use serde::{Deserialize, Serialize};
+
+/// The Google field study's observed range of annual per-DIMM correctable-
+/// error incidence (fraction of DIMMs affected per year).
+pub const GOOGLE_ANNUAL_INCIDENCE: (f64, f64) = (0.04, 0.20);
+
+/// DRAM-reliability model for a cluster without ECC.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EccRisk {
+    /// Number of nodes.
+    pub nodes: u32,
+    /// DIMMs per node.
+    pub dimms_per_node: u32,
+    /// Annual per-DIMM error incidence (fraction of DIMMs hit per year).
+    pub annual_incidence: f64,
+}
+
+impl EccRisk {
+    /// The paper's §6.3 example system: 1,500 nodes × 2 DIMMs.
+    pub fn paper_example(annual_incidence: f64) -> EccRisk {
+        EccRisk { nodes: 1500, dimms_per_node: 2, annual_incidence }
+    }
+
+    /// Tibidabo-like risk (192 nodes × 1 DIMM-equivalent of mobile DRAM).
+    pub fn tibidabo(annual_incidence: f64) -> EccRisk {
+        EccRisk { nodes: 192, dimms_per_node: 1, annual_incidence }
+    }
+
+    /// Total DIMM count.
+    pub fn dimms(&self) -> u64 {
+        self.nodes as u64 * self.dimms_per_node as u64
+    }
+
+    /// Probability that at least one DIMM errors within `days`, assuming
+    /// independent exponential arrivals at the annual incidence rate.
+    pub fn error_probability(&self, days: f64) -> f64 {
+        assert!(days >= 0.0);
+        // Per-DIMM rate per day from the annual incidence (rate of a Poisson
+        // process whose 1-year hit probability equals the incidence).
+        let lambda_year = -(1.0 - self.annual_incidence).ln();
+        let lambda_day = lambda_year / 365.0;
+        1.0 - (-lambda_day * self.dimms() as f64 * days).exp()
+    }
+
+    /// Mean time between (uncorrected) memory errors anywhere in the
+    /// machine, in days.
+    pub fn mtbe_days(&self) -> f64 {
+        let lambda_year = -(1.0 - self.annual_incidence).ln();
+        let lambda_day = lambda_year / 365.0;
+        1.0 / (lambda_day * self.dimms() as f64)
+    }
+
+    /// Largest node count keeping the daily error probability below
+    /// `p_daily` (the inverse design question the paper's argument poses).
+    pub fn max_nodes_for_daily_risk(&self, p_daily: f64) -> u32 {
+        assert!((0.0..1.0).contains(&p_daily));
+        let lambda_year = -(1.0 - self.annual_incidence).ln();
+        let lambda_day = lambda_year / 365.0;
+        // 1 - exp(-lambda_day * dimms) <= p  =>  dimms <= -ln(1-p)/lambda.
+        let dimms = -(1.0 - p_daily).ln() / lambda_day;
+        (dimms / self.dimms_per_node as f64).floor() as u32
+    }
+}
+
+/// One row of the risk table printed by the repro harness.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RiskRow {
+    /// Cluster size in nodes.
+    pub nodes: u32,
+    /// Daily error probability at the low end of the Google range.
+    pub daily_low: f64,
+    /// Daily error probability at the high end.
+    pub daily_high: f64,
+}
+
+/// Risk table over a range of cluster sizes (2 DIMMs/node).
+pub fn risk_table(node_counts: &[u32]) -> Vec<RiskRow> {
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let lo = EccRisk { nodes, dimms_per_node: 2, annual_incidence: GOOGLE_ANNUAL_INCIDENCE.0 };
+            let hi = EccRisk { nodes, dimms_per_node: 2, annual_incidence: GOOGLE_ANNUAL_INCIDENCE.1 };
+            RiskRow {
+                nodes,
+                daily_low: lo.error_probability(1.0),
+                daily_high: hi.error_probability(1.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_thirty_percent_claim_reproduced() {
+        // "a 1,500 node system, with 2 DIMMs per node, has a 30% error
+        // probability on any given day" — this lands inside the Google
+        // incidence range (it corresponds to ~4-5% annual incidence).
+        let low = EccRisk::paper_example(GOOGLE_ANNUAL_INCIDENCE.0).error_probability(1.0);
+        let high = EccRisk::paper_example(GOOGLE_ANNUAL_INCIDENCE.1).error_probability(1.0);
+        assert!(low <= 0.30 && 0.30 <= high, "30% must be inside [{low}, {high}]");
+        assert!((0.20..0.40).contains(&low), "low-end daily risk {low}");
+    }
+
+    #[test]
+    fn risk_grows_with_nodes_and_time() {
+        let small = EccRisk { nodes: 100, dimms_per_node: 2, annual_incidence: 0.1 };
+        let big = EccRisk { nodes: 1000, dimms_per_node: 2, annual_incidence: 0.1 };
+        assert!(big.error_probability(1.0) > small.error_probability(1.0));
+        assert!(small.error_probability(7.0) > small.error_probability(1.0));
+        // Probabilities stay in [0, 1].
+        assert!(big.error_probability(10_000.0) <= 1.0);
+        assert_eq!(small.error_probability(0.0), 0.0);
+    }
+
+    #[test]
+    fn mtbe_is_consistent_with_daily_probability() {
+        let r = EccRisk::tibidabo(0.1);
+        // P(error within MTBE) = 1 - 1/e.
+        let p = r.error_probability(r.mtbe_days());
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_design_question() {
+        let r = EccRisk { nodes: 0, dimms_per_node: 2, annual_incidence: 0.2 };
+        let n = r.max_nodes_for_daily_risk(0.01);
+        // The answer must satisfy its own constraint...
+        let check = EccRisk { nodes: n, dimms_per_node: 2, annual_incidence: 0.2 };
+        assert!(check.error_probability(1.0) <= 0.01);
+        // ...and adding nodes must violate it.
+        let over = EccRisk { nodes: n + 1, dimms_per_node: 2, annual_incidence: 0.2 };
+        assert!(over.error_probability(1.0) > 0.01);
+    }
+
+    #[test]
+    fn risk_table_is_monotone() {
+        let t = risk_table(&[96, 192, 1500, 10_000]);
+        assert!(t.windows(2).all(|w| w[1].daily_low > w[0].daily_low));
+        assert!(t.iter().all(|r| r.daily_high >= r.daily_low));
+    }
+}

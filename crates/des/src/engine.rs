@@ -1,0 +1,648 @@
+//! The discrete-event engine and its process model.
+//!
+//! # Execution model
+//!
+//! Simulated actors ("processes") are ordinary OS threads, but **exactly one
+//! thread — either the engine or a single process — runs at any instant**.
+//! Control is handed over through rendezvous channels:
+//!
+//! * the engine pops the earliest `(time, seq)` event, resumes the process it
+//!   targets, and blocks until that process *yields*;
+//! * a process yields by finishing, by [`Context::advance`]-ing virtual time,
+//!   or by [`Context::park`]-ing to wait for another process.
+//!
+//! Because the event queue is ordered by `(time, insertion sequence)` and only
+//! one process executes at a time, simulations are **bit-deterministic**: the
+//! same program produces the same event trace on every run, regardless of OS
+//! scheduling.
+//!
+//! Cross-process signalling is intentionally minimal: [`Context::wake_at`]
+//! schedules a wake-up for a *parked* process. Higher-level abstractions
+//! (mailboxes, MPI-style matching, network links) are built on top of this in
+//! the `simmpi` and `netsim` crates.
+
+use std::collections::BinaryHeap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::time::SimTime;
+
+/// Identifier of a simulated process, assigned in spawn order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub(crate) u32);
+
+impl Pid {
+    /// Index form, for addressing per-process tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Why a simulation ended unsuccessfully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained while processes were still parked: every
+    /// remaining process is waiting for a signal nobody will send.
+    Deadlock {
+        /// Virtual time at which progress stopped.
+        at: SimTime,
+        /// Names of the parked processes.
+        parked: Vec<String>,
+    },
+    /// A process panicked; the payload is the process name and panic message.
+    ProcessPanic {
+        /// Name of the process that panicked.
+        process: String,
+        /// Best-effort stringified panic payload.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { at, parked } => {
+                write!(f, "simulation deadlock at {at}: parked processes: {}", parked.join(", "))
+            }
+            SimError::ProcessPanic { process, message } => {
+                write!(f, "process '{process}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Summary of a completed simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Virtual time when the last process finished.
+    pub end_time: SimTime,
+    /// Total number of scheduler events dispatched (including stale ones).
+    pub events: u64,
+    /// Number of processes that ran to completion.
+    pub processes: u32,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Not yet resumed for the first time, or currently runnable and queued.
+    Ready,
+    /// Currently executing (at most one process at a time).
+    Running,
+    /// Blocked in `advance` until its timer event fires.
+    Sleeping,
+    /// Blocked in `park` until another process wakes it.
+    Parked,
+    /// Closure returned (or panicked).
+    Finished,
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    pid: Pid,
+    /// Generation the target process had when this event was created; a
+    /// mismatch at dispatch time marks the event stale (the process already
+    /// resumed for another reason).
+    gen: u64,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct ProcSlot {
+    name: String,
+    status: Status,
+    /// Bumped every time the process resumes; used to invalidate stale events.
+    gen: u64,
+    resume_tx: SyncSender<()>,
+    panic_message: Option<String>,
+}
+
+struct State {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    procs: Vec<ProcSlot>,
+    live: u32,
+    events_dispatched: u64,
+}
+
+impl State {
+    fn push_event(&mut self, at: SimTime, pid: Pid, gen: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, pid, gen });
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    yield_tx: Sender<()>,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Spawn processes with [`Engine::spawn`], then drive them to completion with
+/// [`Engine::run`]. See the module docs for the execution model.
+///
+/// ```
+/// use des::{Engine, SimTime};
+///
+/// let mut eng = Engine::new();
+/// eng.spawn("ticker", |ctx| {
+///     for _ in 0..3 {
+///         ctx.advance(SimTime::from_micros(10));
+///     }
+/// });
+/// let report = eng.run().unwrap();
+/// assert_eq!(report.end_time, SimTime::from_micros(30));
+/// ```
+pub struct Engine {
+    shared: Arc<Shared>,
+    yield_rx: Receiver<()>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Create an empty simulation at time zero.
+    pub fn new() -> Self {
+        let (yield_tx, yield_rx) = mpsc::channel();
+        Engine {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    queue: BinaryHeap::new(),
+                    procs: Vec::new(),
+                    live: 0,
+                    events_dispatched: 0,
+                }),
+                yield_tx,
+            }),
+            yield_rx,
+            threads: Vec::new(),
+        }
+    }
+
+    /// Spawn a process that becomes runnable at time zero.
+    ///
+    /// The closure receives a [`Context`] for interacting with virtual time.
+    /// Processes spawned before [`Engine::run`] start in spawn order.
+    pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(&Context) + Send + 'static,
+    {
+        let name = name.into();
+        let (resume_tx, resume_rx) = mpsc::sync_channel(1);
+        let pid;
+        {
+            let mut st = self.shared.state.lock();
+            pid = Pid(st.procs.len() as u32);
+            st.procs.push(ProcSlot {
+                name: name.clone(),
+                status: Status::Ready,
+                gen: 0,
+                resume_tx,
+                panic_message: None,
+            });
+            st.live += 1;
+            let at = st.now;
+            st.push_event(at, pid, 0);
+        }
+        let ctx = Context {
+            pid,
+            shared: Arc::clone(&self.shared),
+            resume_rx,
+        };
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("des-{name}"))
+            .stack_size(8 << 20)
+            .spawn(move || {
+                // Wait for the first resume before touching any state.
+                if ctx.resume_rx.recv().is_err() {
+                    return; // engine dropped before start
+                }
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                let mut st = shared.state.lock();
+                let slot = &mut st.procs[ctx.pid.index()];
+                slot.status = Status::Finished;
+                if let Err(payload) = result {
+                    // `&*payload`, not `&payload`: a `&Box<dyn Any>` would
+                    // unsize to `&dyn Any` with the Box itself as the Any.
+                    slot.panic_message = Some(panic_payload_to_string(&*payload));
+                }
+                st.live -= 1;
+                drop(st);
+                let _ = shared.yield_tx.send(());
+            })
+            .expect("failed to spawn des process thread");
+        self.threads.push(handle);
+        pid
+    }
+
+    /// Run the simulation until every process finishes.
+    ///
+    /// Returns a [`RunReport`] on success, [`SimError::Deadlock`] if the event
+    /// queue drains while processes are parked, or [`SimError::ProcessPanic`]
+    /// if any process panicked.
+    pub fn run(mut self) -> Result<RunReport, SimError> {
+        let result = self.drive();
+        if result.is_err() {
+            // Unblock any still-parked process threads: replacing a slot's
+            // resume sender drops the old one, so the thread's `recv` fails,
+            // its internal `expect` panics, the panic is caught by the
+            // process wrapper, and the thread exits cleanly.
+            let mut st = self.shared.state.lock();
+            for slot in &mut st.procs {
+                if slot.status != Status::Finished {
+                    slot.resume_tx = mpsc::sync_channel(1).0;
+                }
+            }
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        result
+    }
+
+    fn drive(&mut self) -> Result<RunReport, SimError> {
+        loop {
+            let (resume_tx, event_pid) = {
+                let mut st = self.shared.state.lock();
+                if st.live == 0 {
+                    return Ok(RunReport {
+                        end_time: st.now,
+                        events: st.events_dispatched,
+                        processes: st.procs.len() as u32,
+                    });
+                }
+                let ev = loop {
+                    match st.queue.pop() {
+                        Some(ev) => {
+                            st.events_dispatched += 1;
+                            let slot = &st.procs[ev.pid.index()];
+                            let stale = match slot.status {
+                                Status::Finished | Status::Running => true,
+                                _ => slot.gen != ev.gen,
+                            };
+                            if !stale {
+                                break ev;
+                            }
+                        }
+                        None => {
+                            let parked = st
+                                .procs
+                                .iter()
+                                .filter(|p| p.status != Status::Finished)
+                                .map(|p| p.name.clone())
+                                .collect();
+                            return Err(SimError::Deadlock { at: st.now, parked });
+                        }
+                    }
+                };
+                debug_assert!(ev.at >= st.now, "event queue went backwards in time");
+                st.now = ev.at;
+                let slot = &mut st.procs[ev.pid.index()];
+                slot.status = Status::Running;
+                slot.gen += 1;
+                (slot.resume_tx.clone(), ev.pid)
+            };
+            resume_tx
+                .send(())
+                .expect("des process thread died outside the engine protocol");
+            // Block until the resumed process yields back.
+            self.yield_rx
+                .recv()
+                .expect("all des process threads disappeared");
+            // If the process panicked, surface it immediately.
+            let st = self.shared.state.lock();
+            let slot = &st.procs[event_pid.index()];
+            if let Some(msg) = &slot.panic_message {
+                return Err(SimError::ProcessPanic {
+                    process: slot.name.clone(),
+                    message: msg.clone(),
+                });
+            }
+        }
+    }
+}
+
+fn panic_payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A process's handle to the simulation: virtual-time queries, time advance,
+/// parking, and waking peers.
+///
+/// A `Context` is only usable from within the process closure it was created
+/// for; it is handed to the closure by [`Engine::spawn`].
+pub struct Context {
+    pid: Pid,
+    shared: Arc<Shared>,
+    resume_rx: Receiver<()>,
+}
+
+impl Context {
+    /// This process's id.
+    #[inline]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.state.lock().now
+    }
+
+    /// Advance this process's virtual time by `dt` (models computation or a
+    /// fixed delay). Other processes may run in the interim.
+    pub fn advance(&self, dt: SimTime) {
+        if dt == SimTime::ZERO {
+            return;
+        }
+        {
+            let mut st = self.shared.state.lock();
+            let at = st.now + dt;
+            let slot_gen = {
+                let slot = &mut st.procs[self.pid.index()];
+                slot.status = Status::Sleeping;
+                slot.gen
+            };
+            st.push_event(at, self.pid, slot_gen);
+        }
+        self.yield_and_wait();
+    }
+
+    /// Advance to an absolute virtual time (no-op if already past it).
+    pub fn advance_to(&self, at: SimTime) {
+        let now = self.now();
+        if at > now {
+            self.advance(at - now);
+        }
+    }
+
+    /// Block until another process calls [`Context::wake_at`] targeting this
+    /// process. Virtual time does not advance on this process's account while
+    /// parked; it resumes at whatever time the waker chose.
+    pub fn park(&self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.procs[self.pid.index()].status = Status::Parked;
+        }
+        self.yield_and_wait();
+    }
+
+    /// Schedule a wake-up for `target` at absolute time `at` (must be `>=`
+    /// now). The target must currently be **parked**; waking a running,
+    /// sleeping, or finished process is a protocol violation and panics.
+    ///
+    /// Multiple wakes may target the same parked process; the earliest one
+    /// resumes it and the rest are discarded as stale.
+    pub fn wake_at(&self, target: Pid, at: SimTime) {
+        let mut st = self.shared.state.lock();
+        assert!(at >= st.now, "wake_at into the past ({} < {})", at, st.now);
+        let gen = {
+            let slot = &st.procs[target.index()];
+            assert!(
+                slot.status == Status::Parked,
+                "wake_at target '{}' is {:?}, not Parked",
+                slot.name,
+                slot.status
+            );
+            slot.gen
+        };
+        st.push_event(at, target, gen);
+    }
+
+    /// Whether `target` is currently parked (usable for mailbox-style
+    /// "wake only if waiting" protocols).
+    pub fn is_parked(&self, target: Pid) -> bool {
+        self.shared.state.lock().procs[target.index()].status == Status::Parked
+    }
+
+    fn yield_and_wait(&self) {
+        self.shared
+            .yield_tx
+            .send(())
+            .expect("des engine disappeared while process was running");
+        self.resume_rx
+            .recv()
+            .expect("des engine dropped resume channel");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_process_advances_time() {
+        let mut eng = Engine::new();
+        eng.spawn("p", |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.advance(SimTime::from_micros(5));
+            assert_eq!(ctx.now(), SimTime::from_micros(5));
+            ctx.advance(SimTime::from_micros(7));
+            assert_eq!(ctx.now(), SimTime::from_micros(12));
+        });
+        let rep = eng.run().unwrap();
+        assert_eq!(rep.end_time, SimTime::from_micros(12));
+        assert_eq!(rep.processes, 1);
+    }
+
+    #[test]
+    fn end_time_is_latest_finisher() {
+        let mut eng = Engine::new();
+        eng.spawn("short", |ctx| ctx.advance(SimTime::from_micros(1)));
+        eng.spawn("long", |ctx| ctx.advance(SimTime::from_micros(100)));
+        let rep = eng.run().unwrap();
+        assert_eq!(rep.end_time, SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn interleaving_is_time_ordered_and_deterministic() {
+        let trace = Arc::new(PMutex::new(Vec::new()));
+        let mut eng = Engine::new();
+        for (name, step) in [("a", 3u64), ("b", 5u64)] {
+            let trace = Arc::clone(&trace);
+            eng.spawn(name, move |ctx| {
+                for i in 0..4u64 {
+                    ctx.advance(SimTime::from_micros(step));
+                    trace.lock().push((name, step * (i + 1)));
+                }
+            });
+        }
+        eng.run().unwrap();
+        let got = trace.lock().clone();
+        // Merged by virtual time; ties broken by event insertion order.
+        assert_eq!(
+            got,
+            vec![
+                ("a", 3),
+                ("b", 5),
+                ("a", 6),
+                ("a", 9),
+                ("b", 10),
+                ("a", 12),
+                ("b", 15),
+                ("b", 20)
+            ]
+        );
+    }
+
+    #[test]
+    fn park_and_wake_handshake() {
+        let mut eng = Engine::new();
+        let waiter = eng.spawn("waiter", |ctx| {
+            ctx.park();
+            assert_eq!(ctx.now(), SimTime::from_micros(42));
+        });
+        eng.spawn("waker", move |ctx| {
+            ctx.advance(SimTime::from_micros(10));
+            ctx.wake_at(waiter, SimTime::from_micros(42));
+        });
+        let rep = eng.run().unwrap();
+        assert_eq!(rep.end_time, SimTime::from_micros(42));
+    }
+
+    #[test]
+    fn duplicate_wakes_are_stale_not_fatal() {
+        let mut eng = Engine::new();
+        let waiter = eng.spawn("waiter", |ctx| {
+            ctx.park();
+            // Resumed once, at the earliest wake.
+            assert_eq!(ctx.now(), SimTime::from_micros(5));
+            ctx.advance(SimTime::from_micros(100));
+        });
+        eng.spawn("w1", move |ctx| {
+            ctx.wake_at(waiter, SimTime::from_micros(5));
+        });
+        eng.spawn("w2", move |ctx| {
+            ctx.wake_at(waiter, SimTime::from_micros(9));
+        });
+        let rep = eng.run().unwrap();
+        assert_eq!(rep.end_time, SimTime::from_micros(105));
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut eng = Engine::new();
+        eng.spawn("stuck", |ctx| {
+            ctx.advance(SimTime::from_micros(3));
+            ctx.park(); // nobody will wake us
+        });
+        match eng.run() {
+            Err(SimError::Deadlock { at, parked }) => {
+                assert_eq!(at, SimTime::from_micros(3));
+                assert_eq!(parked, vec!["stuck".to_string()]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let mut eng = Engine::new();
+        eng.spawn("boom", |_ctx| panic!("kaboom"));
+        match eng.run() {
+            Err(SimError::ProcessPanic { process, message }) => {
+                assert_eq!(process, "boom");
+                assert!(message.contains("kaboom"));
+            }
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_advance_is_noop() {
+        let mut eng = Engine::new();
+        eng.spawn("p", |ctx| {
+            ctx.advance(SimTime::ZERO);
+            assert_eq!(ctx.now(), SimTime::ZERO);
+        });
+        assert!(eng.run().is_ok());
+    }
+
+    #[test]
+    fn advance_to_absolute() {
+        let mut eng = Engine::new();
+        eng.spawn("p", |ctx| {
+            ctx.advance_to(SimTime::from_micros(9));
+            assert_eq!(ctx.now(), SimTime::from_micros(9));
+            // Already past: no-op.
+            ctx.advance_to(SimTime::from_micros(4));
+            assert_eq!(ctx.now(), SimTime::from_micros(9));
+        });
+        assert!(eng.run().is_ok());
+    }
+
+    #[test]
+    fn many_processes_scale() {
+        let counter = Arc::new(PMutex::new(0u64));
+        let mut eng = Engine::new();
+        for i in 0..64 {
+            let counter = Arc::clone(&counter);
+            eng.spawn(format!("p{i}"), move |ctx| {
+                for _ in 0..10 {
+                    ctx.advance(SimTime::from_nanos(100 + i));
+                }
+                *counter.lock() += 1;
+            });
+        }
+        let rep = eng.run().unwrap();
+        assert_eq!(*counter.lock(), 64);
+        assert_eq!(rep.processes, 64);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_insertion_order() {
+        let trace = Arc::new(PMutex::new(Vec::new()));
+        let mut eng = Engine::new();
+        for name in ["first", "second", "third"] {
+            let trace = Arc::clone(&trace);
+            eng.spawn(name, move |ctx| {
+                ctx.advance(SimTime::from_micros(1));
+                trace.lock().push(name);
+            });
+        }
+        eng.run().unwrap();
+        assert_eq!(*trace.lock(), vec!["first", "second", "third"]);
+    }
+}

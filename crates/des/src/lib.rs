@@ -1,0 +1,41 @@
+//! # des — deterministic discrete-event simulation core
+//!
+//! This crate is the foundation of the SC'13 "mobile SoCs for HPC"
+//! reproduction: every simulated cluster run (network transfers, MPI ranks,
+//! power sampling) is driven by this engine.
+//!
+//! Two ideas keep it small and reproducible:
+//!
+//! 1. **Virtual time is integer nanoseconds** ([`SimTime`]), so event order is
+//!    exact and never depends on floating-point rounding.
+//! 2. **Processes are OS threads, but only one runs at a time.** The engine
+//!    resumes the process owning the earliest event and blocks until it
+//!    yields. Simulations are therefore bit-deterministic while still letting
+//!    simulated actors be written as straight-line Rust (real loops, real
+//!    data, real control flow) instead of state machines.
+//!
+//! ## Example: two actors exchanging a timed signal
+//!
+//! ```
+//! use des::{Engine, SimTime};
+//!
+//! let mut eng = Engine::new();
+//! let consumer = eng.spawn("consumer", |ctx| {
+//!     ctx.park(); // wait for the producer
+//!     assert_eq!(ctx.now(), SimTime::from_micros(65)); // network delivery time
+//! });
+//! eng.spawn("producer", move |ctx| {
+//!     ctx.advance(SimTime::from_micros(15)); // compute something
+//!     // Model a 50us transfer, then hand over.
+//!     ctx.wake_at(consumer, ctx.now() + SimTime::from_micros(50));
+//! });
+//! eng.run().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod time;
+
+pub use engine::{Context, Engine, Pid, RunReport, SimError};
+pub use time::SimTime;

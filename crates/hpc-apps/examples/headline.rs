@@ -1,0 +1,23 @@
+//! Quick check of the §4 HPL headline numbers on the Tibidabo model.
+use cluster::{green500, Machine};
+use hpc_apps::hpl::HplConfig;
+
+fn main() {
+    let m = Machine::tibidabo();
+    for nodes in [4u32, 16, 96] {
+        let cfg = HplConfig::tibidabo_weak(nodes);
+        let spec = m.job(nodes);
+        let t0 = std::time::Instant::now();
+        let run = simmpi::run_mpi(spec, move |r| {
+            let s = r.now();
+            hpc_apps::hpl::hpl_rank(r, &cfg);
+            (r.now() - s).as_secs_f64()
+        }).unwrap();
+        let secs = run.results.iter().cloned().fold(0.0, f64::max);
+        let gf = cfg.flops() / secs / 1e9;
+        let peak = m.peak_gflops(nodes);
+        let g500 = green500(&m, &run, nodes, 1.0, gf);
+        println!("nodes={nodes:3} N={:6} t={secs:8.1}s GF={gf:7.2} eff={:.3} {:6.1} MFLOPS/W  ({:?} wall)",
+            cfg.n, gf/peak, g500.mflops_per_watt, t0.elapsed());
+    }
+}

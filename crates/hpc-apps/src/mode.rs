@@ -1,0 +1,39 @@
+//! Execute-vs-Model duality (DESIGN.md §4.3).
+//!
+//! Every application runs its real MPI communication structure in both
+//! modes; the difference is confined to the leaf work:
+//!
+//! * **Execute** — numerical kernels run for real on real data, messages
+//!   carry real payloads, and results are verifiable (tests use this mode);
+//! * **Model** — leaf kernels are replaced by their work profiles fed to the
+//!   platform timing model, and messages are size-only (the large-scale
+//!   figure reproductions use this mode).
+
+use serde::{Deserialize, Serialize};
+
+/// Application execution mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Mode {
+    /// Real numerics and payloads (testable, slower).
+    Execute,
+    /// Work profiles and size-only messages (scalable).
+    Model,
+}
+
+impl Mode {
+    /// Whether this mode carries real payload data.
+    pub fn carries_data(self) -> bool {
+        matches!(self, Mode::Execute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_flag() {
+        assert!(Mode::Execute.carries_data());
+        assert!(!Mode::Model.carries_data());
+    }
+}

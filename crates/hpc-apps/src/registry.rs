@@ -1,0 +1,92 @@
+//! Table 3: the applications used for the scalability evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// Application identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AppId {
+    /// High-Performance LINPACK.
+    Hpl,
+    /// PEPC — tree code for the N-body problem.
+    Pepc,
+    /// HYDRO — 2D Eulerian hydrodynamics.
+    Hydro,
+    /// GROMACS — molecular dynamics.
+    Gromacs,
+    /// SPECFEM3D — seismic wave propagation.
+    Specfem3d,
+}
+
+/// One row of Table 3.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Identifier.
+    pub id: AppId,
+    /// Table 3 "Application".
+    pub name: &'static str,
+    /// Table 3 "Description".
+    pub description: &'static str,
+    /// Whether Fig 6 runs it under weak (true) or strong (false) scaling
+    /// ("Following common practice, we perform a weak scalability test for
+    /// HPL and a strong scalability test for the rest").
+    pub weak_scaling: bool,
+    /// Smallest node count the reference input fits on (PEPC "requires at
+    /// least 24 nodes"; GROMACS "fits in the memory of two nodes").
+    pub min_nodes: u32,
+}
+
+/// Table 3, in paper order.
+pub fn table3() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            id: AppId::Hpl,
+            name: "HPL",
+            description: "High-Performance LINPACK",
+            weak_scaling: true,
+            min_nodes: 1,
+        },
+        AppSpec {
+            id: AppId::Pepc,
+            name: "PEPC",
+            description: "Tree code for N-body problem",
+            weak_scaling: false,
+            min_nodes: 24,
+        },
+        AppSpec {
+            id: AppId::Hydro,
+            name: "HYDRO",
+            description: "2D Eulerian code for hydrodynamics",
+            weak_scaling: false,
+            min_nodes: 1,
+        },
+        AppSpec {
+            id: AppId::Gromacs,
+            name: "GROMACS",
+            description: "Molecular dynamics",
+            weak_scaling: false,
+            min_nodes: 2,
+        },
+        AppSpec {
+            id: AppId::Specfem3d,
+            name: "SPECFEM3D",
+            description: "3D seismic wave propagation (spectral element method)",
+            weak_scaling: false,
+            min_nodes: 1,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        let t = table3();
+        assert_eq!(t.len(), 5);
+        assert!(t[0].weak_scaling, "HPL is the weak-scaling test");
+        assert!(t[1..].iter().all(|a| !a.weak_scaling));
+        assert_eq!(t[1].min_nodes, 24); // PEPC reference input
+        assert_eq!(t[3].min_nodes, 2); // GROMACS input fits two nodes
+    }
+}

@@ -1,0 +1,47 @@
+//! Calibration dashboard: prints every model-vs-paper quantity without
+//! asserting, for tuning the free parameters. `cargo run -p kernels --example tune`
+
+use kernels::fig3_profiles;
+use soc_arch::{suite_speedup, suite_time, Platform, Soc};
+use soc_power::{suite_energy, PowerModel};
+
+fn main() {
+    let t2 = Platform::tegra2().soc;
+    let t3 = Platform::tegra3().soc;
+    let e5 = Platform::exynos5250().soc;
+    let i7 = Platform::core_i7_2760qm().soc;
+    let suite = fig3_profiles();
+
+    let sp = |soc: &Soc, f: f64, base: &Soc, fb: f64| suite_speedup(soc, f, 1, base, fb, 1, &suite);
+    println!("== serial speedups @1GHz (target T3 1.09, E5 1.30, E5/T3 1.22, i7/E5 2.0)");
+    println!("T3/T2  {:.3}", sp(&t3, 1.0, &t2, 1.0));
+    println!("E5/T2  {:.3}", sp(&e5, 1.0, &t2, 1.0));
+    println!("E5/T3  {:.3}", sp(&e5, 1.0, &t3, 1.0));
+    println!("i7/E5  {:.3}", sp(&i7, 1.0, &e5, 1.0));
+    println!("== serial speedups @fmax vs T2@1 (target T3 1.36, E5 2.3, i7/E5 3.0, i7/T2 6.5)");
+    println!("T3@1.3 {:.3}", sp(&t3, 1.3, &t2, 1.0));
+    println!("E5@1.7 {:.3}", sp(&e5, 1.7, &t2, 1.0));
+    println!("i7/E5  {:.3}", sp(&i7, 2.4, &e5, 1.7));
+    println!("i7/T2  {:.3}", sp(&i7, 2.4, &t2, 1.0));
+
+    let pms = [
+        ("T2", &t2, PowerModel::tegra2_devkit(), 23.93),
+        ("T3", &t3, PowerModel::tegra3_devkit(), 19.62),
+        ("E5", &e5, PowerModel::exynos5250_devkit(), 16.95),
+        ("i7", &i7, PowerModel::core_i7_laptop(), 28.57),
+    ];
+    println!("== @1GHz serial: time, power, energy (targets J: 23.93/19.62/16.95/28.57)");
+    for (name, soc, pm, tgt) in &pms {
+        let (t, j) = suite_energy(soc, pm, 1.0, 1, &suite);
+        println!("{name}: t={t:.3}s  P={:.2}W  E={j:.2}J (target {tgt})", j / t);
+    }
+    println!("== multicore @fmax: speedup vs serial@fmax, energy gain (targets 1.7/1.7/2.25/2.5)");
+    for (name, soc, pm, _) in &pms {
+        let f = soc.fmax_ghz;
+        let t1 = suite_time(soc, f, 1, &suite);
+        let tn = suite_time(soc, f, soc.threads, &suite);
+        let e1 = suite_energy(soc, pm, f, 1, &suite).1;
+        let en = suite_energy(soc, pm, f, soc.threads, &suite).1;
+        println!("{name}: S={:.2}  Egain={:.2}  Pmulti={:.2}W", t1 / tn, e1 / en, en / tn);
+    }
+}

@@ -1,0 +1,145 @@
+//! Calibration validation: the paper's §3.1/§3.2 headline measurements must
+//! *emerge* from the combination of the kernel suite's work profiles, the
+//! platform timing models and the power models. These tests are the proof
+//! that the substitution (models instead of hardware) reproduces the paper.
+//!
+//! Run with `-- --nocapture` to see the full model-vs-paper table.
+
+use kernels::fig3_profiles;
+use soc_arch::calib::{
+    energy_1ghz, multicore_energy_gain, single_core_1ghz, single_core_fmax, Target,
+};
+use soc_arch::{suite_speedup, Platform, Soc};
+use soc_power::{suite_energy, PowerModel};
+
+struct Setup {
+    t2: Soc,
+    t3: Soc,
+    e5: Soc,
+    i7: Soc,
+}
+
+fn setup() -> Setup {
+    Setup {
+        t2: Platform::tegra2().soc,
+        t3: Platform::tegra3().soc,
+        e5: Platform::exynos5250().soc,
+        i7: Platform::core_i7_2760qm().soc,
+    }
+}
+
+fn assert_target(t: Target, measured: f64) {
+    println!(
+        "{:40} paper={:>8.3}  model={:>8.3}  err={:>+6.1}%{}",
+        t.name,
+        t.value,
+        measured,
+        100.0 * t.rel_err(measured),
+        if t.check(measured) { "" } else { "  <-- OUT OF BAND" }
+    );
+    assert!(
+        t.check(measured),
+        "{}: model {measured:.4} outside ±{:.0}% of paper {:.4}",
+        t.name,
+        t.rel_tol * 100.0,
+        t.value
+    );
+}
+
+#[test]
+fn fig3_single_core_speedups_at_1ghz() {
+    let s = setup();
+    let suite = fig3_profiles();
+    let sp = |soc: &Soc, f: f64, base: &Soc, fb: f64| suite_speedup(soc, f, 1, base, fb, 1, &suite);
+
+    assert_target(single_core_1ghz::TEGRA3_VS_TEGRA2, sp(&s.t3, 1.0, &s.t2, 1.0));
+    assert_target(single_core_1ghz::EXYNOS_VS_TEGRA2, sp(&s.e5, 1.0, &s.t2, 1.0));
+    assert_target(single_core_1ghz::EXYNOS_VS_TEGRA3, sp(&s.e5, 1.0, &s.t3, 1.0));
+    assert_target(single_core_1ghz::I7_VS_EXYNOS, sp(&s.i7, 1.0, &s.e5, 1.0));
+}
+
+#[test]
+fn fig3_single_core_speedups_at_fmax() {
+    let s = setup();
+    let suite = fig3_profiles();
+    let sp = |soc: &Soc, f: f64, base: &Soc, fb: f64| suite_speedup(soc, f, 1, base, fb, 1, &suite);
+
+    assert_target(single_core_fmax::TEGRA3_VS_TEGRA2, sp(&s.t3, 1.3, &s.t2, 1.0));
+    assert_target(single_core_fmax::EXYNOS_VS_TEGRA2, sp(&s.e5, 1.7, &s.t2, 1.0));
+    assert_target(single_core_fmax::I7_VS_EXYNOS, sp(&s.i7, 2.4, &s.e5, 1.7));
+    assert_target(single_core_fmax::I7_VS_TEGRA2, sp(&s.i7, 2.4, &s.t2, 1.0));
+}
+
+#[test]
+fn fig3_per_iteration_energy_at_1ghz() {
+    let s = setup();
+    let suite = fig3_profiles();
+    let e = |soc: &Soc, pm: PowerModel| suite_energy(soc, &pm, 1.0, 1, &suite).1;
+
+    assert_target(energy_1ghz::TEGRA2_J, e(&s.t2, PowerModel::tegra2_devkit()));
+    assert_target(energy_1ghz::TEGRA3_J, e(&s.t3, PowerModel::tegra3_devkit()));
+    assert_target(energy_1ghz::EXYNOS_J, e(&s.e5, PowerModel::exynos5250_devkit()));
+    assert_target(energy_1ghz::I7_J, e(&s.i7, PowerModel::core_i7_laptop()));
+}
+
+#[test]
+fn tegra3_at_fmax_saves_energy_over_tegra2() {
+    let s = setup();
+    let suite = fig3_profiles();
+    let e_t2 = suite_energy(&s.t2, &PowerModel::tegra2_devkit(), 1.0, 1, &suite).1;
+    let e_t3 = suite_energy(&s.t3, &PowerModel::tegra3_devkit(), 1.3, 1, &suite).1;
+    assert_target(energy_1ghz::TEGRA3_FMAX_GAIN, e_t2 / e_t3);
+}
+
+#[test]
+fn fig4_multicore_energy_gains() {
+    let s = setup();
+    let suite = fig3_profiles();
+    let gain = |soc: &Soc, pm: PowerModel| {
+        let f = soc.fmax_ghz;
+        let serial = suite_energy(soc, &pm, f, 1, &suite).1;
+        let multi = suite_energy(soc, &pm, f, soc.threads, &suite).1;
+        serial / multi
+    };
+
+    assert_target(multicore_energy_gain::TEGRA2, gain(&s.t2, PowerModel::tegra2_devkit()));
+    assert_target(multicore_energy_gain::TEGRA3, gain(&s.t3, PowerModel::tegra3_devkit()));
+    assert_target(multicore_energy_gain::EXYNOS, gain(&s.e5, PowerModel::exynos5250_devkit()));
+    assert_target(multicore_energy_gain::I7, gain(&s.i7, PowerModel::core_i7_laptop()));
+}
+
+#[test]
+fn multicore_is_faster_and_frequency_sweep_is_monotonic() {
+    let s = setup();
+    let suite = fig3_profiles();
+    for soc in [&s.t2, &s.t3, &s.e5, &s.i7] {
+        // Performance rises monotonically across the DVFS sweep (Fig 3a/4a).
+        let mut prev = f64::INFINITY;
+        for &f in &soc.dvfs_ghz {
+            let t = soc_arch::suite_time(soc, f, 1, &suite);
+            assert!(t < prev, "{}: time not monotone at {f} GHz", soc.name);
+            prev = t;
+        }
+        // Multi-core beats serial at fmax (Fig 4 vs Fig 3).
+        let t1 = soc_arch::suite_time(soc, soc.fmax_ghz, 1, &suite);
+        let tn = soc_arch::suite_time(soc, soc.fmax_ghz, soc.threads, &suite);
+        assert!(tn < t1, "{}", soc.name);
+    }
+}
+
+#[test]
+fn energy_decreases_with_frequency_race_to_idle() {
+    // Fig 3(b)/4(b): per-iteration energy *falls* as frequency rises, because
+    // the frequency-independent board power dominates.
+    let s = setup();
+    let suite = fig3_profiles();
+    for (soc, pm) in [
+        (&s.t2, PowerModel::tegra2_devkit()),
+        (&s.t3, PowerModel::tegra3_devkit()),
+        (&s.e5, PowerModel::exynos5250_devkit()),
+    ] {
+        let lo = suite_energy(soc, &pm, soc.dvfs_ghz[0], 1, &suite).1;
+        let hi = suite_energy(soc, &pm, soc.fmax_ghz, 1, &suite).1;
+        assert!(hi < lo, "{}: E({}) = {lo} vs E(fmax) = {hi}", soc.name, soc.dvfs_ghz[0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Energy-Efficient Ethernet (IEEE 802.3az) modelling, after Saravanan,
+//! Carpenter & Ramirez [36] — the study behind the paper's §4.1 latency-
+//! penalty figures.
+//!
+//! EEE lets a link drop into a Low-Power Idle (LPI) state between frames and
+//! pay a wake-up latency when traffic resumes. For HPC traffic (frequent
+//! small messages) the wake-up cost compounds into exactly the per-message
+//! latency whose execution-time impact §4.1 quantifies; this module exposes
+//! the trade-off: link energy saved vs latency added, as a function of the
+//! application's message interval.
+
+use serde::{Deserialize, Serialize};
+
+/// An EEE-capable link's power-state parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EeeModel {
+    /// Idle time before the PHY enters LPI, µs (the "sleep timer").
+    pub sleep_after_us: f64,
+    /// Transition time into LPI, µs (1000BASE-T: ~182 µs spec, often less).
+    pub sleep_us: f64,
+    /// Wake-up time out of LPI, µs (1000BASE-T: ~16.5 µs).
+    pub wake_us: f64,
+    /// Link power in LPI relative to active (1000BASE-T: ~10%).
+    pub lpi_power_frac: f64,
+}
+
+impl EeeModel {
+    /// 1000BASE-T (the Tibidabo link class) with IEEE 802.3az defaults.
+    pub fn gbe_1000base_t() -> EeeModel {
+        EeeModel { sleep_after_us: 50.0, sleep_us: 182.0, wake_us: 16.5, lpi_power_frac: 0.10 }
+    }
+
+    /// Whether a link with this configuration sleeps between messages that
+    /// arrive every `interval_us`.
+    pub fn sleeps_at(&self, interval_us: f64) -> bool {
+        interval_us > self.sleep_after_us + self.sleep_us
+    }
+
+    /// Extra per-message latency (µs) seen by traffic with the given message
+    /// interval: a wake-up penalty whenever the gap let the link sleep.
+    pub fn added_latency_us(&self, interval_us: f64) -> f64 {
+        if self.sleeps_at(interval_us) {
+            self.wake_us
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of active link energy saved at the given message interval
+    /// (time asleep × (1 − LPI power)).
+    pub fn energy_saving(&self, interval_us: f64, message_serialisation_us: f64) -> f64 {
+        assert!(interval_us > 0.0);
+        if !self.sleeps_at(interval_us) {
+            return 0.0;
+        }
+        let awake = message_serialisation_us + self.sleep_after_us + self.sleep_us + self.wake_us;
+        let asleep = (interval_us - awake).max(0.0);
+        (asleep / interval_us) * (1.0 - self.lpi_power_frac)
+    }
+}
+
+/// One point of the EEE trade-off sweep.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EeeTradeoffPoint {
+    /// Application message interval, µs.
+    pub interval_us: f64,
+    /// Added latency per message, µs.
+    pub added_latency_us: f64,
+    /// Link energy saved (fraction of active power).
+    pub energy_saving: f64,
+    /// Execution-time penalty of the added latency on a Sandy Bridge-class
+    /// node (via the §4.1 reference curve).
+    pub snb_penalty: f64,
+}
+
+/// Sweep the EEE trade-off over message intervals, for messages with the
+/// given serialisation time, assuming a baseline per-message latency of
+/// `base_latency_us` to which the wake-up adds.
+pub fn eee_tradeoff(
+    model: &EeeModel,
+    intervals_us: &[f64],
+    message_serialisation_us: f64,
+    base_latency_us: f64,
+) -> Vec<EeeTradeoffPoint> {
+    intervals_us
+        .iter()
+        .map(|&interval_us| {
+            let added = model.added_latency_us(interval_us);
+            EeeTradeoffPoint {
+                interval_us,
+                added_latency_us: added,
+                energy_saving: model.energy_saving(interval_us, message_serialisation_us),
+                snb_penalty: crate::penalty::snb_penalty(base_latency_us + added)
+                    - crate::penalty::snb_penalty(base_latency_us),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_links_never_sleep() {
+        let m = EeeModel::gbe_1000base_t();
+        assert!(!m.sleeps_at(10.0));
+        assert_eq!(m.added_latency_us(10.0), 0.0);
+        assert_eq!(m.energy_saving(10.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn idle_links_sleep_and_pay_wakeup() {
+        let m = EeeModel::gbe_1000base_t();
+        let long_gap = 10_000.0;
+        assert!(m.sleeps_at(long_gap));
+        assert_eq!(m.added_latency_us(long_gap), m.wake_us);
+        let saving = m.energy_saving(long_gap, 10.0);
+        assert!(saving > 0.8, "long-idle saving {saving}");
+        assert!(saving < 1.0 - m.lpi_power_frac + 1e-9);
+    }
+
+    #[test]
+    fn savings_grow_with_interval() {
+        let m = EeeModel::gbe_1000base_t();
+        let mut prev = -1.0;
+        for interval in [300.0, 1_000.0, 5_000.0, 50_000.0] {
+            let s = m.energy_saving(interval, 10.0);
+            assert!(s >= prev, "saving not monotone at {interval}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn tradeoff_sweep_pairs_saving_with_penalty() {
+        let m = EeeModel::gbe_1000base_t();
+        let pts = eee_tradeoff(&m, &[10.0, 500.0, 5_000.0], 10.0, 65.0);
+        assert_eq!(pts.len(), 3);
+        // Busy: no saving, no penalty.
+        assert_eq!(pts[0].energy_saving, 0.0);
+        assert_eq!(pts[0].snb_penalty, 0.0);
+        // Idle: saving comes with a latency penalty — the [36] trade-off.
+        assert!(pts[2].energy_saving > 0.0);
+        assert!(pts[2].snb_penalty > 0.0);
+    }
+}

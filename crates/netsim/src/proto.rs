@@ -1,0 +1,342 @@
+//! Message-passing protocol stack models: TCP/IP vs Open-MX (§4.1).
+//!
+//! The paper attributes the interconnect behaviour of the ARM clusters to
+//! three separable cost sources, and this module models each:
+//!
+//! 1. **Protocol software** — per-message and per-byte CPU work (stack
+//!    traversal, memory copies, checksums). Open-MX "bypasses the heavyweight
+//!    TCP/IP stack and reduces the number of memory copies", and uses
+//!    rendezvous + memory pinning above 32 KiB for zero-copy sends.
+//! 2. **NIC attach path** — PCIe on the SECO boards vs a USB 3.0 host stack
+//!    on Arndale. The paper: "all network communication has to pass through
+//!    the USB software stack and this yields higher latency".
+//! 3. **The wire** — handled by [`crate::Network`].
+//!
+//! CPU-scaled cost terms shrink when the core gets faster (the paper's
+//! 1.0 GHz → 1.4 GHz observation); fixed terms (hardware queues, interrupt
+//! moderation, USB frame scheduling) do not.
+
+use des::SimTime;
+use serde::{Deserialize, Serialize};
+use soc_arch::{NicAttach, Platform};
+
+/// The endpoint-side model of one node's network interface: how fast its CPU
+/// runs protocol code and how its NIC is attached.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EndpointModel {
+    /// Scalar CPU speed relative to a Cortex-A9 at 1 GHz (i.e.
+    /// `core.scalar_speed_per_ghz × f_ghz`).
+    pub scalar_speed: f64,
+    /// NIC attach cost model.
+    pub attach: AttachModel,
+}
+
+impl EndpointModel {
+    /// Endpoint model for a platform at a given CPU frequency.
+    pub fn for_platform(p: &Platform, f_ghz: f64) -> EndpointModel {
+        EndpointModel {
+            scalar_speed: p.soc.core.scalar_speed_per_ghz * f_ghz,
+            attach: AttachModel::for_attach(p.nic),
+        }
+    }
+}
+
+/// NIC attach path cost model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AttachModel {
+    /// Attach kind (for display).
+    pub kind: NicAttach,
+    /// Per-message fixed latency on this side, µs (DMA setup, doorbells,
+    /// USB frame scheduling).
+    pub fixed_us: f64,
+    /// Per-message CPU-scaled latency at Cortex-A9@1GHz speed, µs (driver and
+    /// host-stack code).
+    pub cpu_us: f64,
+    /// Per-byte fixed cost, ns (bus transfer overheads).
+    pub fixed_per_byte_ns: f64,
+    /// Per-byte CPU-scaled cost at A9@1GHz speed, ns (host-side data shuffling).
+    pub cpu_per_byte_ns: f64,
+}
+
+impl AttachModel {
+    /// PCIe attach (Tegra SECO boards).
+    pub fn pcie() -> AttachModel {
+        AttachModel {
+            kind: NicAttach::Pcie,
+            fixed_us: 4.0,
+            cpu_us: 1.0,
+            fixed_per_byte_ns: 0.5,
+            cpu_per_byte_ns: 0.5,
+        }
+    }
+
+    /// USB 3.0 attach (Arndale): large fixed and CPU costs, and a per-byte
+    /// path that caps sustained bandwidth well below the 1 GbE wire.
+    pub fn usb3() -> AttachModel {
+        AttachModel {
+            kind: NicAttach::Usb3,
+            fixed_us: 18.0,
+            cpu_us: 9.0,
+            fixed_per_byte_ns: 10.31,
+            cpu_per_byte_ns: 5.66,
+        }
+    }
+
+    /// Integrated / chipset NIC (laptop, servers).
+    pub fn integrated() -> AttachModel {
+        AttachModel {
+            kind: NicAttach::Integrated,
+            fixed_us: 1.0,
+            cpu_us: 0.5,
+            fixed_per_byte_ns: 0.2,
+            cpu_per_byte_ns: 0.3,
+        }
+    }
+
+    /// Model for a `soc_arch` attach kind.
+    pub fn for_attach(kind: NicAttach) -> AttachModel {
+        match kind {
+            NicAttach::Pcie => Self::pcie(),
+            NicAttach::Usb3 => Self::usb3(),
+            NicAttach::Integrated => Self::integrated(),
+        }
+    }
+
+    /// Per-message one-side latency, µs, at the given CPU speed.
+    pub fn message_us(&self, speed: f64) -> f64 {
+        self.fixed_us + self.cpu_us / speed
+    }
+
+    /// Sustained through-attach rate in bytes/s at the given CPU speed.
+    pub fn rate_bytes(&self, speed: f64) -> f64 {
+        let ns_per_byte = self.fixed_per_byte_ns + self.cpu_per_byte_ns / speed;
+        1e9 / ns_per_byte
+    }
+}
+
+/// A message-passing protocol stack.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ProtocolModel {
+    /// Display name.
+    pub name: &'static str,
+    /// Sender per-message fixed cost, µs.
+    pub send_fixed_us: f64,
+    /// Sender per-message CPU-scaled cost at A9@1GHz, µs.
+    pub send_cpu_us: f64,
+    /// Receiver per-message fixed cost, µs.
+    pub recv_fixed_us: f64,
+    /// Receiver per-message CPU-scaled cost at A9@1GHz, µs.
+    pub recv_cpu_us: f64,
+    /// Per-byte CPU-scaled cost per side at A9@1GHz, ns (copies + checksum).
+    pub per_byte_cpu_ns: f64,
+    /// Rendezvous threshold in bytes (Open-MX: 32 KiB); `None` = always eager.
+    pub rendezvous_bytes: Option<u32>,
+    /// Fraction of the raw wire bandwidth left after framing/headers.
+    pub wire_efficiency: f64,
+}
+
+impl ProtocolModel {
+    /// The kernel TCP/IP stack under Open MPI (the paper's default).
+    pub fn tcp_ip() -> ProtocolModel {
+        ProtocolModel {
+            name: "TCP/IP",
+            send_fixed_us: 8.0,
+            send_cpu_us: 32.0,
+            recv_fixed_us: 8.0,
+            recv_cpu_us: 34.0,
+            per_byte_cpu_ns: 15.4,
+            rendezvous_bytes: None,
+            wire_efficiency: 0.95,
+        }
+    }
+
+    /// Open-MX: Myrinet Express semantics over raw Ethernet — thin stack,
+    /// fewer copies, rendezvous + zero-copy for messages over 32 KiB.
+    pub fn open_mx() -> ProtocolModel {
+        ProtocolModel {
+            name: "Open-MX",
+            send_fixed_us: 4.0,
+            send_cpu_us: 21.0,
+            recv_fixed_us: 4.0,
+            recv_cpu_us: 23.0,
+            per_byte_cpu_ns: 2.0,
+            rendezvous_bytes: Some(32 * 1024),
+            wire_efficiency: 0.94,
+        }
+    }
+
+    /// Sender-side per-message CPU busy time.
+    pub fn send_overhead(&self, ep: &EndpointModel) -> SimTime {
+        SimTime::from_micros_f64(
+            self.send_fixed_us + self.send_cpu_us / ep.scalar_speed + ep.attach.message_us(ep.scalar_speed),
+        )
+    }
+
+    /// Receiver-side per-message CPU busy time.
+    pub fn recv_overhead(&self, ep: &EndpointModel) -> SimTime {
+        SimTime::from_micros_f64(
+            self.recv_fixed_us + self.recv_cpu_us / ep.scalar_speed + ep.attach.message_us(ep.scalar_speed),
+        )
+    }
+
+    /// Whether a payload of `bytes` uses the rendezvous path.
+    pub fn needs_rendezvous(&self, bytes: u64) -> bool {
+        self.rendezvous_bytes.is_some_and(|t| bytes > t as u64)
+    }
+
+    /// Sustained end-to-end streaming rate in bytes/s for large messages
+    /// between two endpoints over a wire of `wire_bw` bytes/s.
+    ///
+    /// The three pipeline stages (protocol CPU, attach path, wire) operate
+    /// concurrently via DMA, so the sustained rate is the minimum stage rate —
+    /// which is exactly why the Arndale's TCP and Open-MX bandwidths are
+    /// nearly identical (both USB-bound) while Tegra 2's differ hugely
+    /// (CPU-bound under TCP, wire-bound under Open-MX).
+    pub fn stream_rate_bytes(&self, s: &EndpointModel, r: &EndpointModel, wire_bw: f64) -> f64 {
+        let wire = wire_bw * self.wire_efficiency;
+        let cpu_side = |ep: &EndpointModel| {
+            if self.per_byte_cpu_ns <= 0.0 {
+                f64::INFINITY
+            } else {
+                ep.scalar_speed * 1e9 / self.per_byte_cpu_ns
+            }
+        };
+        wire.min(cpu_side(s))
+            .min(cpu_side(r))
+            .min(s.attach.rate_bytes(s.scalar_speed))
+            .min(r.attach.rate_bytes(r.scalar_speed))
+    }
+
+    /// One-way message time (the IMB ping-pong "latency" at size `bytes`)
+    /// between two endpoints across a path with total wire latency
+    /// `path_latency` and bandwidth `wire_bw` bytes/s, with no contention.
+    ///
+    /// Rendezvous messages pay an extra small-message round trip first.
+    pub fn one_way_time(
+        &self,
+        s: &EndpointModel,
+        r: &EndpointModel,
+        path_latency: SimTime,
+        wire_bw: f64,
+        bytes: u64,
+    ) -> SimTime {
+        let rate = self.stream_rate_bytes(s, r, wire_bw);
+        let serial = SimTime::from_secs_f64(bytes as f64 / rate);
+        let base = self.send_overhead(s) + path_latency + serial + self.recv_overhead(r);
+        if self.needs_rendezvous(bytes) {
+            // RTS (sender -> receiver) + CTS (receiver -> sender), both tiny.
+            let rts = self.send_overhead(s) + path_latency + self.recv_overhead(r);
+            let cts = self.send_overhead(r) + path_latency + self.recv_overhead(s);
+            rts + cts + base
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_arch::calib::cluster as targets;
+
+    fn tegra2_ep() -> EndpointModel {
+        EndpointModel::for_platform(&Platform::tegra2(), 1.0)
+    }
+
+    fn exynos_ep(f: f64) -> EndpointModel {
+        EndpointModel::for_platform(&Platform::exynos5250(), f)
+    }
+
+    /// 1 GbE with the ping-pong pair cabled through one switch: two link
+    /// traversals at 1.25 µs each.
+    const GBE: f64 = 125e6;
+    fn path() -> SimTime {
+        SimTime::from_micros_f64(2.5)
+    }
+
+    #[test]
+    fn tegra2_small_message_latencies_match_fig7a() {
+        let ep = tegra2_ep();
+        let tcp = ProtocolModel::tcp_ip().one_way_time(&ep, &ep, path(), GBE, 4);
+        let omx = ProtocolModel::open_mx().one_way_time(&ep, &ep, path(), GBE, 4);
+        assert!(targets::TEGRA2_TCP_LAT_US.check(tcp.as_micros_f64()), "TCP {}", tcp);
+        assert!(targets::TEGRA2_OMX_LAT_US.check(omx.as_micros_f64()), "OMX {}", omx);
+    }
+
+    #[test]
+    fn exynos_small_message_latencies_match_fig7b() {
+        let ep = exynos_ep(1.0);
+        let tcp = ProtocolModel::tcp_ip().one_way_time(&ep, &ep, path(), GBE, 4);
+        let omx = ProtocolModel::open_mx().one_way_time(&ep, &ep, path(), GBE, 4);
+        assert!(targets::EXYNOS_TCP_LAT_US.check(tcp.as_micros_f64()), "TCP {}", tcp);
+        assert!(targets::EXYNOS_OMX_LAT_US.check(omx.as_micros_f64()), "OMX {}", omx);
+    }
+
+    #[test]
+    fn exynos_latency_improves_about_10pct_at_1p4ghz() {
+        let lo = exynos_ep(1.0);
+        let hi = exynos_ep(1.4);
+        let tcp = ProtocolModel::tcp_ip();
+        let l_lo = tcp.one_way_time(&lo, &lo, path(), GBE, 4).as_micros_f64();
+        let l_hi = tcp.one_way_time(&hi, &hi, path(), GBE, 4).as_micros_f64();
+        let reduction = (l_lo - l_hi) / l_lo;
+        assert!(
+            targets::EXYNOS_LAT_GAIN_1P4.check(reduction),
+            "latency reduction {reduction}"
+        );
+    }
+
+    #[test]
+    fn tegra2_bandwidths_match_fig7d() {
+        let ep = tegra2_ep();
+        let tcp = ProtocolModel::tcp_ip().stream_rate_bytes(&ep, &ep, GBE) / 1e6;
+        let omx = ProtocolModel::open_mx().stream_rate_bytes(&ep, &ep, GBE) / 1e6;
+        assert!(targets::TEGRA2_TCP_BW_MBS.check(tcp), "TCP {tcp} MB/s");
+        assert!(targets::TEGRA2_OMX_BW_MBS.check(omx), "OMX {omx} MB/s");
+    }
+
+    #[test]
+    fn exynos_bandwidths_match_fig7ef() {
+        let e10 = exynos_ep(1.0);
+        let e14 = exynos_ep(1.4);
+        let tcp = ProtocolModel::tcp_ip().stream_rate_bytes(&e10, &e10, GBE) / 1e6;
+        let omx10 = ProtocolModel::open_mx().stream_rate_bytes(&e10, &e10, GBE) / 1e6;
+        let omx14 = ProtocolModel::open_mx().stream_rate_bytes(&e14, &e14, GBE) / 1e6;
+        assert!(targets::EXYNOS_TCP_BW_MBS.check(tcp), "TCP {tcp} MB/s");
+        assert!(targets::EXYNOS_OMX_BW_MBS.check(omx10), "OMX@1.0 {omx10} MB/s");
+        assert!(targets::EXYNOS_OMX_BW_MBS_1P4.check(omx14), "OMX@1.4 {omx14} MB/s");
+    }
+
+    #[test]
+    fn rendezvous_applies_only_above_threshold() {
+        let omx = ProtocolModel::open_mx();
+        assert!(!omx.needs_rendezvous(32 * 1024));
+        assert!(omx.needs_rendezvous(32 * 1024 + 1));
+        assert!(ProtocolModel::tcp_ip().rendezvous_bytes.is_none());
+    }
+
+    #[test]
+    fn one_way_time_is_monotonic_in_size() {
+        let ep = tegra2_ep();
+        let omx = ProtocolModel::open_mx();
+        let mut prev = SimTime::ZERO;
+        for bytes in [0u64, 64, 1024, 32 * 1024, 64 * 1024, 1 << 20] {
+            let t = omx.one_way_time(&ep, &ep, path(), GBE, bytes);
+            assert!(t >= prev, "{bytes}: {t} < {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn faster_cpu_never_hurts() {
+        let tcp = ProtocolModel::tcp_ip();
+        for bytes in [4u64, 4096, 1 << 20] {
+            let slow = exynos_ep(1.0);
+            let fast = exynos_ep(1.7);
+            assert!(
+                tcp.one_way_time(&fast, &fast, path(), GBE, bytes)
+                    <= tcp.one_way_time(&slow, &slow, path(), GBE, bytes)
+            );
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Cluster interconnect topologies and the contention-aware transfer model.
+//!
+//! Links are full duplex (one [`Link`] per direction) and carry a
+//! `next_free` reservation time; a transfer reserves every link on its route
+//! for its serialisation time, which is how head-of-line contention and the
+//! limited bisection of the Tibidabo tree emerge in application runs.
+//!
+//! Transfers are modelled cut-through: the head of the message pays each
+//! link's latency in sequence, and the serialisation time of the bottleneck
+//! link is paid once.
+
+use des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A unidirectional link.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Bandwidth in bytes/second.
+    pub bw_bytes: f64,
+    /// Per-traversal latency (propagation + switch port).
+    pub latency: SimTime,
+    /// Earliest time the link is free for a new transfer.
+    next_free: SimTime,
+}
+
+impl Link {
+    fn new(bw_bytes: f64, latency: SimTime) -> Link {
+        Link { bw_bytes, latency, next_free: SimTime::ZERO }
+    }
+}
+
+/// Topology of the cluster interconnect.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// All nodes on one non-blocking switch.
+    Star {
+        /// Number of nodes.
+        nodes: u32,
+    },
+    /// Hierarchical tree (Tibidabo, §4): `edges` edge switches, each serving
+    /// `nodes_per_edge` nodes, each trunked to a core switch with
+    /// `uplinks_per_edge` parallel node-rate links. With 4 edge switches of
+    /// 48 nodes and 4-link trunks this gives 192 nodes, a bisection of
+    /// 8 Gbit/s and a 3-switch-hop maximum — the paper's cluster.
+    Tree {
+        /// Number of edge switches.
+        edges: u32,
+        /// Nodes attached to each edge switch.
+        nodes_per_edge: u32,
+        /// Parallel links in each edge-to-core trunk.
+        uplinks_per_edge: u32,
+    },
+}
+
+impl TopologySpec {
+    /// The Tibidabo interconnect: 192 nodes, 48-port GbE edge switches,
+    /// 8 Gbit/s bisection, at most 3 switch hops.
+    pub fn tibidabo() -> TopologySpec {
+        TopologySpec::Tree { edges: 4, nodes_per_edge: 48, uplinks_per_edge: 4 }
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> u32 {
+        match *self {
+            TopologySpec::Star { nodes } => nodes,
+            TopologySpec::Tree { edges, nodes_per_edge, .. } => edges * nodes_per_edge,
+        }
+    }
+}
+
+/// The interconnect: topology + per-link reservation state.
+#[derive(Clone, Debug)]
+pub struct Network {
+    spec: TopologySpec,
+    /// Wire bandwidth of a node link, bytes/s.
+    pub link_bw_bytes: f64,
+    links: Vec<Link>,
+}
+
+/// Index layout within `links`:
+/// * node links: `2*i` = node→switch (up), `2*i + 1` = switch→node (down);
+/// * trunk links (Tree only): after all node links, per edge switch
+///   `uplinks_per_edge` up then `uplinks_per_edge` down.
+const NODE_UP: usize = 0;
+const NODE_DOWN: usize = 1;
+
+impl Network {
+    /// Build a network with `link_bw_bytes` node links and `link_latency` per
+    /// traversal (switch port + cable).
+    pub fn new(spec: TopologySpec, link_bw_bytes: f64, link_latency: SimTime) -> Network {
+        let n = spec.nodes() as usize;
+        let mut links = Vec::new();
+        for _ in 0..n {
+            links.push(Link::new(link_bw_bytes, link_latency)); // up
+            links.push(Link::new(link_bw_bytes, link_latency)); // down
+        }
+        if let TopologySpec::Tree { edges, uplinks_per_edge, .. } = spec {
+            for _ in 0..edges {
+                for _ in 0..(2 * uplinks_per_edge) {
+                    links.push(Link::new(link_bw_bytes, link_latency));
+                }
+            }
+        }
+        Network { spec, link_bw_bytes, links }
+    }
+
+    /// Gigabit-Ethernet network (125 MB/s links, 1.25 µs per traversal).
+    pub fn gbe(spec: TopologySpec) -> Network {
+        Network::new(spec, 125e6, SimTime::from_micros_f64(1.25))
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.spec.nodes()
+    }
+
+    /// The topology.
+    pub fn spec(&self) -> TopologySpec {
+        self.spec
+    }
+
+    /// Number of switch hops between two nodes (0 for self-sends).
+    pub fn hops(&self, src: u32, dst: u32) -> u32 {
+        if src == dst {
+            return 0;
+        }
+        match self.spec {
+            TopologySpec::Star { .. } => 1,
+            TopologySpec::Tree { nodes_per_edge, .. } => {
+                if src / nodes_per_edge == dst / nodes_per_edge {
+                    1
+                } else {
+                    3
+                }
+            }
+        }
+    }
+
+    /// Route from `src` to `dst` as link indices.
+    fn route(&self, src: u32, dst: u32) -> Vec<usize> {
+        debug_assert!(src < self.nodes() && dst < self.nodes());
+        if src == dst {
+            return Vec::new();
+        }
+        match self.spec {
+            TopologySpec::Star { .. } => {
+                vec![2 * src as usize + NODE_UP, 2 * dst as usize + NODE_DOWN]
+            }
+            TopologySpec::Tree { edges, nodes_per_edge, uplinks_per_edge } => {
+                let se = src / nodes_per_edge;
+                let de = dst / nodes_per_edge;
+                if se == de {
+                    return vec![2 * src as usize + NODE_UP, 2 * dst as usize + NODE_DOWN];
+                }
+                let trunk_base = 2 * (edges * nodes_per_edge) as usize;
+                let per_edge = 2 * uplinks_per_edge as usize;
+                // Deterministic spread of flows across trunk members.
+                let pick = ((src ^ dst) % uplinks_per_edge) as usize;
+                let up = trunk_base + se as usize * per_edge + pick;
+                let down = trunk_base + de as usize * per_edge + uplinks_per_edge as usize + pick;
+                vec![2 * src as usize + NODE_UP, up, down, 2 * dst as usize + NODE_DOWN]
+            }
+        }
+    }
+
+    /// Total path latency (no queueing, no serialisation) between two nodes.
+    pub fn path_latency(&self, src: u32, dst: u32) -> SimTime {
+        self.route(src, dst).iter().map(|&l| self.links[l].latency).sum()
+    }
+
+    /// Transmit `wire_bytes` from `src` to `dst`, departing the source NIC at
+    /// `depart`. Reserves every link on the route and returns the arrival
+    /// time of the last byte at the destination NIC.
+    ///
+    /// `wire_bytes` should already include protocol framing (i.e. divide the
+    /// payload by the protocol's wire efficiency).
+    pub fn transmit(&mut self, depart: SimTime, src: u32, dst: u32, wire_bytes: u64) -> SimTime {
+        if src == dst {
+            return depart;
+        }
+        let route = self.route(src, dst);
+        let mut head = depart;
+        let mut bottleneck = SimTime::ZERO;
+        for &li in &route {
+            let link = &mut self.links[li];
+            let serial = SimTime::from_secs_f64(wire_bytes as f64 / link.bw_bytes);
+            let start = head.max(link.next_free);
+            link.next_free = start + serial;
+            head = start + link.latency;
+            bottleneck = bottleneck.max(serial);
+        }
+        head + bottleneck
+    }
+
+    /// Reset all link reservations (between independent experiments).
+    pub fn reset(&mut self) {
+        for l in &mut self.links {
+            l.next_free = SimTime::ZERO;
+        }
+    }
+
+    /// Bisection bandwidth in bytes/s (sum of link rates crossing the
+    /// narrowest cut splitting the nodes in half).
+    pub fn bisection_bytes(&self) -> f64 {
+        match self.spec {
+            TopologySpec::Star { nodes } => (nodes / 2) as f64 * self.link_bw_bytes,
+            TopologySpec::Tree { edges, uplinks_per_edge, .. } => {
+                (edges / 2) as f64 * uplinks_per_edge as f64 * self.link_bw_bytes
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tibidabo_spec_matches_section_4() {
+        let spec = TopologySpec::tibidabo();
+        assert_eq!(spec.nodes(), 192);
+        let net = Network::gbe(spec);
+        // "a bisection bandwidth of 8 Gb/s"
+        assert!((net.bisection_bytes() - 8e9 / 8.0).abs() < 1.0);
+        // "a maximum latency of three hops"
+        let mut max_hops = 0;
+        for (s, d) in [(0u32, 1u32), (0, 47), (0, 48), (0, 191)] {
+            max_hops = max_hops.max(net.hops(s, d));
+        }
+        assert_eq!(max_hops, 3);
+        assert_eq!(net.hops(5, 5), 0);
+        assert_eq!(net.hops(0, 47), 1); // same edge switch
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let mut net = Network::gbe(TopologySpec::Star { nodes: 4 });
+        let t0 = SimTime::from_micros(10);
+        assert_eq!(net.transmit(t0, 2, 2, 1 << 20), t0);
+    }
+
+    #[test]
+    fn uncontended_transfer_time_is_latency_plus_serialisation() {
+        let mut net = Network::gbe(TopologySpec::Star { nodes: 2 });
+        let arrival = net.transmit(SimTime::ZERO, 0, 1, 125_000); // 1 ms of wire
+        // 2 × 1.25 µs latency + 1 ms serialisation.
+        let expect = SimTime::from_micros_f64(2.5) + SimTime::from_millis(1);
+        assert_eq!(arrival, expect);
+    }
+
+    #[test]
+    fn back_to_back_transfers_queue_on_the_up_link() {
+        let mut net = Network::gbe(TopologySpec::Star { nodes: 3 });
+        let a1 = net.transmit(SimTime::ZERO, 0, 1, 125_000);
+        // Second message from the same source departs at t=0 too: it must
+        // wait for the first to clear the up link.
+        let a2 = net.transmit(SimTime::ZERO, 0, 2, 125_000);
+        assert!(a2 > a1);
+        assert!(a2 >= SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_contend() {
+        let mut net = Network::gbe(TopologySpec::Star { nodes: 4 });
+        let a1 = net.transmit(SimTime::ZERO, 0, 1, 125_000);
+        let a2 = net.transmit(SimTime::ZERO, 2, 3, 125_000);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn cross_edge_routes_pay_more_latency() {
+        let net = Network::gbe(TopologySpec::tibidabo());
+        let near = net.path_latency(0, 1);
+        let far = net.path_latency(0, 100);
+        assert!(far > near);
+        // 4 link traversals vs 2.
+        assert_eq!(far.as_nanos(), 2 * near.as_nanos());
+    }
+
+    #[test]
+    fn trunk_contention_limits_cross_bisection_flows() {
+        // 8 concurrent cross-edge flows from edge 0 to edge 1 share 4 uplinks.
+        let mut net = Network::gbe(TopologySpec::tibidabo());
+        let bytes = 1_250_000u64; // 10 ms serialisation each
+        let mut last = SimTime::ZERO;
+        for i in 0..8u32 {
+            let arr = net.transmit(SimTime::ZERO, i, 48 + i, bytes);
+            last = last.max(arr);
+        }
+        // With 4 uplinks, 8 flows need at least two serialisation rounds.
+        assert!(last >= SimTime::from_millis(20), "{last}");
+        net.reset();
+        // After reset, a single flow is fast again.
+        let arr = net.transmit(SimTime::ZERO, 0, 48, bytes);
+        assert!(arr < SimTime::from_millis(11));
+    }
+
+    #[test]
+    fn transfers_never_arrive_before_departure() {
+        let mut net = Network::gbe(TopologySpec::tibidabo());
+        let mut t = SimTime::ZERO;
+        for i in 0..50u32 {
+            let src = i % 192;
+            let dst = (i * 37 + 11) % 192;
+            let arr = net.transmit(t, src, dst, (i as u64 + 1) * 1000);
+            if src != dst {
+                assert!(arr > t);
+            }
+            t += SimTime::from_micros(10);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Message payloads.
+//!
+//! Applications run in two modes (DESIGN.md §4.3): *Execute* sends real data
+//! (`Msg::from_f64s` etc.), *Model* sends size-only messages. Both take the
+//! same timing path; only the presence of bytes differs.
+
+use bytes::Bytes;
+
+/// A message payload: a byte count for timing, and optionally the bytes
+/// themselves.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Msg {
+    /// Payload size in bytes (drives all timing).
+    pub bytes: u64,
+    /// The data, when running in Execute mode. `Bytes` makes broadcast
+    /// fan-out cheap (reference-counted, no copies).
+    pub data: Option<Bytes>,
+}
+
+impl Msg {
+    /// An empty message (synchronisation only).
+    pub fn empty() -> Msg {
+        Msg { bytes: 0, data: None }
+    }
+
+    /// A size-only message (Model mode).
+    pub fn size_only(bytes: u64) -> Msg {
+        Msg { bytes, data: None }
+    }
+
+    /// A message carrying raw bytes.
+    pub fn from_bytes(data: impl Into<Bytes>) -> Msg {
+        let data = data.into();
+        Msg { bytes: data.len() as u64, data: Some(data) }
+    }
+
+    /// A message carrying a slice of `f64`s (little-endian).
+    pub fn from_f64s(values: &[f64]) -> Msg {
+        let mut buf = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Msg::from_bytes(buf)
+    }
+
+    /// A message carrying a slice of `u64`s (little-endian).
+    pub fn from_u64s(values: &[u64]) -> Msg {
+        let mut buf = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Msg::from_bytes(buf)
+    }
+
+    /// Decode the payload as `f64`s. Panics if the message is size-only or
+    /// not a multiple of 8 bytes.
+    pub fn to_f64s(&self) -> Vec<f64> {
+        let data = self.data.as_ref().expect("size-only message has no data");
+        assert!(data.len().is_multiple_of(8), "payload is not a sequence of f64");
+        data.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Decode the payload as `u64`s.
+    pub fn to_u64s(&self) -> Vec<u64> {
+        let data = self.data.as_ref().expect("size-only message has no data");
+        assert!(data.len().is_multiple_of(8), "payload is not a sequence of u64");
+        data.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip() {
+        let v = vec![1.5, -2.25, 0.0, f64::MAX];
+        let m = Msg::from_f64s(&v);
+        assert_eq!(m.bytes, 32);
+        assert_eq!(m.to_f64s(), v);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let v = vec![0u64, 42, u64::MAX];
+        assert_eq!(Msg::from_u64s(&v).to_u64s(), v);
+    }
+
+    #[test]
+    fn size_only_reports_bytes_without_data() {
+        let m = Msg::size_only(1 << 20);
+        assert_eq!(m.bytes, 1 << 20);
+        assert!(m.data.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "size-only")]
+    fn decoding_size_only_panics() {
+        Msg::size_only(8).to_f64s();
+    }
+
+    #[test]
+    fn broadcast_clone_shares_data() {
+        let m = Msg::from_f64s(&[1.0; 1000]);
+        let c = m.clone();
+        // Bytes clones share the allocation: same pointer.
+        assert_eq!(m.data.as_ref().unwrap().as_ptr(), c.data.as_ref().unwrap().as_ptr());
+    }
+}

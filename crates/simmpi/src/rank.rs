@@ -1,0 +1,570 @@
+//! The per-rank API: point-to-point messaging, modelled compute, and the job
+//! runner.
+
+use std::sync::Arc;
+
+use des::{Context, Engine, SimError, SimTime};
+use parking_lot::Mutex;
+use soc_arch::{kernel_time, WorkProfile};
+
+use crate::payload::Msg;
+use crate::world::{matches, Delivery, InMsg, JobSpec, NetStats, World};
+
+/// A rank's handle to the simulated job. Passed to the rank body closure by
+/// [`run_mpi`].
+pub struct Rank<'a> {
+    ctx: &'a Context,
+    rank: u32,
+    world: Arc<World>,
+}
+
+/// Result of a completed job.
+#[derive(Debug)]
+pub struct MpiRun<R> {
+    /// Virtual wall-clock time of the job (last rank to finish).
+    pub elapsed: SimTime,
+    /// Per-rank return values, in rank order.
+    pub results: Vec<R>,
+    /// Per-rank modelled compute-busy time.
+    pub compute_busy: Vec<SimTime>,
+    /// Per-rank communication (protocol CPU) busy time.
+    pub comm_busy: Vec<SimTime>,
+    /// Network statistics.
+    pub net: NetStats,
+}
+
+impl<R> MpiRun<R> {
+    /// Average fraction of wall-clock the ranks spent in modelled compute.
+    pub fn compute_utilisation(&self) -> f64 {
+        if self.elapsed == SimTime::ZERO || self.compute_busy.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.compute_busy.iter().map(|t| t.as_secs_f64()).sum();
+        total / (self.compute_busy.len() as f64 * self.elapsed.as_secs_f64())
+    }
+}
+
+/// Run an MPI job: every rank executes `body` on its own simulated process.
+///
+/// Communication costs come from the job's protocol/topology models; compute
+/// costs from [`Rank::compute`]. The run is bit-deterministic.
+pub fn run_mpi<R, F>(spec: JobSpec, body: F) -> Result<MpiRun<R>, SimError>
+where
+    R: Send + 'static,
+    F: Fn(&mut Rank<'_>) -> R + Send + Sync + 'static,
+{
+    let world = Arc::new(World::new(spec));
+    let nranks = world.spec.ranks;
+    let body = Arc::new(body);
+    let results: Arc<Mutex<Vec<Option<R>>>> =
+        Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
+
+    let mut engine = Engine::new();
+    for r in 0..nranks {
+        let world_for_rank = Arc::clone(&world);
+        let body = Arc::clone(&body);
+        let results = Arc::clone(&results);
+        let pid = engine.spawn(format!("rank{r}"), move |ctx| {
+            let mut rank = Rank { ctx, rank: r, world: world_for_rank };
+            let out = body(&mut rank);
+            results.lock()[r as usize] = Some(out);
+        });
+        world.state.lock().ranks[r as usize].pid = Some(pid);
+    }
+    let report = engine.run()?;
+
+    let mut st = world.state.lock();
+    let compute_busy = st.ranks.iter().map(|r| r.compute_busy).collect();
+    let comm_busy = st.ranks.iter().map(|r| r.comm_busy).collect();
+    let net = std::mem::take(&mut st.stats);
+    drop(st);
+    let results = Arc::try_unwrap(results)
+        .unwrap_or_else(|_| panic!("results still shared"))
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("rank did not produce a result"))
+        .collect();
+    Ok(MpiRun { elapsed: report.end_time, results, compute_busy, comm_busy, net })
+}
+
+impl Rank<'_> {
+    /// This rank's id.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn size(&self) -> u32 {
+        self.world.spec.ranks
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// The job specification.
+    pub fn spec(&self) -> &JobSpec {
+        &self.world.spec
+    }
+
+    /// Model the execution of `work` on this rank's share of the node
+    /// (advances virtual time by the roofline estimate).
+    pub fn compute(&mut self, work: &WorkProfile) {
+        let spec = &self.world.spec;
+        let t = kernel_time(&spec.platform.soc, spec.freq_ghz, spec.cores_per_rank(), work);
+        self.compute_secs(t.total_s);
+    }
+
+    /// Model `seconds` of computation.
+    pub fn compute_secs(&mut self, seconds: f64) {
+        let dt = SimTime::from_secs_f64(seconds);
+        self.ctx.advance(dt);
+        self.world.state.lock().ranks[self.rank as usize].compute_busy += dt;
+    }
+
+    fn tally_comm(&self, dt: SimTime) {
+        self.world.state.lock().ranks[self.rank as usize].comm_busy += dt;
+    }
+
+    /// Blocking send of `msg` to rank `dst` with `tag`.
+    ///
+    /// Eager messages return once the payload has been injected; rendezvous
+    /// messages (Open-MX above 32 KiB) block until the receiver has cleared
+    /// the transfer, like `MPI_Send` beyond the eager threshold.
+    pub fn send(&mut self, dst: u32, tag: u32, msg: Msg) {
+        assert!(dst < self.size(), "send to invalid rank {dst}");
+        assert!(dst != self.rank, "self-sends are not supported; restructure the algorithm");
+        let world = Arc::clone(&self.world);
+        let proto = world.spec.proto;
+        let o_s = proto.send_overhead(&world.ep);
+        self.ctx.advance(o_s);
+        self.tally_comm(o_s);
+
+        let bytes = msg.bytes;
+        let src_node = world.spec.node_of(self.rank);
+        let dst_node = world.spec.node_of(dst);
+
+        if proto.needs_rendezvous(bytes) {
+            // RTS: a minimal frame to the receiver.
+            let (rts_arrival, my_pid) = {
+                let mut st = world.state.lock();
+                let depart = self.ctx.now();
+                let rts_arrival = st.net.transmit(depart, src_node, dst_node, 128);
+                st.stats.messages += 1;
+                st.stats.payload_bytes += bytes;
+                let my_pid = st.ranks[self.rank as usize].pid.unwrap();
+                let dst_state = &mut st.ranks[dst as usize];
+                dst_state.mailbox.push_back(InMsg {
+                    src: self.rank,
+                    tag,
+                    msg,
+                    delivery: Delivery::Rendezvous { sender_pid: my_pid, rts_arrival },
+                });
+                if let Some(f) = dst_state.pending {
+                    if matches(&f, self.rank, tag) {
+                        dst_state.pending = None;
+                        let pid = dst_state.pid.unwrap();
+                        let at = self.ctx.now().max(rts_arrival);
+                        drop(st);
+                        self.ctx.wake_at(pid, at);
+                        // Park below.
+                        (rts_arrival, my_pid)
+                    } else {
+                        (rts_arrival, my_pid)
+                    }
+                } else {
+                    (rts_arrival, my_pid)
+                }
+            };
+            let _ = (rts_arrival, my_pid);
+            // Wait until the receiver completes the transfer and wakes us.
+            self.ctx.park();
+            return;
+        }
+
+        // Eager path.
+        let injection;
+        {
+            let mut st = world.state.lock();
+            let depart = self.ctx.now();
+            let wire = world.framed(bytes);
+            let link_bw = st.net.link_bw_bytes;
+            let arrival =
+                st.net.transmit(depart, src_node, dst_node, wire) + world.endpoint_extra_serial(bytes, link_bw);
+            st.stats.messages += 1;
+            st.stats.payload_bytes += bytes;
+            let dst_state = &mut st.ranks[dst as usize];
+            dst_state.mailbox.push_back(InMsg {
+                src: self.rank,
+                tag,
+                msg,
+                delivery: Delivery::Eager { available_at: arrival },
+            });
+            let wake = if let Some(f) = dst_state.pending {
+                if matches(&f, self.rank, tag) {
+                    dst_state.pending = None;
+                    Some((dst_state.pid.unwrap(), self.ctx.now().max(arrival)))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            drop(st);
+            if let Some((pid, at)) = wake {
+                self.ctx.wake_at(pid, at);
+            }
+            injection = SimTime::from_secs_f64(bytes as f64 / world.cpu_stage_rate());
+        }
+        // The sender's CPU is busy injecting the payload.
+        self.ctx.advance(injection);
+        self.tally_comm(injection);
+    }
+
+    /// Blocking receive matching exactly `(src, tag)`.
+    pub fn recv(&mut self, src: u32, tag: u32) -> Msg {
+        self.recv_filtered(Some(src), Some(tag)).2
+    }
+
+    /// Blocking receive from any source with a given tag. Returns
+    /// `(src, tag, msg)`.
+    pub fn recv_any(&mut self, tag: u32) -> (u32, u32, Msg) {
+        self.recv_filtered(None, Some(tag))
+    }
+
+    /// Blocking receive with optional source/tag filters.
+    pub fn recv_filtered(&mut self, src: Option<u32>, tag: Option<u32>) -> (u32, u32, Msg) {
+        let world = Arc::clone(&self.world);
+        let proto = world.spec.proto;
+        let filter = (src, tag);
+        loop {
+            let found = {
+                let mut st = world.state.lock();
+                let me = &mut st.ranks[self.rank as usize];
+                me.pending = None;
+                match me.mailbox.iter().position(|m| matches(&filter, m.src, m.tag)) {
+                    Some(idx) => {
+                        let now = self.ctx.now();
+                        match me.mailbox[idx].delivery {
+                            Delivery::Eager { available_at } => {
+                                if available_at <= now {
+                                    Some(me.mailbox.remove(idx).unwrap())
+                                } else {
+                                    // Wait for the wire, then re-scan.
+                                    drop(st);
+                                    self.ctx.advance_to(available_at);
+                                    continue;
+                                }
+                            }
+                            Delivery::Rendezvous { .. } => Some(me.mailbox.remove(idx).unwrap()),
+                        }
+                    }
+                    None => {
+                        me.pending = Some(filter);
+                        None
+                    }
+                }
+            };
+            match found {
+                Some(m) => match m.delivery {
+                    Delivery::Eager { .. } => {
+                        let o_r = proto.recv_overhead(&world.ep);
+                        self.ctx.advance(o_r);
+                        self.tally_comm(o_r);
+                        return (m.src, m.tag, m.msg);
+                    }
+                    Delivery::Rendezvous { sender_pid, rts_arrival } => {
+                        return self.complete_rendezvous(m.src, m.tag, m.msg, sender_pid, rts_arrival);
+                    }
+                },
+                None => {
+                    // Park until a sender delivers a matching message.
+                    self.ctx.park();
+                }
+            }
+        }
+    }
+
+    /// Receiver side of the rendezvous protocol: process the RTS, return a
+    /// CTS, clear the bulk transfer, wake the sender.
+    fn complete_rendezvous(
+        &mut self,
+        src: u32,
+        tag: u32,
+        msg: Msg,
+        sender_pid: des::Pid,
+        rts_arrival: SimTime,
+    ) -> (u32, u32, Msg) {
+        let world = Arc::clone(&self.world);
+        let proto = world.spec.proto;
+        // Process the RTS once it has arrived.
+        self.ctx.advance_to(rts_arrival);
+        let o_r = proto.recv_overhead(&world.ep);
+        self.ctx.advance(o_r);
+        self.tally_comm(o_r);
+
+        let src_node = world.spec.node_of(src);
+        let dst_node = world.spec.node_of(self.rank);
+        let (data_arrival, sender_done) = {
+            let mut st = world.state.lock();
+            let now = self.ctx.now();
+            // CTS travels back; the sender starts the bulk transfer on its
+            // arrival.
+            let cts_arrival = st.net.transmit(now, dst_node, src_node, 128)
+                + proto.send_overhead(&world.ep)
+                + proto.recv_overhead(&world.ep);
+            let wire = world.framed(msg.bytes);
+            let link_bw = st.net.link_bw_bytes;
+            let data_arrival = st.net.transmit(cts_arrival, src_node, dst_node, wire)
+                + world.endpoint_extra_serial(msg.bytes, link_bw);
+            let injection =
+                SimTime::from_secs_f64(msg.bytes as f64 / world.cpu_stage_rate());
+            let sender_done = (cts_arrival + injection).max(now);
+            (data_arrival, sender_done)
+        };
+        self.ctx.wake_at(sender_pid, sender_done);
+        self.ctx.advance_to(data_arrival);
+        let o_r2 = proto.recv_overhead(&world.ep);
+        self.ctx.advance(o_r2);
+        self.tally_comm(o_r2);
+        (src, tag, msg)
+    }
+
+    /// Combined send-then-receive (deadlock-free pairwise exchange): sends to
+    /// `dst` and receives the matching message from `from`.
+    ///
+    /// Eager sends never block, so everyone sends first and the exchange is
+    /// fully parallel. A rendezvous-sized send *does* block until the
+    /// receiver clears it, so there the lower rank sends first and the
+    /// higher rank receives first (a chain that always resolves).
+    pub fn sendrecv(&mut self, dst: u32, send_tag: u32, msg: Msg, from: u32, recv_tag: u32) -> Msg {
+        let rendezvous = self.world.spec.proto.needs_rendezvous(msg.bytes);
+        if !rendezvous || self.rank < from {
+            self.send(dst, send_tag, msg);
+            self.recv(from, recv_tag)
+        } else {
+            let m = self.recv(from, recv_tag);
+            self.send(dst, send_tag, msg);
+            m
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_arch::Platform;
+
+    fn spec(n: u32) -> JobSpec {
+        JobSpec::new(Platform::tegra2(), n)
+    }
+
+    #[test]
+    fn two_ranks_exchange_a_message() {
+        let run = run_mpi(spec(2), |r| {
+            if r.rank() == 0 {
+                r.send(1, 7, Msg::from_f64s(&[1.0, 2.0, 3.0]));
+                0.0
+            } else {
+                let m = r.recv(0, 7);
+                m.to_f64s().iter().sum::<f64>()
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results, vec![0.0, 6.0]);
+        assert!(run.elapsed > SimTime::ZERO);
+        assert_eq!(run.net.messages, 1);
+        assert_eq!(run.net.payload_bytes, 24);
+    }
+
+    #[test]
+    fn small_message_latency_matches_protocol_model() {
+        // One-way 0-byte message on Tegra 2 + TCP should land near 100 µs.
+        let run = run_mpi(spec(2), |r| {
+            if r.rank() == 0 {
+                r.send(1, 0, Msg::empty());
+            } else {
+                r.recv(0, 0);
+            }
+            r.now().as_micros_f64()
+        })
+        .unwrap();
+        let recv_done = run.results[1];
+        assert!((85.0..115.0).contains(&recv_done), "latency {recv_done} us");
+    }
+
+    #[test]
+    fn recv_posted_before_send_works() {
+        // Receiver arrives first and parks.
+        let run = run_mpi(spec(2), |r| {
+            if r.rank() == 1 {
+                let m = r.recv(0, 3);
+                m.bytes
+            } else {
+                r.compute_secs(0.01); // make the receiver wait
+                r.send(1, 3, Msg::size_only(1024));
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results, vec![0, 1024]);
+    }
+
+    #[test]
+    fn messages_from_same_sender_arrive_in_order() {
+        let run = run_mpi(spec(2), |r| {
+            if r.rank() == 0 {
+                for i in 0..5u64 {
+                    r.send(1, 9, Msg::from_u64s(&[i]));
+                }
+                Vec::new()
+            } else {
+                (0..5).map(|_| r.recv(0, 9).to_u64s()[0]).collect::<Vec<u64>>()
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results[1], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tag_matching_selects_correct_message() {
+        let run = run_mpi(spec(2), |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, Msg::from_u64s(&[111]));
+                r.send(1, 2, Msg::from_u64s(&[222]));
+                0
+            } else {
+                // Receive tag 2 first even though tag 1 arrived first.
+                let b = r.recv(0, 2).to_u64s()[0];
+                let a = r.recv(0, 1).to_u64s()[0];
+                assert_eq!((a, b), (111, 222));
+                1
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results[1], 1);
+    }
+
+    #[test]
+    fn recv_any_reports_source() {
+        let run = run_mpi(spec(3), |r| {
+            if r.rank() == 0 {
+                let (s1, _, _) = r.recv_any(5);
+                let (s2, _, _) = r.recv_any(5);
+                (s1 + s2) as u64
+            } else {
+                r.send(0, 5, Msg::empty());
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results[0], 3); // sources 1 and 2 in some order
+    }
+
+    #[test]
+    fn rendezvous_large_message_round_trips() {
+        let spec = JobSpec::new(Platform::tegra2(), 2).with_proto(netsim::ProtocolModel::open_mx());
+        let payload: Vec<f64> = (0..10_000).map(|i| i as f64).collect(); // 80 KB > 32 KiB threshold
+        let expect_sum: f64 = payload.iter().sum();
+        let run = run_mpi(spec, move |r| {
+            if r.rank() == 0 {
+                r.send(1, 0, Msg::from_f64s(&payload));
+                0.0
+            } else {
+                r.recv(0, 0).to_f64s().iter().sum::<f64>()
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results[1], expect_sum);
+    }
+
+    #[test]
+    fn rendezvous_blocks_sender_until_receiver_posts() {
+        let spec = JobSpec::new(Platform::tegra2(), 2).with_proto(netsim::ProtocolModel::open_mx());
+        let run = run_mpi(spec, |r| {
+            if r.rank() == 0 {
+                r.send(1, 0, Msg::size_only(1 << 20));
+                r.now().as_secs_f64()
+            } else {
+                r.compute_secs(0.5); // receiver is late
+                r.recv(0, 0);
+                r.now().as_secs_f64()
+            }
+        })
+        .unwrap();
+        // The sender cannot have finished before the receiver posted at 0.5s.
+        assert!(run.results[0] > 0.5, "sender returned at {}", run.results[0]);
+    }
+
+    #[test]
+    fn eager_send_does_not_block_on_receiver() {
+        let run = run_mpi(spec(2), |r| {
+            if r.rank() == 0 {
+                r.send(1, 0, Msg::size_only(512));
+                r.now().as_secs_f64()
+            } else {
+                r.compute_secs(1.0);
+                r.recv(0, 0);
+                0.0
+            }
+        })
+        .unwrap();
+        assert!(run.results[0] < 0.01, "eager sender blocked: {}", run.results[0]);
+    }
+
+    #[test]
+    fn sendrecv_exchanges_without_deadlock() {
+        let run = run_mpi(spec(2), |r| {
+            let partner = 1 - r.rank();
+            let m = r.sendrecv(partner, 4, Msg::from_u64s(&[r.rank() as u64]), partner, 4);
+            m.to_u64s()[0]
+        })
+        .unwrap();
+        assert_eq!(run.results, vec![1, 0]);
+    }
+
+    #[test]
+    fn compute_accumulates_busy_time() {
+        let run = run_mpi(spec(2), |r| {
+            r.compute_secs(0.25);
+            r.rank()
+        })
+        .unwrap();
+        for busy in &run.compute_busy {
+            assert_eq!(*busy, SimTime::from_millis(250));
+        }
+        assert!(run.compute_utilisation() > 0.99);
+    }
+
+    #[test]
+    fn unmatched_recv_deadlocks_with_diagnostic() {
+        let err = run_mpi(spec(2), |r| {
+            if r.rank() == 1 {
+                r.recv(0, 99); // never sent
+            }
+        })
+        .unwrap_err();
+        match err {
+            SimError::Deadlock { parked, .. } => assert_eq!(parked, vec!["rank1".to_string()]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn determinism_same_run_same_times() {
+        let go = || {
+            run_mpi(spec(4), |r| {
+                let next = (r.rank() + 1) % r.size();
+                let prev = (r.rank() + r.size() - 1) % r.size();
+                let m = r.sendrecv(next, 1, Msg::size_only(4096), prev, 1);
+                (r.now().as_nanos(), m.bytes)
+            })
+            .unwrap()
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+}

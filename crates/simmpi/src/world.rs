@@ -1,0 +1,273 @@
+//! The shared state of a simulated MPI job: rank mailboxes, the network, and
+//! message-matching/rendezvous machinery.
+//!
+//! Lock discipline: the world mutex is only ever held between two yields of
+//! the same process (never across `advance`/`park`), and because the DES
+//! engine runs exactly one process at a time the mailbox protocol is
+//! race-free — e.g. a receiver that publishes a pending-receive and then
+//! parks cannot be observed "pending but not yet parked" by any sender.
+
+use std::collections::VecDeque;
+
+use des::{Pid, SimTime};
+use netsim::{EndpointModel, Network, ProtocolModel, TopologySpec};
+use parking_lot::Mutex;
+use soc_arch::Platform;
+
+use crate::payload::Msg;
+
+/// Per-frame overhead added to every wire transfer (Ethernet header + FCS +
+/// IFG, amortised).
+const FRAME_BYTES: u64 = 64;
+
+/// Specification of a simulated MPI job.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Node platform (homogeneous cluster).
+    pub platform: Platform,
+    /// CPU frequency of every node, GHz.
+    pub freq_ghz: f64,
+    /// Protocol stack (TCP/IP or Open-MX).
+    pub proto: ProtocolModel,
+    /// Interconnect topology.
+    pub topology: TopologySpec,
+    /// Number of MPI ranks.
+    pub ranks: u32,
+    /// Ranks placed on each node (1 = one rank per node using all cores).
+    pub ranks_per_node: u32,
+}
+
+impl JobSpec {
+    /// A job of `ranks` single-rank nodes on a star-switched network with
+    /// the platform's defaults (fmax, TCP/IP).
+    pub fn new(platform: Platform, ranks: u32) -> JobSpec {
+        let freq = platform.soc.fmax_ghz;
+        JobSpec {
+            platform,
+            freq_ghz: freq,
+            proto: ProtocolModel::tcp_ip(),
+            topology: TopologySpec::Star { nodes: ranks },
+            ranks,
+            ranks_per_node: 1,
+        }
+    }
+
+    /// Builder: set the protocol.
+    pub fn with_proto(mut self, proto: ProtocolModel) -> JobSpec {
+        self.proto = proto;
+        self
+    }
+
+    /// Builder: set the CPU frequency (GHz).
+    pub fn with_freq(mut self, f: f64) -> JobSpec {
+        self.freq_ghz = f;
+        self
+    }
+
+    /// Builder: set the topology.
+    pub fn with_topology(mut self, t: TopologySpec) -> JobSpec {
+        self.topology = t;
+        self
+    }
+
+    /// Builder: set ranks per node.
+    pub fn with_ranks_per_node(mut self, rpn: u32) -> JobSpec {
+        assert!(rpn >= 1);
+        self.ranks_per_node = rpn;
+        self
+    }
+
+    /// Node hosting a rank.
+    pub fn node_of(&self, rank: u32) -> u32 {
+        rank / self.ranks_per_node
+    }
+
+    /// Cores available to each rank.
+    pub fn cores_per_rank(&self) -> u32 {
+        (self.platform.soc.cores / self.ranks_per_node).max(1)
+    }
+
+    /// Validate the spec (enough nodes, supported frequency).
+    pub fn validate(&self) -> Result<(), String> {
+        let nodes_needed = self.ranks.div_ceil(self.ranks_per_node);
+        if nodes_needed > self.topology.nodes() {
+            return Err(format!(
+                "{} ranks at {} per node need {} nodes; topology has {}",
+                self.ranks,
+                self.ranks_per_node,
+                nodes_needed,
+                self.topology.nodes()
+            ));
+        }
+        if self.ranks == 0 {
+            return Err("job needs at least one rank".into());
+        }
+        Ok(())
+    }
+}
+
+/// How an in-flight message is delivered.
+#[derive(Debug)]
+pub(crate) enum Delivery {
+    /// Eager: data is on the wire; consumable once `available_at` passes.
+    Eager {
+        /// Arrival time of the last byte at the destination NIC.
+        available_at: SimTime,
+    },
+    /// Rendezvous: only the RTS has been sent; the sender is parked waiting
+    /// for the receiver to clear the transfer.
+    Rendezvous {
+        /// Parked sender to wake when the transfer completes.
+        sender_pid: Pid,
+        /// Arrival time of the RTS at the receiver.
+        rts_arrival: SimTime,
+    },
+}
+
+/// An in-flight or delivered message in a rank's mailbox.
+#[derive(Debug)]
+pub(crate) struct InMsg {
+    pub src: u32,
+    pub tag: u32,
+    pub msg: Msg,
+    pub delivery: Delivery,
+}
+
+/// Receive filter: `None` matches any source/tag.
+pub(crate) type RecvFilter = (Option<u32>, Option<u32>);
+
+pub(crate) fn matches(filter: &RecvFilter, src: u32, tag: u32) -> bool {
+    filter.0.is_none_or(|s| s == src) && filter.1.is_none_or(|t| t == tag)
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct RankState {
+    pub pid: Option<Pid>,
+    pub mailbox: VecDeque<InMsg>,
+    /// Set while the rank is parked inside `recv` waiting for a match.
+    pub pending: Option<RecvFilter>,
+    /// Accumulated modelled compute time.
+    pub compute_busy: SimTime,
+    /// Accumulated communication (protocol CPU) time.
+    pub comm_busy: SimTime,
+}
+
+/// Aggregate job statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetStats {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub payload_bytes: u64,
+}
+
+pub(crate) struct WorldState {
+    pub net: Network,
+    pub ranks: Vec<RankState>,
+    pub stats: NetStats,
+}
+
+/// The shared world of one job.
+pub struct World {
+    pub(crate) spec: JobSpec,
+    pub(crate) ep: EndpointModel,
+    pub(crate) state: Mutex<WorldState>,
+}
+
+impl World {
+    pub(crate) fn new(spec: JobSpec) -> World {
+        spec.validate().expect("invalid job spec");
+        let ep = EndpointModel::for_platform(&spec.platform, spec.freq_ghz);
+        let link_bw = spec.platform.eth_mbit.max(1000) as f64 / 8.0 * 1e6; // cluster NICs are 1GbE
+        let net = Network::new(spec.topology, link_bw, SimTime::from_micros_f64(1.25));
+        let ranks = (0..spec.ranks).map(|_| RankState::default()).collect();
+        World { spec, ep, state: Mutex::new(WorldState { net, ranks, stats: NetStats::default() }) }
+    }
+
+    /// Wire bytes for a payload including framing and protocol headers.
+    pub(crate) fn framed(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.spec.proto.wire_efficiency) as u64 + FRAME_BYTES
+    }
+
+    /// Endpoint-side per-byte injection/retirement rate (bytes/s): the CPU
+    /// copy stage and the attach path in series with the DMA pipeline.
+    pub(crate) fn cpu_stage_rate(&self) -> f64 {
+        let cpu = if self.spec.proto.per_byte_cpu_ns > 0.0 {
+            self.ep.scalar_speed * 1e9 / self.spec.proto.per_byte_cpu_ns
+        } else {
+            f64::INFINITY
+        };
+        cpu.min(self.ep.attach.rate_bytes(self.ep.scalar_speed))
+    }
+
+    /// End-to-end sustained rate between two nodes (homogeneous endpoints).
+    pub(crate) fn stream_rate(&self, link_bw: f64) -> f64 {
+        self.spec.proto.stream_rate_bytes(&self.ep, &self.ep, link_bw)
+    }
+
+    /// Extra serialisation beyond the wire's own, accounting for endpoint
+    /// stages slower than the wire.
+    pub(crate) fn endpoint_extra_serial(&self, bytes: u64, link_bw: f64) -> SimTime {
+        let total = self.stream_rate(link_bw);
+        let wire = link_bw * self.spec.proto.wire_efficiency;
+        if total >= wire {
+            return SimTime::ZERO;
+        }
+        SimTime::from_secs_f64(bytes as f64 * (1.0 / total - 1.0 / wire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_defaults_and_builders() {
+        let spec = JobSpec::new(Platform::tegra2(), 4)
+            .with_proto(ProtocolModel::open_mx())
+            .with_freq(0.912)
+            .with_ranks_per_node(2);
+        assert_eq!(spec.proto.name, "Open-MX");
+        assert_eq!(spec.freq_ghz, 0.912);
+        assert_eq!(spec.node_of(0), 0);
+        assert_eq!(spec.node_of(3), 1);
+        assert_eq!(spec.cores_per_rank(), 1);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_overcommit() {
+        let mut spec = JobSpec::new(Platform::tegra2(), 8);
+        spec.topology = TopologySpec::Star { nodes: 4 };
+        assert!(spec.validate().is_err());
+        spec.ranks_per_node = 2;
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn filter_matching() {
+        assert!(matches(&(None, None), 3, 7));
+        assert!(matches(&(Some(3), None), 3, 7));
+        assert!(!matches(&(Some(4), None), 3, 7));
+        assert!(matches(&(None, Some(7)), 3, 7));
+        assert!(!matches(&(Some(3), Some(8)), 3, 7));
+    }
+
+    #[test]
+    fn framed_adds_overhead() {
+        let w = World::new(JobSpec::new(Platform::tegra2(), 2));
+        assert!(w.framed(1000) > 1000);
+        assert_eq!(w.framed(0), FRAME_BYTES);
+    }
+
+    #[test]
+    fn endpoint_extra_serial_positive_when_cpu_bound() {
+        // Tegra 2 + TCP is CPU-bound at ~65 MB/s < 119 MB/s wire.
+        let w = World::new(JobSpec::new(Platform::tegra2(), 2));
+        let extra = w.endpoint_extra_serial(1 << 20, 125e6);
+        assert!(extra > SimTime::ZERO);
+        // Open-MX is wire-bound: no extra.
+        let w2 = World::new(JobSpec::new(Platform::tegra2(), 2).with_proto(ProtocolModel::open_mx()));
+        assert_eq!(w2.endpoint_extra_serial(1 << 20, 125e6), SimTime::ZERO);
+    }
+}

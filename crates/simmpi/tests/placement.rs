@@ -1,0 +1,89 @@
+//! Rank-placement tests: multiple ranks per node share the node's NIC and
+//! split its cores — the co-location effects §4's cluster runs depend on.
+
+use netsim::TopologySpec;
+use simmpi::{run_mpi, JobSpec, Msg};
+use soc_arch::{AccessPattern, Platform, WorkProfile};
+
+#[test]
+fn colocated_ranks_share_the_nic() {
+    // Four ranks on two nodes: both node-0 ranks send large messages to
+    // node-1 simultaneously and must serialise on the shared up-link,
+    // whereas with one rank per node the flows use separate links.
+    let bytes = 2_000_000u64;
+    let shared = JobSpec::new(Platform::tegra2(), 4)
+        .with_ranks_per_node(2)
+        .with_topology(TopologySpec::Star { nodes: 2 });
+    let run_shared = run_mpi(shared, move |r| {
+        match r.rank() {
+            0 | 1 => r.send(r.rank() + 2, 7, Msg::size_only(bytes)),
+            _ => {
+                r.recv(r.rank() - 2, 7);
+            }
+        }
+        r.now().as_secs_f64()
+    })
+    .unwrap();
+
+    let separate = JobSpec::new(Platform::tegra2(), 4)
+        .with_topology(TopologySpec::Star { nodes: 4 });
+    let run_separate = run_mpi(separate, move |r| {
+        match r.rank() {
+            0 | 1 => r.send(r.rank() + 2, 7, Msg::size_only(bytes)),
+            _ => {
+                r.recv(r.rank() - 2, 7);
+            }
+        }
+        r.now().as_secs_f64()
+    })
+    .unwrap();
+
+    let t_shared = run_shared.results.iter().cloned().fold(0.0, f64::max);
+    let t_separate = run_separate.results.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        t_shared > 1.3 * t_separate,
+        "shared NIC should serialise: {t_shared} vs {t_separate}"
+    );
+}
+
+#[test]
+fn colocated_ranks_split_the_cores() {
+    // One rank per node gets both Tegra-2 cores; two ranks per node get one
+    // each, so the same compute-bound work takes about twice as long.
+    let work = WorkProfile::new("cb", 1e9, 0.0, AccessPattern::ComputeBound);
+    let time_with = |rpn: u32| {
+        let spec = JobSpec::new(Platform::tegra2(), 2)
+            .with_ranks_per_node(rpn)
+            .with_topology(TopologySpec::Star { nodes: 2 });
+        let w = work.clone();
+        let run = run_mpi(spec, move |r| {
+            r.compute(&w);
+            r.now().as_secs_f64()
+        })
+        .unwrap();
+        run.results.iter().cloned().fold(0.0, f64::max)
+    };
+    let whole_node = time_with(1);
+    let half_node = time_with(2);
+    let ratio = half_node / whole_node;
+    assert!((1.8..2.2).contains(&ratio), "core-split ratio {ratio}");
+}
+
+#[test]
+fn same_node_ranks_still_exchange_messages() {
+    // Loopback-ish traffic between co-located ranks must be delivered (the
+    // network models it as a free self-transfer at the node level).
+    let spec = JobSpec::new(Platform::tegra2(), 2)
+        .with_ranks_per_node(2)
+        .with_topology(TopologySpec::Star { nodes: 1 });
+    let run = run_mpi(spec, |r| {
+        if r.rank() == 0 {
+            r.send(1, 3, Msg::from_u64s(&[42]));
+            0
+        } else {
+            r.recv(0, 3).to_u64s()[0]
+        }
+    })
+    .unwrap();
+    assert_eq!(run.results, vec![0, 42]);
+}

@@ -1,0 +1,185 @@
+//! Calibration targets: the paper's measured numbers that the models in this
+//! crate are fitted to, collected in one place so tests (here and in the
+//! `kernels` crate) can assert that the *emergent* model outputs land inside
+//! tolerance bands around the published measurements.
+//!
+//! Nothing in this module feeds back into the models — it is a read-only
+//! record of ground truth. The free parameters being fitted are the
+//! per-pattern issue efficiencies (`uarch.rs`), the kernel/STREAM bandwidth
+//! efficiencies (`platform.rs`), and the stall-serialisation and
+//! bandwidth-frequency exponents (`uarch.rs`).
+
+/// A named target value from the paper with a relative tolerance.
+#[derive(Clone, Copy, Debug)]
+pub struct Target {
+    /// What the paper reports.
+    pub name: &'static str,
+    /// The published value.
+    pub value: f64,
+    /// Acceptable relative deviation of the model (e.g. 0.15 = ±15%).
+    pub rel_tol: f64,
+}
+
+impl Target {
+    /// Whether `measured` is inside the tolerance band.
+    pub fn check(&self, measured: f64) -> bool {
+        (measured - self.value).abs() <= self.rel_tol * self.value.abs()
+    }
+
+    /// Relative error of `measured` against the target.
+    pub fn rel_err(&self, measured: f64) -> f64 {
+        (measured - self.value) / self.value
+    }
+}
+
+/// §3.1.1, Fig 3(a): single-core suite-average speedups at 1 GHz,
+/// relative to Tegra 2 @ 1 GHz.
+pub mod single_core_1ghz {
+    use super::Target;
+    /// Tegra 3 vs Tegra 2 at 1 GHz: "+9% improvement in execution time".
+    pub const TEGRA3_VS_TEGRA2: Target =
+        Target { name: "T3/T2 @1GHz serial", value: 1.09, rel_tol: 0.06 };
+    /// Arndale vs Tegra 2 at 1 GHz: "30% improvement".
+    pub const EXYNOS_VS_TEGRA2: Target =
+        Target { name: "Exynos/T2 @1GHz serial", value: 1.30, rel_tol: 0.08 };
+    /// Arndale vs Tegra 3 at 1 GHz: "22%".
+    pub const EXYNOS_VS_TEGRA3: Target =
+        Target { name: "Exynos/T3 @1GHz serial", value: 1.22, rel_tol: 0.08 };
+    /// "Compared with the Intel Core i7 CPU, the Arndale platform is just two
+    /// times slower" (same-frequency comparison).
+    pub const I7_VS_EXYNOS: Target =
+        Target { name: "i7/Exynos @1GHz serial", value: 2.0, rel_tol: 0.12 };
+}
+
+/// §3.1.1, Fig 3(a): single-core speedups at each platform's maximum
+/// frequency, relative to Tegra 2 @ 1 GHz.
+pub mod single_core_fmax {
+    use super::Target;
+    /// "the Tegra 3 platform is 1.36 times faster than the Tegra 2".
+    pub const TEGRA3_VS_TEGRA2: Target =
+        Target { name: "T3@1.3/T2@1.0 serial", value: 1.36, rel_tol: 0.08 };
+    /// "it is 2.3 times faster than Tegra 2".
+    pub const EXYNOS_VS_TEGRA2: Target =
+        Target { name: "Exynos@1.7/T2@1.0 serial", value: 2.3, rel_tol: 0.10 };
+    /// "The Intel core at its maximum frequency is 3 times faster than the
+    /// Arndale platform."
+    pub const I7_VS_EXYNOS: Target =
+        Target { name: "i7@2.4/Exynos@1.7 serial", value: 3.0, rel_tol: 0.12 };
+    /// "From the situation when Tegra 2 was 6.5 times slower…"
+    pub const I7_VS_TEGRA2: Target =
+        Target { name: "i7@2.4/T2@1.0 serial", value: 6.5, rel_tol: 0.12 };
+}
+
+/// §3.1.1: per-iteration energy-to-solution at 1 GHz, single core, Joules.
+pub mod energy_1ghz {
+    use super::Target;
+    /// "the Tegra 2 platform at 1GHz consumes 23.93 Joules".
+    pub const TEGRA2_J: Target = Target { name: "T2 @1GHz J/iter", value: 23.93, rel_tol: 0.08 };
+    /// "Tegra 3 consumes 19.62J".
+    pub const TEGRA3_J: Target = Target { name: "T3 @1GHz J/iter", value: 19.62, rel_tol: 0.08 };
+    /// "Arndale consumes 16.95J".
+    pub const EXYNOS_J: Target = Target { name: "Exynos @1GHz J/iter", value: 16.95, rel_tol: 0.08 };
+    /// "The Intel platform, meanwhile, consumes 28.57J".
+    pub const I7_J: Target = Target { name: "i7 @1GHz J/iter", value: 28.57, rel_tol: 0.08 };
+    /// "it requires 1.4 times less energy" (Tegra 3 at fmax vs Tegra 2 at fmax).
+    pub const TEGRA3_FMAX_GAIN: Target =
+        Target { name: "T2@1.0 J / T3@1.3 J", value: 1.4, rel_tol: 0.12 };
+}
+
+/// §3.1.2, Fig 4: multi-core (OpenMP) energy improvement over serial.
+pub mod multicore_energy_gain {
+    use super::Target;
+    /// "In case of Tegra 2 and Tegra 3 platforms, the OpenMP version uses 1.7
+    /// times less energy per iteration."
+    pub const TEGRA2: Target = Target { name: "T2 E_serial/E_omp", value: 1.7, rel_tol: 0.15 };
+    /// Same statement covers Tegra 3.
+    pub const TEGRA3: Target = Target { name: "T3 E_serial/E_omp", value: 1.7, rel_tol: 0.15 };
+    /// "Arndale shows better improvement (2.25 times)".
+    pub const EXYNOS: Target = Target { name: "Exynos E_serial/E_omp", value: 2.25, rel_tol: 0.15 };
+    /// "the Intel platform reduces energy to solution 2.5 times".
+    pub const I7: Target = Target { name: "i7 E_serial/E_omp", value: 2.5, rel_tol: 0.15 };
+}
+
+/// §3.2, Fig 5: STREAM multi-core efficiency (fraction of Table-1 peak).
+pub mod stream_efficiency {
+    use super::Target;
+    /// "an efficiency of 62% (Tegra 2)".
+    pub const TEGRA2: Target = Target { name: "T2 STREAM eff", value: 0.62, rel_tol: 0.05 };
+    /// "27% (Tegra 3)".
+    pub const TEGRA3: Target = Target { name: "T3 STREAM eff", value: 0.27, rel_tol: 0.05 };
+    /// "52% (Exynos 5250)".
+    pub const EXYNOS: Target = Target { name: "Exynos STREAM eff", value: 0.52, rel_tol: 0.05 };
+    /// "57% (Intel Core i7-2760QM)".
+    pub const I7: Target = Target { name: "i7 STREAM eff", value: 0.57, rel_tol: 0.05 };
+    /// "a significant improvement in memory bandwidth, of about 4.5 times,
+    /// between the Tegra platforms and the Samsung Exynos 5250".
+    pub const EXYNOS_OVER_TEGRA: Target =
+        Target { name: "Exynos/Tegra STREAM BW", value: 4.5, rel_tol: 0.15 };
+}
+
+/// §4, §4.1: cluster-level headline numbers.
+pub mod cluster {
+    use super::Target;
+    /// "achieving a total 97 GFLOPS on 96 nodes".
+    pub const HPL_96N_GFLOPS: Target =
+        Target { name: "HPL 96-node GFLOPS", value: 97.0, rel_tol: 0.10 };
+    /// "an efficiency of 51%".
+    pub const HPL_96N_EFF: Target = Target { name: "HPL 96-node eff", value: 0.51, rel_tol: 0.10 };
+    /// "an energy efficiency of 120 MFLOPS/W".
+    pub const GREEN500_MFLOPS_W: Target =
+        Target { name: "Tibidabo MFLOPS/W", value: 120.0, rel_tol: 0.15 };
+    /// Tegra 2 TCP/IP ping-pong latency, "around 100 µs".
+    pub const TEGRA2_TCP_LAT_US: Target =
+        Target { name: "T2 TCP latency us", value: 100.0, rel_tol: 0.10 };
+    /// "When Open-MX is used, the latency drops to 65 µs."
+    pub const TEGRA2_OMX_LAT_US: Target =
+        Target { name: "T2 OMX latency us", value: 65.0, rel_tol: 0.10 };
+    /// Exynos 5 at 1 GHz: "on the order of 125 µs with TCP/IP".
+    pub const EXYNOS_TCP_LAT_US: Target =
+        Target { name: "Exynos TCP latency us @1GHz", value: 125.0, rel_tol: 0.10 };
+    /// "and 93 µs when Open-MX is used".
+    pub const EXYNOS_OMX_LAT_US: Target =
+        Target { name: "Exynos OMX latency us @1GHz", value: 93.0, rel_tol: 0.10 };
+    /// "latencies are reduced by 10%" at 1.4 GHz (qualitative statement —
+    /// wide band).
+    pub const EXYNOS_LAT_GAIN_1P4: Target =
+        Target { name: "Exynos latency reduction @1.4GHz", value: 0.10, rel_tol: 0.6 };
+    /// "Tegra 2 can achieve 65 MB/s" with TCP/IP.
+    pub const TEGRA2_TCP_BW_MBS: Target =
+        Target { name: "T2 TCP bandwidth MB/s", value: 65.0, rel_tol: 0.10 };
+    /// "reaching 117 MB/s – 93% of the theoretical maximum".
+    pub const TEGRA2_OMX_BW_MBS: Target =
+        Target { name: "T2 OMX bandwidth MB/s", value: 117.0, rel_tol: 0.06 };
+    /// "Exynos 5 can achieve 63 MB/s" with TCP/IP.
+    pub const EXYNOS_TCP_BW_MBS: Target =
+        Target { name: "Exynos TCP bandwidth MB/s", value: 63.0, rel_tol: 0.10 };
+    /// "69 MB/s running at 1GHz" with Open-MX.
+    pub const EXYNOS_OMX_BW_MBS: Target =
+        Target { name: "Exynos OMX bandwidth MB/s @1GHz", value: 69.0, rel_tol: 0.10 };
+    /// "75 MB/s running at 1.4GHz" with Open-MX.
+    pub const EXYNOS_OMX_BW_MBS_1P4: Target =
+        Target { name: "Exynos OMX bandwidth MB/s @1.4GHz", value: 75.0, rel_tol: 0.10 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_check_inside_and_outside() {
+        let t = Target { name: "x", value: 100.0, rel_tol: 0.10 };
+        assert!(t.check(100.0));
+        assert!(t.check(109.9));
+        assert!(t.check(90.1));
+        assert!(!t.check(111.0));
+        assert!(!t.check(89.0));
+    }
+
+    #[test]
+    fn rel_err_signs() {
+        let t = Target { name: "x", value: 50.0, rel_tol: 0.1 };
+        assert!(t.rel_err(55.0) > 0.0);
+        assert!(t.rel_err(45.0) < 0.0);
+        assert_eq!(t.rel_err(50.0), 0.0);
+    }
+}

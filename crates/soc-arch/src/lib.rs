@@ -1,0 +1,39 @@
+//! # soc-arch — platform performance models for the SC'13 mobile-HPC study
+//!
+//! This crate models the four platforms of the paper's Table 1 — NVIDIA
+//! Tegra 2 and Tegra 3, Samsung Exynos 5250, and the Intel Core i7-2760QM —
+//! plus the paper's forward-looking ARMv8 projection, and provides the
+//! roofline timing engine that turns an architecture-independent
+//! [`WorkProfile`] into a per-platform, per-frequency execution time.
+//!
+//! The real hardware measured by the paper is unobtainable; the models here
+//! are the substitution (see `DESIGN.md` at the repository root). Every free
+//! parameter is calibrated against a published measurement recorded in
+//! [`calib`], and the calibration is *validated* by tests that re-derive the
+//! paper's headline ratios from the models.
+//!
+//! ```
+//! use soc_arch::{kernel_time, Platform, WorkProfile, AccessPattern};
+//!
+//! let tegra2 = Platform::tegra2();
+//! let work = WorkProfile::new("daxpy", 2.0e8, 2.4e9, AccessPattern::Streaming);
+//! let t = kernel_time(&tegra2.soc, 1.0, 1, &work);
+//! assert!(t.total_s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calib;
+mod memory;
+mod platform;
+mod roofline;
+mod timing;
+mod uarch;
+mod work;
+
+pub use memory::{CacheModel, DramKind, MemoryModel};
+pub use platform::{NicAttach, Platform, Soc};
+pub use roofline::{roofline, Roofline};
+pub use timing::{attained_bw, dgemm_rate, kernel_time, suite_speedup, suite_time, TimeBreakdown};
+pub use uarch::{CoreModel, Microarch};
+pub use work::{AccessPattern, WorkProfile};

@@ -1,0 +1,384 @@
+//! The evaluated platforms (paper Table 1) plus the ARMv8 projection.
+
+use serde::{Deserialize, Serialize};
+
+use crate::memory::{CacheModel, DramKind, MemoryModel};
+use crate::uarch::{CoreModel, Microarch};
+
+/// How the Ethernet NIC is attached to the SoC (§4.1: "on SECO boards the
+/// network controller is connected via PCI Express and on Arndale it is
+/// connected via a USB 3.0 port").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NicAttach {
+    /// NIC behind the SoC's PCIe root (Tegra 2/3 SECO kits).
+    Pcie,
+    /// NIC behind a USB 3.0 host controller + USB network stack (Arndale).
+    Usb3,
+    /// On-die / chipset-integrated NIC path (laptop / server parts).
+    Integrated,
+}
+
+/// A complete SoC model: cores + caches + memory controller + DVFS range.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Soc {
+    /// SoC marketing name (Table 1 "SoC name").
+    pub name: &'static str,
+    /// Number of physical cores.
+    pub cores: u32,
+    /// Number of hardware threads (differs from cores only on the i7).
+    pub threads: u32,
+    /// Maximum CPU frequency in GHz.
+    pub fmax_ghz: f64,
+    /// Available DVFS operating points in GHz, ascending.
+    pub dvfs_ghz: Vec<f64>,
+    /// Core microarchitecture model.
+    pub core: CoreModel,
+    /// Cache hierarchy.
+    pub cache: CacheModel,
+    /// Memory controller + DRAM.
+    pub mem: MemoryModel,
+    /// SMT throughput bonus: relative extra throughput from running 2 threads
+    /// per core (0.0 for non-SMT parts, ~0.25 for Sandy Bridge HT).
+    pub smt_yield: f64,
+    /// Multiplier on per-core throughput when several cores share the work on
+    /// cache-sensitive patterns: per-core working sets shrink with the thread
+    /// count, raising hit rates in the shared L2/L3. This is the mechanism
+    /// behind the super-linear multicore energy gains the paper reports for
+    /// the Arndale (Fig 4: 2.25× less energy on a 2-core SoC implies > 2×
+    /// throughput scaling).
+    pub parallel_cache_bonus: f64,
+}
+
+impl Soc {
+    /// Peak FP64 GFLOPS at frequency `f_ghz` using all cores
+    /// (Table 1 "FP-64 GFLOPS" row when `f_ghz == fmax`).
+    pub fn peak_gflops(&self, f_ghz: f64) -> f64 {
+        self.cores as f64 * self.core.fp64_flops_per_cycle * f_ghz
+    }
+
+    /// Peak FP64 GFLOPS at the maximum frequency.
+    pub fn peak_gflops_max(&self) -> f64 {
+        self.peak_gflops(self.fmax_ghz)
+    }
+
+    /// Whether `f_ghz` is a supported operating point (within 1 MHz).
+    pub fn supports_freq(&self, f_ghz: f64) -> bool {
+        self.dvfs_ghz.iter().any(|&p| (p - f_ghz).abs() < 1e-3)
+    }
+}
+
+/// A platform under evaluation: an SoC on a developer kit / laptop
+/// (Table 1 "Developer kit" rows).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Platform {
+    /// Short identifier used in results tables (e.g. `"tegra2"`).
+    pub id: &'static str,
+    /// Developer-kit name (Table 1).
+    pub kit_name: &'static str,
+    /// The SoC.
+    pub soc: Soc,
+    /// NIC attach path.
+    pub nic: NicAttach,
+    /// Ethernet link speed available for cluster use, in Mbit/s.
+    pub eth_mbit: u32,
+}
+
+impl Platform {
+    /// NVIDIA Tegra 2 on the SECO Q7 module + carrier.
+    pub fn tegra2() -> Platform {
+        Platform {
+            id: "tegra2",
+            kit_name: "SECO Q7 module + carrier",
+            soc: Soc {
+                name: "NVIDIA Tegra 2",
+                cores: 2,
+                threads: 2,
+                fmax_ghz: 1.0,
+                dvfs_ghz: vec![0.456, 0.608, 0.760, 0.912, 1.0],
+                core: CoreModel::cortex_a9(),
+                cache: CacheModel {
+                    l1i_kib: 32,
+                    l1d_kib: 32,
+                    l2_kib: 1024,
+                    l2_shared: true,
+                    l3_kib: None,
+                    line_bytes: 64,
+                },
+                mem: MemoryModel {
+                    channels: 1,
+                    width_bits: 32,
+                    freq_mhz: 333.0,
+                    peak_bw_gbs: 2.6,
+                    stream_eff_single: 0.55,
+                    stream_eff_multi: 0.62,
+                    kernel_eff_single: 0.31,
+                    kernel_eff_multi: 0.62,
+                    latency_ns: 115.0,
+                    dram: DramKind::Ddr2_667,
+                    dram_gib: 1.0,
+                },
+                smt_yield: 0.0,
+                parallel_cache_bonus: 1.1,
+            },
+            nic: NicAttach::Pcie,
+            eth_mbit: 1000,
+        }
+    }
+
+    /// NVIDIA Tegra 3 on the SECO CARMA kit.
+    pub fn tegra3() -> Platform {
+        Platform {
+            id: "tegra3",
+            kit_name: "SECO CARMA",
+            soc: Soc {
+                name: "NVIDIA Tegra 3",
+                cores: 4,
+                threads: 4,
+                fmax_ghz: 1.3,
+                dvfs_ghz: vec![0.51, 0.62, 0.76, 0.91, 1.0, 1.15, 1.3],
+                core: CoreModel::cortex_a9(),
+                cache: CacheModel {
+                    l1i_kib: 32,
+                    l1d_kib: 32,
+                    l2_kib: 1024,
+                    l2_shared: true,
+                    l3_kib: None,
+                    line_bytes: 64,
+                },
+                mem: MemoryModel {
+                    channels: 1,
+                    width_bits: 32,
+                    freq_mhz: 750.0,
+                    peak_bw_gbs: 5.86,
+                    stream_eff_single: 0.25,
+                    stream_eff_multi: 0.27,
+                    kernel_eff_single: 0.158,
+                    kernel_eff_multi: 0.37,
+                    latency_ns: 105.0,
+                    dram: DramKind::Ddr3L1600,
+                    dram_gib: 2.0,
+                },
+                smt_yield: 0.0,
+                parallel_cache_bonus: 1.15,
+            },
+            nic: NicAttach::Pcie,
+            eth_mbit: 1000,
+        }
+    }
+
+    /// Samsung Exynos 5250 ("Exynos 5 Dual") on the Arndale 5 board.
+    pub fn exynos5250() -> Platform {
+        Platform {
+            id: "exynos5250",
+            kit_name: "Arndale 5",
+            soc: Soc {
+                name: "Samsung Exynos 5250",
+                cores: 2,
+                threads: 2,
+                fmax_ghz: 1.7,
+                dvfs_ghz: vec![0.6, 0.8, 1.0, 1.2, 1.4, 1.7],
+                core: CoreModel::cortex_a15(),
+                cache: CacheModel {
+                    l1i_kib: 32,
+                    l1d_kib: 32,
+                    l2_kib: 1024,
+                    l2_shared: true,
+                    l3_kib: None,
+                    line_bytes: 64,
+                },
+                mem: MemoryModel {
+                    channels: 2,
+                    width_bits: 32,
+                    freq_mhz: 800.0,
+                    peak_bw_gbs: 12.8,
+                    stream_eff_single: 0.38,
+                    stream_eff_multi: 0.52,
+                    kernel_eff_single: 0.082,
+                    kernel_eff_multi: 0.24,
+                    latency_ns: 90.0,
+                    dram: DramKind::Ddr3L1600,
+                    dram_gib: 2.0,
+                },
+                smt_yield: 0.0,
+                parallel_cache_bonus: 1.25,
+            },
+            nic: NicAttach::Usb3,
+            eth_mbit: 100,
+        }
+    }
+
+    /// Intel Core i7-2760QM in the Dell Latitude E6420 laptop.
+    pub fn core_i7_2760qm() -> Platform {
+        Platform {
+            id: "i7-2760qm",
+            kit_name: "Dell Latitude E6420",
+            soc: Soc {
+                name: "Intel Core i7-2760QM",
+                cores: 4,
+                threads: 8,
+                fmax_ghz: 2.4,
+                dvfs_ghz: vec![0.8, 1.0, 1.2, 1.6, 2.0, 2.4],
+                core: CoreModel::sandy_bridge(),
+                cache: CacheModel {
+                    l1i_kib: 32,
+                    l1d_kib: 32,
+                    l2_kib: 256,
+                    l2_shared: false,
+                    l3_kib: Some(6144),
+                    line_bytes: 64,
+                },
+                mem: MemoryModel {
+                    channels: 2,
+                    width_bits: 64,
+                    freq_mhz: 800.0,
+                    peak_bw_gbs: 25.6,
+                    stream_eff_single: 0.40,
+                    stream_eff_multi: 0.57,
+                    kernel_eff_single: 0.082,
+                    kernel_eff_multi: 0.40,
+                    latency_ns: 65.0,
+                    dram: DramKind::Ddr3_1133,
+                    dram_gib: 8.0,
+                },
+                smt_yield: 0.25,
+                parallel_cache_bonus: 1.15,
+            },
+            nic: NicAttach::Integrated,
+            eth_mbit: 1000,
+        }
+    }
+
+    /// The paper's forward projection (§1, §3.1.2): a quad-core ARMv8 part at
+    /// 2 GHz with FP64 in the NEON unit — used in Fig 2(b) as the
+    /// "4-core ARMv8 @ 2GHz" point.
+    pub fn armv8_projection() -> Platform {
+        Platform {
+            id: "armv8-4c-2ghz",
+            kit_name: "projected ARMv8 SoC",
+            soc: Soc {
+                name: "4-core ARMv8 @ 2GHz (projected)",
+                cores: 4,
+                threads: 4,
+                fmax_ghz: 2.0,
+                dvfs_ghz: vec![0.8, 1.0, 1.2, 1.6, 2.0],
+                core: CoreModel::armv8_projected(),
+                cache: CacheModel {
+                    l1i_kib: 32,
+                    l1d_kib: 32,
+                    l2_kib: 2048,
+                    l2_shared: true,
+                    l3_kib: None,
+                    line_bytes: 64,
+                },
+                mem: MemoryModel {
+                    channels: 2,
+                    width_bits: 64,
+                    freq_mhz: 800.0,
+                    peak_bw_gbs: 25.6,
+                    stream_eff_single: 0.40,
+                    stream_eff_multi: 0.55,
+                    kernel_eff_single: 0.10,
+                    kernel_eff_multi: 0.30,
+                    latency_ns: 85.0,
+                    dram: DramKind::Ddr3L1600,
+                    dram_gib: 4.0,
+                },
+                smt_yield: 0.0,
+                parallel_cache_bonus: 1.2,
+            },
+            nic: NicAttach::Integrated,
+            eth_mbit: 10_000,
+        }
+    }
+
+    /// The four platforms of Table 1, in the paper's column order.
+    pub fn table1() -> Vec<Platform> {
+        vec![
+            Platform::tegra2(),
+            Platform::tegra3(),
+            Platform::exynos5250(),
+            Platform::core_i7_2760qm(),
+        ]
+    }
+
+    /// Look up a platform by its `id`.
+    pub fn by_id(id: &str) -> Option<Platform> {
+        Self::table1()
+            .into_iter()
+            .chain(std::iter::once(Self::armv8_projection()))
+            .find(|p| p.id == id)
+    }
+
+    /// Whether this is one of the mobile (ARM) platforms.
+    pub fn is_mobile(&self) -> bool {
+        !matches!(self.soc.core.uarch, Microarch::SandyBridge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_gflops_match_table1() {
+        assert!((Platform::tegra2().soc.peak_gflops_max() - 2.0).abs() < 1e-9);
+        assert!((Platform::tegra3().soc.peak_gflops_max() - 5.2).abs() < 1e-9);
+        assert!((Platform::exynos5250().soc.peak_gflops_max() - 6.8).abs() < 1e-9);
+        assert!((Platform::core_i7_2760qm().soc.peak_gflops_max() - 76.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_core_counts_and_threads() {
+        let t = Platform::table1();
+        assert_eq!(
+            t.iter().map(|p| (p.soc.cores, p.soc.threads)).collect::<Vec<_>>(),
+            vec![(2, 2), (4, 4), (2, 2), (4, 8)]
+        );
+    }
+
+    #[test]
+    fn peak_bandwidths_match_table1() {
+        let bw: Vec<f64> = Platform::table1().iter().map(|p| p.soc.mem.peak_bw_gbs).collect();
+        assert_eq!(bw, vec![2.6, 5.86, 12.8, 25.6]);
+    }
+
+    #[test]
+    fn dvfs_points_are_ascending_and_end_at_fmax() {
+        for p in Platform::table1() {
+            let d = &p.soc.dvfs_ghz;
+            assert!(d.windows(2).all(|w| w[0] < w[1]), "{} dvfs not ascending", p.id);
+            assert!((d.last().unwrap() - p.soc.fmax_ghz).abs() < 1e-9);
+            assert!(p.soc.supports_freq(p.soc.fmax_ghz));
+            assert!(!p.soc.supports_freq(9.9));
+        }
+    }
+
+    #[test]
+    fn by_id_round_trips() {
+        for p in Platform::table1() {
+            assert_eq!(Platform::by_id(p.id).unwrap().id, p.id);
+        }
+        assert!(Platform::by_id("armv8-4c-2ghz").is_some());
+        assert!(Platform::by_id("nope").is_none());
+    }
+
+    #[test]
+    fn mobile_classification() {
+        assert!(Platform::tegra2().is_mobile());
+        assert!(Platform::exynos5250().is_mobile());
+        assert!(!Platform::core_i7_2760qm().is_mobile());
+    }
+
+    #[test]
+    fn armv8_projection_doubles_a15_flops_per_cycle() {
+        let a15 = Platform::exynos5250().soc.core.fp64_flops_per_cycle;
+        let v8 = Platform::armv8_projection().soc.core.fp64_flops_per_cycle;
+        assert_eq!(v8, 2.0 * a15);
+    }
+
+    #[test]
+    fn nic_attach_matches_section_4_1() {
+        assert_eq!(Platform::tegra2().nic, NicAttach::Pcie);
+        assert_eq!(Platform::exynos5250().nic, NicAttach::Usb3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Roofline analysis: the attainable-performance envelope each platform
+//! imposes on a kernel, as a function of arithmetic intensity.
+//!
+//! This is the analysis view of the timing engine: where §3's per-kernel
+//! results come from. A kernel with intensity `I` (flops/byte) on a machine
+//! with peak `F` and bandwidth `B` attains at most `min(F, I·B)`; the ridge
+//! point `F/B` separates memory-bound from compute-bound kernels, and the
+//! Table-1 platforms differ radically in where that ridge sits.
+
+use serde::{Deserialize, Serialize};
+
+use crate::platform::Soc;
+use crate::work::{AccessPattern, WorkProfile};
+
+/// One platform's roofline at a frequency/thread configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Roofline {
+    /// SoC name.
+    pub soc: &'static str,
+    /// Frequency, GHz.
+    pub freq_ghz: f64,
+    /// Threads used.
+    pub threads: u32,
+    /// Attainable peak compute (GFLOPS) for streaming-pattern code.
+    pub peak_gflops: f64,
+    /// Attained memory bandwidth (GB/s) for streaming-pattern code.
+    pub bandwidth_gbs: f64,
+    /// Ridge-point intensity (flops/byte) where the roofs meet.
+    pub ridge_intensity: f64,
+}
+
+/// Compute the (attained, not theoretical) roofline of a SoC configuration,
+/// using the streaming pattern for both roofs.
+pub fn roofline(soc: &Soc, freq_ghz: f64, threads: u32) -> Roofline {
+    let probe_compute = WorkProfile::new("probe-c", 1e12, 0.0, AccessPattern::Streaming);
+    let probe_memory = WorkProfile::new("probe-m", 0.0, 1e12, AccessPattern::Streaming);
+    let tc = crate::timing::kernel_time(soc, freq_ghz, threads, &probe_compute);
+    let tm = crate::timing::kernel_time(soc, freq_ghz, threads, &probe_memory);
+    let peak_gflops = 1e12 / tc.total_s / 1e9;
+    let bandwidth_gbs = 1e12 / tm.total_s / 1e9;
+    Roofline {
+        soc: soc.name,
+        freq_ghz,
+        threads,
+        peak_gflops,
+        bandwidth_gbs,
+        ridge_intensity: peak_gflops / bandwidth_gbs,
+    }
+}
+
+impl Roofline {
+    /// Attainable GFLOPS at arithmetic intensity `i` (flops/byte).
+    pub fn attainable_gflops(&self, i: f64) -> f64 {
+        assert!(i >= 0.0);
+        self.peak_gflops.min(i * self.bandwidth_gbs)
+    }
+
+    /// Whether a kernel of the given profile is memory-bound on this roof.
+    pub fn is_memory_bound(&self, work: &WorkProfile) -> bool {
+        work.arithmetic_intensity() < self.ridge_intensity
+    }
+
+    /// Sample the roof at a sequence of intensities (for plotting).
+    pub fn series(&self, intensities: &[f64]) -> Vec<(f64, f64)> {
+        intensities.iter().map(|&i| (i, self.attainable_gflops(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    #[test]
+    fn roof_shape_is_min_of_two_lines() {
+        let r = roofline(&Platform::tegra2().soc, 1.0, 2);
+        // Below the ridge: linear in intensity.
+        let low = r.attainable_gflops(r.ridge_intensity / 4.0);
+        assert!((low - r.bandwidth_gbs * r.ridge_intensity / 4.0).abs() < 1e-9);
+        // Above the ridge: flat at peak.
+        assert_eq!(r.attainable_gflops(r.ridge_intensity * 10.0), r.peak_gflops);
+        // Monotone non-decreasing overall.
+        let s = r.series(&[0.1, 0.5, 1.0, 5.0, 50.0]);
+        assert!(s.windows(2).all(|w| w[1].1 >= w[0].1));
+    }
+
+    #[test]
+    fn i7_ridge_sits_far_right_of_tegra2() {
+        // The i7 has much more compute per byte of bandwidth *attained by
+        // untuned code*, so more kernels are memory-bound on it.
+        let t2 = roofline(&Platform::tegra2().soc, 1.0, 2);
+        let i7 = roofline(&Platform::core_i7_2760qm().soc, 2.4, 4);
+        assert!(i7.ridge_intensity > t2.ridge_intensity);
+        assert!(i7.peak_gflops > t2.peak_gflops);
+    }
+
+    #[test]
+    fn suite_kernels_classify_sensibly() {
+        // vecop-like streaming work is memory-bound everywhere; a matmul-
+        // intensity kernel is compute-bound on the ARM parts.
+        let t2 = roofline(&Platform::tegra2().soc, 1.0, 2);
+        let daxpy = WorkProfile::new("daxpy", 2e8, 2.4e9, AccessPattern::Streaming);
+        let gemm = WorkProfile::new("gemm", 2e11, 2e9, AccessPattern::LocalityRich);
+        assert!(t2.is_memory_bound(&daxpy));
+        assert!(!t2.is_memory_bound(&gemm));
+    }
+
+    #[test]
+    fn roofline_scales_with_frequency() {
+        let soc = Platform::exynos5250().soc;
+        let lo = roofline(&soc, 1.0, 2);
+        let hi = roofline(&soc, 1.7, 2);
+        assert!(hi.peak_gflops > lo.peak_gflops);
+        assert!(hi.bandwidth_gbs >= lo.bandwidth_gbs);
+    }
+}

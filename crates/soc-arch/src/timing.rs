@@ -1,0 +1,284 @@
+//! The roofline timing engine: work profile × platform × frequency → time.
+//!
+//! The model is an extended roofline:
+//!
+//! ```text
+//! t = max(t_compute, t_memory) + s · min(t_compute, t_memory)
+//! ```
+//!
+//! where `s` is the core's memory-stall serialisation factor (how far the
+//! out-of-order engine is from perfectly overlapping compute with misses).
+//! `t_compute` applies Amdahl's law over the thread count and the profile's
+//! load-imbalance factor; `t_memory` uses the platform's *kernel-attained*
+//! bandwidth, which scales with core frequency (concurrency-limited cores
+//! issue misses faster at higher clocks) and is capped by the STREAM limit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::platform::Soc;
+use crate::work::WorkProfile;
+
+/// Result of timing one work profile on one platform configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Compute-pipeline time, seconds (after Amdahl + imbalance).
+    pub compute_s: f64,
+    /// DRAM-traffic time, seconds.
+    pub memory_s: f64,
+    /// Modelled wall-clock seconds.
+    pub total_s: f64,
+    /// Attained GFLOPS (`flops / total`).
+    pub attained_gflops: f64,
+    /// Attained DRAM bandwidth in GB/s (`bytes / total`).
+    pub attained_bw_gbs: f64,
+}
+
+/// Time `work` on `soc` at `f_ghz` using `threads` software threads.
+///
+/// `threads` is clamped to the SoC's hardware thread count. Passing
+/// `threads = 1` gives the serial (single-core) time used for Fig 3;
+/// `threads = soc.threads` gives the Fig 4 multi-core time.
+pub fn kernel_time(soc: &Soc, f_ghz: f64, threads: u32, work: &WorkProfile) -> TimeBreakdown {
+    assert!(f_ghz > 0.0, "frequency must be positive");
+    assert!(threads >= 1, "at least one thread required");
+    let threads = threads.min(soc.threads);
+    let phys_cores = threads.min(soc.cores);
+
+    // --- Compute time ---------------------------------------------------
+    let issue = soc.core.issue_efficiency(work.pattern);
+    let f1 = soc.core.fp64_flops_per_cycle * f_ghz * 1e9 * issue; // one core, flops/s
+    // SMT: threads beyond the physical core count add fractional throughput.
+    let smt_threads = threads.saturating_sub(soc.cores);
+    let throughput_cores =
+        phys_cores as f64 + smt_threads as f64 * soc.smt_yield;
+    // Cache-sensitive patterns benefit from smaller per-core working sets in
+    // the shared last-level cache when run multi-threaded.
+    let cache_bonus = if threads > 1
+        && matches!(
+            work.pattern,
+            crate::work::AccessPattern::LocalityRich
+                | crate::work::AccessPattern::Strided
+                | crate::work::AccessPattern::Irregular
+        ) {
+        soc.parallel_cache_bonus
+    } else {
+        1.0
+    };
+    let fn_ = f1 * throughput_cores * cache_bonus;
+    let par = work.parallel_fraction;
+    let imb = if threads > 1 { 1.0 + work.imbalance } else { 1.0 };
+    let compute_s = work.flops * par * imb / fn_ + work.flops * (1.0 - par) / f1;
+
+    // --- Memory time ----------------------------------------------------
+    let memory_s = if work.dram_bytes > 0.0 {
+        work.dram_bytes / attained_bw(soc, f_ghz, phys_cores, work)
+    } else {
+        0.0
+    };
+
+    // --- Combination ----------------------------------------------------
+    let s = soc.core.mem_stall_serialisation;
+    let total_s = compute_s.max(memory_s) + s * compute_s.min(memory_s);
+    TimeBreakdown {
+        compute_s,
+        memory_s,
+        total_s,
+        attained_gflops: if total_s > 0.0 { work.flops / total_s / 1e9 } else { 0.0 },
+        attained_bw_gbs: if total_s > 0.0 { work.dram_bytes / total_s / 1e9 } else { 0.0 },
+    }
+}
+
+/// Kernel-attained DRAM bandwidth (bytes/s) for this pattern, core count and
+/// frequency. The platform's `kernel_eff_*` factors are defined at the 1 GHz
+/// reference; frequency scaling follows `f^bw_freq_exp`, capped at the
+/// platform's multi-core STREAM limit (nothing beats tuned STREAM).
+pub fn attained_bw(soc: &Soc, f_ghz: f64, cores: u32, work: &WorkProfile) -> f64 {
+    let base = soc.mem.kernel_bw_bytes(cores, soc.cores) * work.pattern.bandwidth_factor();
+    let scaled = base * f_ghz.powf(soc.core.bw_freq_exp);
+    let cap = soc.mem.peak_bw_bytes() * soc.mem.stream_eff_multi;
+    scaled.min(cap)
+}
+
+/// Convenience: total modelled time for a whole suite of profiles run back
+/// to back (one "iteration" of the paper's §3.1 measurement loop).
+pub fn suite_time(soc: &Soc, f_ghz: f64, threads: u32, suite: &[WorkProfile]) -> f64 {
+    suite.iter().map(|w| kernel_time(soc, f_ghz, threads, w).total_s).sum()
+}
+
+/// Geometric-mean speedup of `soc` over a `(baseline, f_base)` configuration
+/// across a suite, matching the paper's "averaged across all benchmarks"
+/// presentation in Figs 3–4.
+pub fn suite_speedup(
+    soc: &Soc,
+    f_ghz: f64,
+    threads: u32,
+    baseline: &Soc,
+    f_base: f64,
+    base_threads: u32,
+    suite: &[WorkProfile],
+) -> f64 {
+    assert!(!suite.is_empty(), "empty suite");
+    let log_sum: f64 = suite
+        .iter()
+        .map(|w| {
+            let t = kernel_time(soc, f_ghz, threads, w).total_s;
+            let tb = kernel_time(baseline, f_base, base_threads, w).total_s;
+            (tb / t).ln()
+        })
+        .sum();
+    (log_sum / suite.len() as f64).exp()
+}
+
+/// Effective DGEMM rate (flops/s) for dense linear algebra on all cores —
+/// the rate HPL's trailing-matrix updates run at. Uses the locality-rich
+/// issue efficiency (natively compiled ATLAS, §5).
+pub fn dgemm_rate(soc: &Soc, f_ghz: f64, cores: u32) -> f64 {
+    let cores = cores.min(soc.cores).max(1);
+    soc.core.fp64_flops_per_cycle
+        * f_ghz
+        * 1e9
+        * soc.core.issue_efficiency(crate::work::AccessPattern::LocalityRich)
+        * cores as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use crate::work::AccessPattern;
+
+    fn compute_profile() -> WorkProfile {
+        WorkProfile::new("cb", 1e9, 0.0, AccessPattern::ComputeBound)
+    }
+
+    fn stream_profile() -> WorkProfile {
+        WorkProfile::new("st", 1e7, 1e9, AccessPattern::Streaming)
+    }
+
+    #[test]
+    fn compute_bound_time_matches_hand_calculation() {
+        let soc = Platform::tegra2().soc;
+        // 1e9 flops / (1 flop/cyc * 1e9 Hz * 0.85) = 1.176s, no memory term.
+        let t = kernel_time(&soc, 1.0, 1, &compute_profile());
+        assert!((t.total_s - 1.0 / 0.85).abs() < 1e-9, "{}", t.total_s);
+        assert_eq!(t.memory_s, 0.0);
+    }
+
+    #[test]
+    fn compute_bound_scales_linearly_with_frequency() {
+        let soc = Platform::exynos5250().soc;
+        let t1 = kernel_time(&soc, 0.85, 1, &compute_profile()).total_s;
+        let t2 = kernel_time(&soc, 1.7, 1, &compute_profile()).total_s;
+        assert!((t1 / t2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_time_positive_and_bw_capped() {
+        let soc = Platform::core_i7_2760qm().soc;
+        let t = kernel_time(&soc, 2.4, 4, &stream_profile());
+        assert!(t.memory_s > 0.0);
+        // Attained bandwidth can never exceed the STREAM multi-core limit.
+        let cap = soc.mem.peak_bw_gbs * soc.mem.stream_eff_multi;
+        assert!(t.attained_bw_gbs <= cap + 1e-9);
+    }
+
+    #[test]
+    fn multicore_is_faster_than_serial() {
+        for p in Platform::table1() {
+            for w in [compute_profile(), stream_profile()] {
+                let t1 = kernel_time(&p.soc, p.soc.fmax_ghz, 1, &w).total_s;
+                let tn = kernel_time(&p.soc, p.soc.fmax_ghz, p.soc.threads, &w).total_s;
+                assert!(tn < t1, "{}: {} !< {}", p.id, tn, t1);
+            }
+        }
+    }
+
+    #[test]
+    fn amdahl_limits_serial_fraction() {
+        let soc = Platform::core_i7_2760qm().soc;
+        let w = compute_profile().with_parallel_fraction(0.5);
+        let t1 = kernel_time(&soc, 2.4, 1, &w).total_s;
+        let tn = kernel_time(&soc, 2.4, 8, &w).total_s;
+        // With 50% serial work the speedup must stay below 2.
+        assert!(t1 / tn < 2.0);
+        assert!(t1 / tn > 1.4);
+    }
+
+    #[test]
+    fn imbalance_slows_parallel_but_not_serial() {
+        let soc = Platform::tegra3().soc;
+        let w = stream_profile().with_imbalance(0.5);
+        let w0 = stream_profile();
+        assert_eq!(
+            kernel_time(&soc, 1.3, 1, &w).total_s,
+            kernel_time(&soc, 1.3, 1, &w0).total_s
+        );
+        assert!(
+            kernel_time(&soc, 1.3, 4, &w).total_s > kernel_time(&soc, 1.3, 4, &w0).total_s
+        );
+    }
+
+    #[test]
+    fn smt_gives_bounded_extra_throughput() {
+        let soc = Platform::core_i7_2760qm().soc;
+        let w = compute_profile();
+        let t4 = kernel_time(&soc, 2.4, 4, &w).total_s;
+        let t8 = kernel_time(&soc, 2.4, 8, &w).total_s;
+        let smt_gain = t4 / t8;
+        assert!(smt_gain > 1.0 && smt_gain < 1.5, "HT gain {smt_gain}");
+    }
+
+    #[test]
+    fn thread_count_clamps_to_hardware() {
+        let soc = Platform::tegra2().soc;
+        let w = compute_profile();
+        assert_eq!(
+            kernel_time(&soc, 1.0, 2, &w).total_s,
+            kernel_time(&soc, 1.0, 64, &w).total_s
+        );
+    }
+
+    #[test]
+    fn suite_time_is_sum_of_kernels() {
+        let soc = Platform::tegra2().soc;
+        let suite = vec![compute_profile(), stream_profile()];
+        let total = suite_time(&soc, 1.0, 1, &suite);
+        let manual: f64 =
+            suite.iter().map(|w| kernel_time(&soc, 1.0, 1, w).total_s).sum();
+        assert_eq!(total, manual);
+    }
+
+    #[test]
+    fn suite_speedup_of_baseline_is_one() {
+        let soc = Platform::tegra2().soc;
+        let suite = vec![compute_profile(), stream_profile()];
+        let s = suite_speedup(&soc, 1.0, 1, &soc, 1.0, 1, &suite);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dgemm_rate_is_fraction_of_peak() {
+        for p in Platform::table1() {
+            let r = dgemm_rate(&p.soc, p.soc.fmax_ghz, p.soc.cores);
+            let peak = p.soc.peak_gflops_max() * 1e9;
+            assert!(r > 0.1 * peak && r < peak, "{}: {r} vs peak {peak}", p.id);
+        }
+    }
+
+    #[test]
+    fn attained_gflops_never_exceeds_peak() {
+        for p in Platform::table1() {
+            for &f in &p.soc.dvfs_ghz {
+                for pat in AccessPattern::ALL {
+                    let w = WorkProfile::new("w", 1e9, 2e8, pat);
+                    let t = kernel_time(&p.soc, f, p.soc.threads, &w);
+                    assert!(
+                        t.attained_gflops <= p.soc.peak_gflops(f) + 1e-9,
+                        "{} @{f} {pat:?}",
+                        p.id
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Microarchitecture models.
+//!
+//! The paper's single-node results (§3) are explained by a handful of
+//! microarchitectural parameters: FP64 issue width and FMA pipelining
+//! (Cortex-A9 issues one FMA every two cycles; Cortex-A15 has a fully
+//! pipelined FMA; Sandy Bridge has 256-bit AVX), out-of-order depth, and the
+//! number of outstanding cache misses. This module encodes those parameters
+//! plus per-access-pattern *issue efficiencies* — the fraction of peak FP
+//! throughput that compiled, out-of-the-box HPC kernels actually attain
+//! (the paper compiles everything "without any tuning of the source code").
+
+use serde::{Deserialize, Serialize};
+
+use crate::work::AccessPattern;
+
+/// CPU core microarchitecture families evaluated (or projected) in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Microarch {
+    /// ARM Cortex-A9 (Tegra 2 / Tegra 3): dual-issue, shallow OoO, VFP FMA
+    /// issuing every other cycle.
+    CortexA9,
+    /// ARM Cortex-A15 (Exynos 5250): triple-issue, deeper OoO, fully
+    /// pipelined FMA, more outstanding misses, better prefetch.
+    CortexA15,
+    /// Intel Sandy Bridge (Core i7-2760QM): wide OoO with 256-bit AVX.
+    SandyBridge,
+    /// Projected ARMv8 core (paper §1/§3.1.2): Cortex-A15-class pipeline with
+    /// FP64 in the NEON SIMD unit — double the FP64 throughput per cycle.
+    ArmV8,
+}
+
+impl Microarch {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Microarch::CortexA9 => "Cortex-A9",
+            Microarch::CortexA15 => "Cortex-A15",
+            Microarch::SandyBridge => "Sandy Bridge",
+            Microarch::ArmV8 => "ARMv8 (projected)",
+        }
+    }
+}
+
+/// A CPU core's performance parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoreModel {
+    /// Microarchitecture family.
+    pub uarch: Microarch,
+    /// Peak FP64 floating-point operations per cycle per core.
+    ///
+    /// Cortex-A9: one FMA per 2 cycles = 1.0; Cortex-A15: one FMA per cycle
+    /// = 2.0; Sandy Bridge: 4-wide AVX add + 4-wide AVX mul = 8.0; projected
+    /// ARMv8: NEON FP64 FMA = 4.0 (paper: "double the FP-64 performance at
+    /// the same frequency").
+    pub fp64_flops_per_cycle: f64,
+    /// Maximum simultaneously outstanding L2/DRAM misses (MSHR count); caps
+    /// latency-bound memory throughput. A15 "improves the number of
+    /// outstanding memory requests" over A9 [Turley 2010].
+    pub max_outstanding_misses: u32,
+    /// Relative scalar integer/control pipeline speed per GHz, normalised to
+    /// Cortex-A9 = 1.0. Used for protocol-stack CPU costs (§4.1: interconnect
+    /// software overhead scales with core speed).
+    pub scalar_speed_per_ghz: f64,
+    /// Fraction of the *non-overlapped* portion of memory stalls; 0.0 means
+    /// compute and memory overlap perfectly (ideal roofline), 1.0 means they
+    /// fully serialise. Deeper OoO ⇒ closer to 0.
+    pub mem_stall_serialisation: f64,
+    /// Exponent of attained-DRAM-bandwidth scaling with core frequency:
+    /// `bw(f) = bw(1 GHz) · f^exp` (capped at the STREAM limit). In-order-ish
+    /// cores are concurrency-limited, so their attained bandwidth tracks the
+    /// core clock almost linearly; wide OoO cores saturate earlier.
+    pub bw_freq_exp: f64,
+}
+
+impl CoreModel {
+    /// Cortex-A9 as shipped in Tegra 2/3.
+    pub fn cortex_a9() -> Self {
+        CoreModel {
+            uarch: Microarch::CortexA9,
+            fp64_flops_per_cycle: 1.0,
+            max_outstanding_misses: 4,
+            scalar_speed_per_ghz: 1.0,
+            mem_stall_serialisation: 0.45,
+            bw_freq_exp: 0.97,
+        }
+    }
+
+    /// Cortex-A15 as shipped in Exynos 5250.
+    pub fn cortex_a15() -> Self {
+        CoreModel {
+            uarch: Microarch::CortexA15,
+            fp64_flops_per_cycle: 2.0,
+            max_outstanding_misses: 11,
+            scalar_speed_per_ghz: 1.35,
+            mem_stall_serialisation: 0.30,
+            bw_freq_exp: 0.95,
+        }
+    }
+
+    /// Sandy Bridge as shipped in the Core i7-2760QM.
+    pub fn sandy_bridge() -> Self {
+        CoreModel {
+            uarch: Microarch::SandyBridge,
+            fp64_flops_per_cycle: 8.0,
+            max_outstanding_misses: 32,
+            scalar_speed_per_ghz: 2.6,
+            mem_stall_serialisation: 0.15,
+            bw_freq_exp: 0.90,
+        }
+    }
+
+    /// Projected ARMv8 core (paper §3.1.2: ARMv8 brings FP64 into NEON,
+    /// "double the performance, while keeping the power of the core itself at
+    /// almost the same level").
+    pub fn armv8_projected() -> Self {
+        CoreModel {
+            uarch: Microarch::ArmV8,
+            fp64_flops_per_cycle: 4.0,
+            max_outstanding_misses: 12,
+            scalar_speed_per_ghz: 1.45,
+            mem_stall_serialisation: 0.28,
+            bw_freq_exp: 0.93,
+        }
+    }
+
+    /// Fraction of peak FP64 throughput attained by out-of-the-box compiled
+    /// code with the given dominant access pattern.
+    ///
+    /// These factors are **calibrated** against the paper's measured averages
+    /// (see `calib` module docs and the `calibration` tests): mobile cores
+    /// attain a large fraction of their narrow peak, while Sandy Bridge's
+    /// 8-flops/cycle AVX peak is mostly untapped by unvectorised builds —
+    /// which is exactly why the paper's measured i7 advantage (~2.6× per GHz)
+    /// is far below the 8× peak ratio.
+    pub fn issue_efficiency(&self, pattern: AccessPattern) -> f64 {
+        use AccessPattern::*;
+        match self.uarch {
+            Microarch::CortexA9 => match pattern {
+                ComputeBound => 0.85,
+                LocalityRich => 0.70,
+                Streaming => 0.75,
+                Strided => 0.55,
+                Irregular => 0.35,
+            },
+            Microarch::CortexA15 => match pattern {
+                ComputeBound => 0.55,
+                LocalityRich => 0.45,
+                Streaming => 0.49,
+                Strided => 0.36,
+                Irregular => 0.23,
+            },
+            Microarch::SandyBridge => match pattern {
+                ComputeBound => 0.28,
+                LocalityRich => 0.23,
+                Streaming => 0.24,
+                Strided => 0.18,
+                Irregular => 0.115,
+            },
+            // ARMv8 projection: A15-like pipeline utilisation of a 2× wider
+            // unit (slightly lower fractions: wider units are harder to fill).
+            Microarch::ArmV8 => match pattern {
+                ComputeBound => 0.50,
+                LocalityRich => 0.40,
+                Streaming => 0.44,
+                Strided => 0.32,
+                Irregular => 0.20,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_per_cycle_match_table1_derivation() {
+        // Table 1: Tegra 2 = 2 cores @ 1.0 GHz = 2.0 GFLOPS -> 1 flop/cyc/core.
+        assert_eq!(CoreModel::cortex_a9().fp64_flops_per_cycle, 1.0);
+        // Exynos 5250 = 2 cores @ 1.7 GHz = 6.8 GFLOPS -> 2 flops/cyc/core.
+        assert_eq!(CoreModel::cortex_a15().fp64_flops_per_cycle, 2.0);
+        // i7-2760QM = 4 cores @ 2.4 GHz = 76.8 GFLOPS -> 8 flops/cyc/core.
+        assert_eq!(CoreModel::sandy_bridge().fp64_flops_per_cycle, 8.0);
+    }
+
+    #[test]
+    fn issue_efficiency_is_a_fraction() {
+        for core in [
+            CoreModel::cortex_a9(),
+            CoreModel::cortex_a15(),
+            CoreModel::sandy_bridge(),
+            CoreModel::armv8_projected(),
+        ] {
+            for p in AccessPattern::ALL {
+                let e = core.issue_efficiency(p);
+                assert!(e > 0.0 && e <= 1.0, "{:?}/{:?} = {}", core.uarch, p, e);
+            }
+        }
+    }
+
+    #[test]
+    fn compute_bound_is_best_pattern_for_every_core() {
+        for core in [
+            CoreModel::cortex_a9(),
+            CoreModel::cortex_a15(),
+            CoreModel::sandy_bridge(),
+            CoreModel::armv8_projected(),
+        ] {
+            let cb = core.issue_efficiency(AccessPattern::ComputeBound);
+            for p in AccessPattern::ALL {
+                assert!(core.issue_efficiency(p) <= cb);
+            }
+        }
+    }
+
+    #[test]
+    fn a15_beats_a9_per_cycle_on_every_pattern() {
+        let a9 = CoreModel::cortex_a9();
+        let a15 = CoreModel::cortex_a15();
+        for p in AccessPattern::ALL {
+            let f9 = a9.fp64_flops_per_cycle * a9.issue_efficiency(p);
+            let f15 = a15.fp64_flops_per_cycle * a15.issue_efficiency(p);
+            assert!(f15 > f9, "pattern {p:?}: A15 {f15} !> A9 {f9}");
+        }
+    }
+}

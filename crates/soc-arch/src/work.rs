@@ -1,0 +1,205 @@
+//! Work profiles: architecture-independent descriptions of what a kernel does.
+//!
+//! A [`WorkProfile`] is the contract between the `kernels` crate (which
+//! produces profiles from real, instrumented implementations) and the timing
+//! engine in this crate (which turns a profile into a per-platform execution
+//! time). Keeping the profile architecture-independent is what lets the same
+//! kernel be "run" on all four Table-1 platforms at every DVFS point.
+
+use serde::{Deserialize, Serialize};
+
+/// Dominant memory-access behaviour of a kernel (Table 2's "Properties"
+/// column, abstracted into classes the timing model can act on).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Sequential, prefetch-friendly passes over large arrays (vecop, red,
+    /// STREAM).
+    Streaming,
+    /// High data reuse in cache (blocked dmmm, 2dcon).
+    LocalityRich,
+    /// Constant non-unit stride (3dstc, fft's long strides).
+    Strided,
+    /// Data-dependent, hard-to-prefetch accesses (nbody neighbour loads,
+    /// spvm column gathers, hist bins).
+    Irregular,
+    /// Negligible memory traffic; FP pipeline bound (amcd).
+    ComputeBound,
+}
+
+impl AccessPattern {
+    /// All patterns, for exhaustive iteration in tests and tables.
+    pub const ALL: [AccessPattern; 5] = [
+        AccessPattern::Streaming,
+        AccessPattern::LocalityRich,
+        AccessPattern::Strided,
+        AccessPattern::Irregular,
+        AccessPattern::ComputeBound,
+    ];
+
+    /// Fraction of peak DRAM bandwidth this pattern can exploit, relative to
+    /// a pure streaming pattern (applied on top of the platform's measured
+    /// streaming efficiency).
+    pub fn bandwidth_factor(self) -> f64 {
+        match self {
+            AccessPattern::Streaming => 1.0,
+            AccessPattern::LocalityRich => 0.95,
+            AccessPattern::Strided => 0.55,
+            AccessPattern::Irregular => 0.35,
+            AccessPattern::ComputeBound => 1.0,
+        }
+    }
+}
+
+/// Architecture-independent work description for one execution of a kernel
+/// (or one phase of an application).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkProfile {
+    /// Short identifier (e.g. `"dmmm"`).
+    pub name: &'static str,
+    /// FP64 operations performed (adds, muls; an FMA counts as 2).
+    pub flops: f64,
+    /// Bytes moved to/from DRAM (i.e. traffic past the last-level cache).
+    pub dram_bytes: f64,
+    /// Dominant access pattern.
+    pub pattern: AccessPattern,
+    /// Amdahl parallel fraction of the work (1.0 = perfectly parallel).
+    pub parallel_fraction: f64,
+    /// Multiplier on per-thread work when running on `n` threads, modelling
+    /// load imbalance: effective parallel work per thread is
+    /// `work/n * (1 + imbalance)`. 0.0 = perfectly balanced.
+    pub imbalance: f64,
+}
+
+impl WorkProfile {
+    /// A perfectly parallel, balanced profile; adjust fields as needed.
+    pub fn new(name: &'static str, flops: f64, dram_bytes: f64, pattern: AccessPattern) -> Self {
+        WorkProfile {
+            name,
+            flops,
+            dram_bytes,
+            pattern,
+            parallel_fraction: 1.0,
+            imbalance: 0.0,
+        }
+    }
+
+    /// Builder-style: set the Amdahl parallel fraction.
+    pub fn with_parallel_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "parallel fraction must be in [0,1]");
+        self.parallel_fraction = f;
+        self
+    }
+
+    /// Builder-style: set the load-imbalance factor.
+    pub fn with_imbalance(mut self, i: f64) -> Self {
+        assert!(i >= 0.0, "imbalance must be non-negative");
+        self.imbalance = i;
+        self
+    }
+
+    /// Arithmetic intensity in flops per DRAM byte (∞ for compute-only work).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.dram_bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.dram_bytes
+        }
+    }
+
+    /// Combine two profiles executed back to back (patterns must match for
+    /// the result to stay meaningful; the dominant-by-bytes pattern wins).
+    pub fn merge(&self, other: &WorkProfile) -> WorkProfile {
+        let total_flops = self.flops + other.flops;
+        let pattern = if self.dram_bytes >= other.dram_bytes {
+            self.pattern
+        } else {
+            other.pattern
+        };
+        let pf = if total_flops > 0.0 {
+            (self.parallel_fraction * self.flops + other.parallel_fraction * other.flops)
+                / total_flops
+        } else {
+            1.0
+        };
+        WorkProfile {
+            name: self.name,
+            flops: total_flops,
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+            pattern,
+            parallel_fraction: pf,
+            imbalance: self.imbalance.max(other.imbalance),
+        }
+    }
+
+    /// Scale the amount of work (both flops and bytes) by a factor.
+    pub fn scaled(&self, factor: f64) -> WorkProfile {
+        WorkProfile {
+            flops: self.flops * factor,
+            dram_bytes: self.dram_bytes * factor,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_basic() {
+        let w = WorkProfile::new("k", 100.0, 50.0, AccessPattern::Streaming);
+        assert_eq!(w.arithmetic_intensity(), 2.0);
+        let c = WorkProfile::new("c", 100.0, 0.0, AccessPattern::ComputeBound);
+        assert!(c.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    fn merge_adds_work_and_weights_parallel_fraction() {
+        let a = WorkProfile::new("a", 100.0, 10.0, AccessPattern::Streaming)
+            .with_parallel_fraction(1.0);
+        let b = WorkProfile::new("b", 300.0, 40.0, AccessPattern::Irregular)
+            .with_parallel_fraction(0.5);
+        let m = a.merge(&b);
+        assert_eq!(m.flops, 400.0);
+        assert_eq!(m.dram_bytes, 50.0);
+        // b moves more bytes, so its pattern dominates.
+        assert_eq!(m.pattern, AccessPattern::Irregular);
+        // flop-weighted parallel fraction: (1*100 + 0.5*300)/400 = 0.625.
+        assert!((m.parallel_fraction - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_scales_work_only() {
+        let a = WorkProfile::new("a", 100.0, 10.0, AccessPattern::Strided)
+            .with_parallel_fraction(0.9)
+            .with_imbalance(0.2);
+        let s = a.scaled(3.0);
+        assert_eq!(s.flops, 300.0);
+        assert_eq!(s.dram_bytes, 30.0);
+        assert_eq!(s.parallel_fraction, 0.9);
+        assert_eq!(s.imbalance, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel fraction")]
+    fn parallel_fraction_validated() {
+        let _ = WorkProfile::new("a", 1.0, 1.0, AccessPattern::Streaming)
+            .with_parallel_fraction(1.5);
+    }
+
+    #[test]
+    fn bandwidth_factors_ordered_sensibly() {
+        assert!(
+            AccessPattern::Streaming.bandwidth_factor()
+                >= AccessPattern::LocalityRich.bandwidth_factor()
+        );
+        assert!(
+            AccessPattern::LocalityRich.bandwidth_factor()
+                > AccessPattern::Strided.bandwidth_factor()
+        );
+        assert!(
+            AccessPattern::Strided.bandwidth_factor()
+                > AccessPattern::Irregular.bandwidth_factor()
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Green500-style energy-efficiency metrics (§4, [38]: "The Green Index").
+
+use serde::{Deserialize, Serialize};
+
+/// Energy-efficiency summary of an HPL run, as used for Green500 ranking.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyReport {
+    /// Sustained HPL performance, GFLOPS.
+    pub gflops: f64,
+    /// Average system power during the run, Watts.
+    pub watts: f64,
+    /// The ranking metric: MFLOPS per Watt.
+    pub mflops_per_watt: f64,
+}
+
+/// Compute the Green500 metric from sustained GFLOPS and average Watts.
+pub fn mflops_per_watt(gflops: f64, watts: f64) -> EfficiencyReport {
+    assert!(watts > 0.0, "power must be positive");
+    EfficiencyReport { gflops, watts, mflops_per_watt: gflops * 1000.0 / watts }
+}
+
+/// Reference points from the June 2013 Green500 discussion in §4, for
+/// comparison tables: (system, MFLOPS/W).
+pub const JUNE_2013_REFERENCES: &[(&str, f64)] = &[
+    ("Eurotech Eurora (Xeon E5-2687W + NVIDIA K20)", 3208.0),
+    ("BlueGene/Q (most efficient homogeneous)", 2299.0),
+    ("Tibidabo (paper measurement)", 120.0),
+    ("AMD Opteron 6174 cluster (typical)", 120.0),
+    ("Intel Xeon E5660 cluster (typical)", 130.0),
+];
+
+/// The paper's ratio statements: Tibidabo is ~19× below BlueGene/Q and ~27×
+/// below the June 2013 Green500 number one.
+pub fn tibidabo_gap_factors(tibidabo_mflops_w: f64) -> (f64, f64) {
+    let bgq = JUNE_2013_REFERENCES[1].1;
+    let top = JUNE_2013_REFERENCES[0].1;
+    (bgq / tibidabo_mflops_w, top / tibidabo_mflops_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_arithmetic() {
+        let r = mflops_per_watt(97.0, 808.0);
+        assert!((r.mflops_per_watt - 120.05).abs() < 0.1);
+    }
+
+    #[test]
+    fn paper_gap_factors_reproduced() {
+        // §4: "nineteen times lower than ... BlueGene/Q, and almost 27 times
+        // lower than the number one GPU-accelerated system".
+        let (bgq, top) = tibidabo_gap_factors(120.0);
+        assert!((bgq - 19.2).abs() < 0.5, "BG/Q gap {bgq}");
+        assert!((top - 26.7).abs() < 0.8, "top gap {top}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be positive")]
+    fn zero_power_rejected() {
+        let _ = mflops_per_watt(1.0, 0.0);
+    }
+}

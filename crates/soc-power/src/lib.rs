@@ -1,0 +1,33 @@
+//! # soc-power — wall-power and energy models
+//!
+//! Substitutes the paper's physical measurement setup (a Yokogawa WT230
+//! wattmeter between the wall socket and the platform, §3.1) with a
+//! calibrated power model per platform plus a simulated sampling meter.
+//!
+//! * [`PowerModel`] — wall power as a function of frequency, active cores and
+//!   memory traffic, per Table-1 platform (plus the leaner Tibidabo node).
+//! * [`PowerMeter`] — the WT230: 10 Hz sampling, 0.1% precision, rectangle
+//!   integration over the parallel region only.
+//! * [`mflops_per_watt`] — the Green500 ranking metric used in §4.
+//!
+//! ```
+//! use soc_power::{PowerMeter, PowerModel, PowerPhase};
+//!
+//! let pm = PowerModel::tegra2_devkit();
+//! let watts = pm.platform_power_w(1.0, 1, 1.4, false);
+//! let meter = PowerMeter::wt230();
+//! let m = meter.measure(&[PowerPhase { seconds: 30.0, watts }]);
+//! assert!((m.mean_power_w - watts).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+mod energy;
+mod green;
+mod meter;
+mod model;
+
+pub use energy::{kernel_energy, suite_energy, EnergyBreakdown};
+pub use green::{mflops_per_watt, tibidabo_gap_factors, EfficiencyReport, JUNE_2013_REFERENCES};
+pub use meter::{Measurement, PowerMeter, PowerPhase};
+pub use model::{PowerModel, VoltageCurve, REF_GHZ};

@@ -1,0 +1,257 @@
+//! Wall-socket power models for the evaluated platforms.
+//!
+//! The paper measures **whole-platform** power at the wall ("the power of the
+//! entire platform, including the power supply", §3.1), so the model is built
+//! from the same decomposition the paper's discussion implies:
+//!
+//! * a large, frequency-independent *board* term (PSU loss, regulators, NIC,
+//!   multimedia circuitry the paper's footnote 13 notes would be stripped in
+//!   production) — the paper's observation that "the SoC is not the main
+//!   power sink in the system";
+//! * a per-active-core dynamic term scaling as `f · V(f)²` with a DVFS
+//!   voltage curve;
+//! * a DRAM term proportional to the bandwidth actually used;
+//! * the SoC's idle/static power.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear DVFS voltage curve `V(f) = v0 + slope · f` (f in GHz, V in volts).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct VoltageCurve {
+    /// Voltage intercept at f = 0 (retention-ish voltage).
+    pub v0: f64,
+    /// Volts per GHz.
+    pub slope: f64,
+}
+
+impl VoltageCurve {
+    /// Supply voltage at frequency `f_ghz`.
+    pub fn volts(&self, f_ghz: f64) -> f64 {
+        self.v0 + self.slope * f_ghz
+    }
+}
+
+/// Wall-power model of one platform (developer kit or laptop).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Identifier matching `soc_arch::Platform::id`.
+    pub platform_id: &'static str,
+    /// Board power excluding the SoC and DRAM: PSU loss, regulators,
+    /// Ethernet PHY, USB hub, multimedia circuitry. Watts.
+    pub board_w: f64,
+    /// SoC static/idle power with all cores clock-gated. Watts.
+    pub soc_idle_w: f64,
+    /// Power of one active core at the 1 GHz / nominal-voltage reference
+    /// point. Watts.
+    pub core_active_w_ref: f64,
+    /// DVFS voltage curve.
+    pub volt: VoltageCurve,
+    /// DRAM power per GB/s of traffic actually sustained. Watts/(GB/s).
+    pub dram_w_per_gbs: f64,
+    /// Extra power while the NIC is transmitting/receiving. Watts.
+    pub nic_active_w: f64,
+}
+
+/// Reference frequency at which `core_active_w_ref` is specified, GHz.
+pub const REF_GHZ: f64 = 1.0;
+
+impl PowerModel {
+    /// Dynamic scaling factor `f·V(f)² / (f_ref·V(f_ref)²)`.
+    pub fn dvfs_scale(&self, f_ghz: f64) -> f64 {
+        let vr = self.volt.volts(REF_GHZ);
+        let v = self.volt.volts(f_ghz);
+        (f_ghz / REF_GHZ) * (v * v) / (vr * vr)
+    }
+
+    /// Whole-platform wall power with `active_cores` busy at `f_ghz`,
+    /// sustaining `mem_bw_gbs` of DRAM traffic.
+    pub fn platform_power_w(
+        &self,
+        f_ghz: f64,
+        active_cores: u32,
+        mem_bw_gbs: f64,
+        nic_active: bool,
+    ) -> f64 {
+        self.board_w
+            + self.soc_idle_w
+            + active_cores as f64 * self.core_active_w_ref * self.dvfs_scale(f_ghz)
+            + self.dram_w_per_gbs * mem_bw_gbs
+            + if nic_active { self.nic_active_w } else { 0.0 }
+    }
+
+    /// Idle platform power (no cores active, no traffic).
+    pub fn idle_power_w(&self) -> f64 {
+        self.board_w + self.soc_idle_w
+    }
+
+    /// Energy in Joules for a phase of `seconds` at the given load.
+    pub fn energy_j(
+        &self,
+        seconds: f64,
+        f_ghz: f64,
+        active_cores: u32,
+        mem_bw_gbs: f64,
+        nic_active: bool,
+    ) -> f64 {
+        self.platform_power_w(f_ghz, active_cores, mem_bw_gbs, nic_active) * seconds
+    }
+
+    // --- Calibrated per-platform models ---------------------------------
+    //
+    // The absolute values below are fitted so that, combined with the timing
+    // models in `soc-arch` and the Fig-3 kernel suite in `kernels`, the
+    // emergent per-iteration energies reproduce §3.1.1: 23.93 J (Tegra 2),
+    // 19.62 J (Tegra 3), 16.95 J (Arndale) and 28.57 J (Core i7) at 1 GHz,
+    // and the multicore energy gains of Fig 4 (1.7×/1.7×/2.25×/2.5×).
+    // The `kernels` crate's calibration tests assert these emergent values.
+
+    /// SECO Q7 (Tegra 2) developer kit at the wall.
+    pub fn tegra2_devkit() -> PowerModel {
+        PowerModel {
+            platform_id: "tegra2",
+            board_w: 6.2,
+            soc_idle_w: 0.6,
+            core_active_w_ref: 0.95,
+            volt: VoltageCurve { v0: 0.85, slope: 0.35 },
+            dram_w_per_gbs: 0.30,
+            nic_active_w: 0.9,
+        }
+    }
+
+    /// SECO CARMA (Tegra 3) developer kit at the wall.
+    pub fn tegra3_devkit() -> PowerModel {
+        PowerModel {
+            platform_id: "tegra3",
+            board_w: 5.5,
+            soc_idle_w: 0.7,
+            core_active_w_ref: 0.62,
+            volt: VoltageCurve { v0: 0.80, slope: 0.33 },
+            dram_w_per_gbs: 0.25,
+            nic_active_w: 0.9,
+        }
+    }
+
+    /// Arndale 5 (Exynos 5250) board at the wall.
+    pub fn exynos5250_devkit() -> PowerModel {
+        PowerModel {
+            platform_id: "exynos5250",
+            board_w: 5.3,
+            soc_idle_w: 0.5,
+            core_active_w_ref: 1.35,
+            volt: VoltageCurve { v0: 0.90, slope: 0.20 },
+            dram_w_per_gbs: 0.22,
+            nic_active_w: 0.7,
+        }
+    }
+
+    /// Dell Latitude E6420 (Core i7-2760QM), booted to the console with the
+    /// screen off, at the wall (§3: the paper's fairness configuration).
+    pub fn core_i7_laptop() -> PowerModel {
+        PowerModel {
+            platform_id: "i7-2760qm",
+            board_w: 17.0,
+            soc_idle_w: 4.5,
+            core_active_w_ref: 3.6,
+            volt: VoltageCurve { v0: 0.90, slope: 0.10 },
+            dram_w_per_gbs: 0.25,
+            nic_active_w: 1.2,
+        }
+    }
+
+    /// A Tibidabo compute node: the Tegra 2 Q7 module on the cluster carrier
+    /// (per the paper's footnote 13, multimedia/USB/SATA circuitry that a
+    /// production system would strip accounts for part of the dev-kit board
+    /// power; the cluster carrier is leaner than the full dev kit).
+    pub fn tibidabo_node() -> PowerModel {
+        PowerModel {
+            platform_id: "tegra2",
+            board_w: 4.4,
+            soc_idle_w: 0.6,
+            core_active_w_ref: 0.95,
+            volt: VoltageCurve { v0: 0.85, slope: 0.35 },
+            dram_w_per_gbs: 0.30,
+            nic_active_w: 0.9,
+        }
+    }
+
+    /// Look up the devkit power model for a `soc_arch::Platform` id.
+    pub fn for_platform(id: &str) -> Option<PowerModel> {
+        match id {
+            "tegra2" => Some(Self::tegra2_devkit()),
+            "tegra3" => Some(Self::tegra3_devkit()),
+            "exynos5250" => Some(Self::exynos5250_devkit()),
+            "i7-2760qm" => Some(Self::core_i7_laptop()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dvfs_scale_is_identity_at_reference() {
+        for pm in [
+            PowerModel::tegra2_devkit(),
+            PowerModel::tegra3_devkit(),
+            PowerModel::exynos5250_devkit(),
+            PowerModel::core_i7_laptop(),
+        ] {
+            assert!((pm.dvfs_scale(REF_GHZ) - 1.0).abs() < 1e-12, "{}", pm.platform_id);
+        }
+    }
+
+    #[test]
+    fn dvfs_scale_superlinear_above_reference() {
+        let pm = PowerModel::tegra3_devkit();
+        // f·V² grows faster than f when slope > 0.
+        assert!(pm.dvfs_scale(1.3) > 1.3);
+        assert!(pm.dvfs_scale(0.5) < 0.5 + 1e-9 + 0.5); // sublinear-ish below ref
+    }
+
+    #[test]
+    fn platform_power_increases_with_cores_and_freq() {
+        let pm = PowerModel::tegra2_devkit();
+        let p0 = pm.platform_power_w(1.0, 0, 0.0, false);
+        let p1 = pm.platform_power_w(1.0, 1, 0.0, false);
+        let p2 = pm.platform_power_w(1.0, 2, 0.0, false);
+        assert!(p0 < p1 && p1 < p2);
+        assert!(pm.platform_power_w(0.456, 1, 0.0, false) < p1);
+        assert_eq!(p0, pm.idle_power_w());
+    }
+
+    #[test]
+    fn marginal_core_power_is_small_share_of_platform() {
+        // Paper: "the majority of the power is used by other components".
+        for pm in [
+            PowerModel::tegra2_devkit(),
+            PowerModel::tegra3_devkit(),
+            PowerModel::exynos5250_devkit(),
+        ] {
+            let p1 = pm.platform_power_w(1.0, 1, 1.0, false);
+            let core_share = pm.core_active_w_ref / p1;
+            assert!(core_share < 0.35, "{}: core share {core_share}", pm.platform_id);
+        }
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let pm = PowerModel::exynos5250_devkit();
+        let p = pm.platform_power_w(1.7, 2, 3.0, true);
+        assert!((pm.energy_j(2.5, 1.7, 2, 3.0, true) - 2.5 * p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tibidabo_node_is_leaner_than_devkit() {
+        assert!(PowerModel::tibidabo_node().idle_power_w() < PowerModel::tegra2_devkit().idle_power_w());
+    }
+
+    #[test]
+    fn for_platform_covers_table1() {
+        for id in ["tegra2", "tegra3", "exynos5250", "i7-2760qm"] {
+            assert_eq!(PowerModel::for_platform(id).unwrap().platform_id, id);
+        }
+        assert!(PowerModel::for_platform("armv8-4c-2ghz").is_none());
+    }
+}

@@ -1,0 +1,179 @@
+//! Fig 2: peak double-precision floating-point performance over the years.
+//!
+//! * Fig 2(a): HPC vector processors (Cray, NEC) vs floating-point-capable
+//!   commodity microprocessors (DEC Alpha, Intel, IBM P2SC, HP PA8200),
+//!   1975–2000 — "commodity microprocessors ... were around ten times
+//!   slower ... in the period 1990 to 2000".
+//! * Fig 2(b): server processors (Intel, AMD) vs mobile SoCs (NVIDIA Tegra,
+//!   Samsung Exynos, plus the 4-core ARMv8 @ 2 GHz projection), 1990–2015 —
+//!   "they are still ten times slower, but the trend shows that the gap is
+//!   quickly being closed".
+//!
+//! Values are peak FP64 MFLOPS per processor/SoC from public specifications.
+
+use serde::{Deserialize, Serialize};
+
+use crate::regression::ExpTrend;
+
+/// Which Fig 2 series a processor belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CpuClass {
+    /// HPC vector processors (Fig 2a upper series).
+    Vector,
+    /// Commodity workstation/PC microprocessors (Fig 2a lower series).
+    Micro,
+    /// Server/desktop x86 and Alpha (Fig 2b upper series).
+    Server,
+    /// Mobile SoCs (Fig 2b lower series).
+    Mobile,
+}
+
+/// One data point of Fig 2.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CpuPoint {
+    /// Processor name.
+    pub name: &'static str,
+    /// Year of introduction.
+    pub year: u32,
+    /// Peak FP64 MFLOPS.
+    pub mflops: f64,
+    /// Series.
+    pub class: CpuClass,
+}
+
+/// The Fig 2(a) dataset: vector vs commodity, 1975–2000.
+pub fn fig2a_points() -> Vec<CpuPoint> {
+    use CpuClass::*;
+    vec![
+        CpuPoint { name: "Cray-1", year: 1976, mflops: 160.0, class: Vector },
+        CpuPoint { name: "Cray X-MP (per CPU)", year: 1982, mflops: 235.0, class: Vector },
+        CpuPoint { name: "Cray Y-MP (per CPU)", year: 1988, mflops: 333.0, class: Vector },
+        CpuPoint { name: "Cray C90 (per CPU)", year: 1991, mflops: 952.0, class: Vector },
+        CpuPoint { name: "Cray T90 (per CPU)", year: 1995, mflops: 1800.0, class: Vector },
+        CpuPoint { name: "NEC SX-4 (per CPU)", year: 1995, mflops: 2000.0, class: Vector },
+        CpuPoint { name: "NEC SX-5 (per CPU)", year: 1998, mflops: 8000.0, class: Vector },
+        CpuPoint { name: "Intel 8087", year: 1980, mflops: 0.05, class: Micro },
+        CpuPoint { name: "Intel 80387", year: 1987, mflops: 0.3, class: Micro },
+        CpuPoint { name: "Intel i486DX", year: 1989, mflops: 1.0, class: Micro },
+        CpuPoint { name: "DEC Alpha EV4 (21064)", year: 1992, mflops: 150.0, class: Micro },
+        CpuPoint { name: "Intel Pentium", year: 1993, mflops: 66.0, class: Micro },
+        CpuPoint { name: "Intel Pentium Pro", year: 1995, mflops: 200.0, class: Micro },
+        CpuPoint { name: "DEC Alpha EV5 (21164)", year: 1996, mflops: 600.0, class: Micro },
+        CpuPoint { name: "IBM P2SC", year: 1996, mflops: 540.0, class: Micro },
+        CpuPoint { name: "HP PA8200", year: 1997, mflops: 800.0, class: Micro },
+        CpuPoint { name: "Intel Pentium III", year: 1999, mflops: 500.0, class: Micro },
+    ]
+}
+
+/// The Fig 2(b) dataset: server vs mobile, 1990–2015 (per chip).
+pub fn fig2b_points() -> Vec<CpuPoint> {
+    use CpuClass::*;
+    vec![
+        CpuPoint { name: "DEC Alpha EV4", year: 1992, mflops: 150.0, class: Server },
+        CpuPoint { name: "DEC Alpha EV5", year: 1996, mflops: 600.0, class: Server },
+        CpuPoint { name: "DEC Alpha EV6", year: 1998, mflops: 1000.0, class: Server },
+        CpuPoint { name: "Intel Pentium 4", year: 2001, mflops: 3000.0, class: Server },
+        CpuPoint { name: "AMD Opteron 248", year: 2003, mflops: 4400.0, class: Server },
+        CpuPoint { name: "Intel Xeon 5160 (2c)", year: 2006, mflops: 24_000.0, class: Server },
+        CpuPoint { name: "AMD Opteron 2356 (4c)", year: 2008, mflops: 36_800.0, class: Server },
+        CpuPoint { name: "Intel Xeon X5570 (4c)", year: 2009, mflops: 46_880.0, class: Server },
+        CpuPoint { name: "Intel Xeon E5-2670 (8c)", year: 2012, mflops: 166_400.0, class: Server },
+        CpuPoint { name: "Intel Xeon E5-2697v2 (12c)", year: 2013, mflops: 259_200.0, class: Server },
+        CpuPoint { name: "ARM11 (no FP64 SIMD)", year: 2005, mflops: 80.0, class: Mobile },
+        CpuPoint { name: "Cortex-A8 SoCs", year: 2008, mflops: 300.0, class: Mobile },
+        CpuPoint { name: "NVIDIA Tegra 2", year: 2011, mflops: 2000.0, class: Mobile },
+        CpuPoint { name: "NVIDIA Tegra 3", year: 2012, mflops: 5200.0, class: Mobile },
+        CpuPoint { name: "Samsung Exynos 5250", year: 2012, mflops: 6800.0, class: Mobile },
+        CpuPoint { name: "Samsung Exynos 5410 (4×A15)", year: 2013, mflops: 12_800.0, class: Mobile },
+        CpuPoint { name: "4-core ARMv8 @ 2GHz", year: 2014, mflops: 32_000.0, class: Mobile },
+    ]
+}
+
+/// Fit the exponential trend of one class within a point set.
+pub fn trend_of(points: &[CpuPoint], class: CpuClass) -> ExpTrend {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.class == class)
+        .map(|p| (p.year as f64, p.mflops))
+        .collect();
+    ExpTrend::fit(&pts)
+}
+
+/// The performance gap (upper/lower series ratio) predicted at `year`.
+pub fn gap_at(points: &[CpuPoint], upper: CpuClass, lower: CpuClass, year: f64) -> f64 {
+    trend_of(points, upper).predict(year) / trend_of(points, lower).predict(year)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2a_micro_was_roughly_10x_slower_in_the_90s() {
+        // §1: "around ten times slower ... in the period 1990 to 2000".
+        let pts = fig2a_points();
+        let g95 = gap_at(&pts, CpuClass::Vector, CpuClass::Micro, 1995.0);
+        assert!((3.0..30.0).contains(&g95), "1995 vector/micro gap {g95}");
+    }
+
+    #[test]
+    fn fig2b_mobile_is_roughly_10x_slower_but_closing() {
+        let pts = fig2b_points();
+        let g2012 = gap_at(&pts, CpuClass::Server, CpuClass::Mobile, 2012.0);
+        assert!((5.0..35.0).contains(&g2012), "2012 server/mobile gap {g2012}");
+        // The gap shrinks over time (mobile trend is steeper).
+        let g2015 = gap_at(&pts, CpuClass::Server, CpuClass::Mobile, 2015.0);
+        assert!(g2015 < g2012, "gap should close: {g2015} !< {g2012}");
+    }
+
+    #[test]
+    fn mobile_trend_is_steeper_than_server() {
+        let pts = fig2b_points();
+        let server = trend_of(&pts, CpuClass::Server);
+        let mobile = trend_of(&pts, CpuClass::Mobile);
+        assert!(mobile.b > server.b, "mobile {} !> server {}", mobile.b, server.b);
+        // And therefore a projected crossover exists, in the future.
+        let x = mobile.crossover(&server).unwrap();
+        assert!(x > 2013.0 && x < 2040.0, "projected crossover {x}");
+    }
+
+    #[test]
+    fn micro_trend_overtook_vector_trend() {
+        // Fig 2(a)'s regressions converge: micros improved faster.
+        let pts = fig2a_points();
+        let vector = trend_of(&pts, CpuClass::Vector);
+        let micro = trend_of(&pts, CpuClass::Micro);
+        assert!(micro.b > vector.b);
+    }
+
+    #[test]
+    fn doubling_times_are_moores_law_plausible() {
+        let pts = fig2b_points();
+        for class in [CpuClass::Server, CpuClass::Mobile] {
+            let t = trend_of(&pts, class).doubling_time();
+            assert!((0.5..3.0).contains(&t), "{class:?} doubling time {t} years");
+        }
+    }
+
+    #[test]
+    fn table1_socs_appear_with_table1_gflops() {
+        let pts = fig2b_points();
+        let t2 = pts.iter().find(|p| p.name.contains("Tegra 2")).unwrap();
+        assert_eq!(t2.mflops, 2000.0);
+        let e5 = pts.iter().find(|p| p.name.contains("5250")).unwrap();
+        assert_eq!(e5.mflops, 6800.0);
+    }
+
+    #[test]
+    fn fits_are_tight_enough_to_plot() {
+        for (pts, class) in [
+            (fig2a_points(), CpuClass::Vector),
+            (fig2a_points(), CpuClass::Micro),
+            (fig2b_points(), CpuClass::Server),
+            (fig2b_points(), CpuClass::Mobile),
+        ] {
+            let t = trend_of(&pts, class);
+            assert!(t.r2 > 0.75, "{class:?} r2 = {}", t.r2);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The §1 economics argument in numbers: commodity parts win on price even
+//! when individually slower.
+
+use serde::{Deserialize, Serialize};
+
+/// A priced compute part.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PricedPart {
+    /// Part name.
+    pub name: &'static str,
+    /// Unit price, USD (the paper's footnote-5 figures).
+    pub usd: f64,
+    /// Peak FP64 GFLOPS.
+    pub gflops: f64,
+}
+
+/// Intel Xeon E5-2670 at the official tray list price.
+pub const XEON_E5_2670: PricedPart =
+    PricedPart { name: "Intel Xeon E5-2670", usd: 1552.0, gflops: 166.4 };
+
+/// NVIDIA Tegra 3 at the leaked volume price.
+pub const TEGRA_3: PricedPart = PricedPart { name: "NVIDIA Tegra 3", usd: 21.0, gflops: 5.2 };
+
+/// Intel Atom S1260 at the recommended list price (the paper's "fairer
+/// comparison" reference).
+pub const ATOM_S1260: PricedPart = PricedPart { name: "Intel Atom S1260", usd: 64.0, gflops: 8.0 };
+
+/// Price ratio between two parts.
+pub fn price_ratio(expensive: &PricedPart, cheap: &PricedPart) -> f64 {
+    expensive.usd / cheap.usd
+}
+
+/// GFLOPS per dollar.
+pub fn gflops_per_dollar(p: &PricedPart) -> f64 {
+    p.gflops / p.usd
+}
+
+/// The 1990s transition arithmetic (§1): microprocessors were ~10× slower
+/// but ~30× cheaper, so a system needing 10× as many of them was still
+/// cheaper overall. Returns the system-cost ratio (old/new) for a fixed
+/// target performance.
+pub fn system_cost_ratio(perf_ratio: f64, price_ratio: f64) -> f64 {
+    // Need `perf_ratio` more units; each costs `1/price_ratio` as much.
+    price_ratio / perf_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_vs_tegra3_is_about_70x() {
+        // §1: "mobile SoCs are approximately 70 times cheaper".
+        let r = price_ratio(&XEON_E5_2670, &TEGRA_3);
+        assert!((70.0 - r).abs() < 5.0, "ratio {r}");
+    }
+
+    #[test]
+    fn xeon_vs_atom_is_about_24x() {
+        // Footnote 5: "$1552 vs. $64 which gives the ratio of ~24".
+        let r = price_ratio(&XEON_E5_2670, &ATOM_S1260);
+        assert!((24.0 - r).abs() < 1.0, "ratio {r}");
+    }
+
+    #[test]
+    fn tegra3_wins_on_gflops_per_dollar() {
+        assert!(gflops_per_dollar(&TEGRA_3) > 2.0 * gflops_per_dollar(&XEON_E5_2670));
+    }
+
+    #[test]
+    fn nineties_arithmetic_favoured_commodity() {
+        // 10× slower, 30× cheaper => 3× cheaper per unit performance.
+        let r = system_cost_ratio(10.0, 30.0);
+        assert!((r - 3.0).abs() < 1e-12);
+        assert!(r > 1.0, "commodity must win for the transition to happen");
+    }
+}

@@ -1,0 +1,27 @@
+//! # trends — the market/performance history behind Figs 1 and 2
+//!
+//! The paper's motivation rests on three historical datasets and their
+//! exponential trends:
+//!
+//! * [`top500::editions`] — Fig 1: TOP500 composition 1993–2013 (vector/SIMD
+//!   displaced by RISC, RISC displaced by x86);
+//! * [`cpu_history::fig2a_points`] — Fig 2(a): vector vs commodity peak FP64
+//!   MFLOPS, 1975–2000;
+//! * [`cpu_history::fig2b_points`] — Fig 2(b): server vs mobile peak FP64
+//!   MFLOPS, 1990–2015 with the ARMv8 projection;
+//! * [`economics`] — the §1 price arithmetic (the ~70× Xeon/Tegra-3 ratio).
+//!
+//! [`ExpTrend`] provides the log-space least-squares fits drawn as the
+//! "Exponential regression" lines in the figures, plus doubling-time and
+//! crossover analysis.
+
+#![warn(missing_docs)]
+
+pub mod cpu_history;
+pub mod economics;
+mod regression;
+pub mod top500;
+
+pub use cpu_history::{fig2a_points, fig2b_points, gap_at, trend_of, CpuClass, CpuPoint};
+pub use regression::ExpTrend;
+pub use top500::{editions, first_dominant_year, ArchClass, Top500Edition};

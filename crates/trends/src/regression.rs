@@ -1,0 +1,117 @@
+//! Exponential-trend regression: the "Exponential regression" lines of
+//! Fig 2(a)/(b) are least-squares fits of `log10(MFLOPS)` against year.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponential trend `y(x) = 10^(a + b·x)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExpTrend {
+    /// Intercept of `log10 y` at `x = 0`.
+    pub a: f64,
+    /// Slope of `log10 y` per unit `x` (per year).
+    pub b: f64,
+    /// Coefficient of determination of the log-space fit.
+    pub r2: f64,
+}
+
+impl ExpTrend {
+    /// Fit `log10(y)` against `x` by ordinary least squares.
+    ///
+    /// Panics if fewer than two points or all `x` identical; ignores
+    /// non-positive `y` values (they have no logarithm).
+    pub fn fit(points: &[(f64, f64)]) -> ExpTrend {
+        let pts: Vec<(f64, f64)> =
+            points.iter().filter(|(_, y)| *y > 0.0).map(|&(x, y)| (x, y.log10())).collect();
+        assert!(pts.len() >= 2, "need at least two positive points");
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        assert!(denom.abs() > 1e-12, "x values are degenerate");
+        let b = (n * sxy - sx * sy) / denom;
+        let a = (sy - b * sx) / n;
+        // R² in log space.
+        let mean_y = sy / n;
+        let ss_tot: f64 = pts.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+        let ss_res: f64 = pts.iter().map(|p| (p.1 - (a + b * p.0)).powi(2)).sum();
+        let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        ExpTrend { a, b, r2 }
+    }
+
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        10f64.powf(self.a + self.b * x)
+    }
+
+    /// Time for the trend to double (years per 2×).
+    pub fn doubling_time(&self) -> f64 {
+        assert!(self.b != 0.0, "flat trend never doubles");
+        2f64.log10() / self.b
+    }
+
+    /// The `x` at which this trend crosses `other` (equal predicted values).
+    /// Returns `None` for parallel trends.
+    pub fn crossover(&self, other: &ExpTrend) -> Option<f64> {
+        let db = self.b - other.b;
+        if db.abs() < 1e-12 {
+            return None;
+        }
+        Some((other.a - self.a) / db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_exponential_recovered() {
+        // y = 10^(0.5 + 0.3 x)
+        let pts: Vec<(f64, f64)> =
+            (0..10).map(|i| (i as f64, 10f64.powf(0.5 + 0.3 * i as f64))).collect();
+        let t = ExpTrend::fit(&pts);
+        assert!((t.a - 0.5).abs() < 1e-9);
+        assert!((t.b - 0.3).abs() < 1e-9);
+        assert!(t.r2 > 0.999999);
+    }
+
+    #[test]
+    fn doubling_time_of_moores_law_like_trend() {
+        // Doubling every 2 years: b = log10(2)/2 ≈ 0.1505.
+        let t = ExpTrend { a: 0.0, b: 2f64.log10() / 2.0, r2: 1.0 };
+        assert!((t.doubling_time() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossover_of_two_trends() {
+        let slow = ExpTrend { a: 2.0, b: 0.10, r2: 1.0 };
+        let fast = ExpTrend { a: 0.0, b: 0.30, r2: 1.0 };
+        let x = fast.crossover(&slow).unwrap();
+        assert!((x - 10.0).abs() < 1e-9);
+        assert!((fast.predict(x) - slow.predict(x)).abs() < 1e-6 * slow.predict(x));
+        assert!(slow.crossover(&ExpTrend { a: 9.0, b: 0.10, r2: 1.0 }).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_has_sub_one_r2() {
+        let pts = vec![(0.0, 10.0), (1.0, 30.0), (2.0, 40.0), (3.0, 300.0)];
+        let t = ExpTrend::fit(&pts);
+        assert!(t.r2 < 1.0 && t.r2 > 0.5);
+        assert!(t.b > 0.0);
+    }
+
+    #[test]
+    fn non_positive_values_are_ignored() {
+        let pts = vec![(0.0, 1.0), (1.0, 10.0), (2.0, 0.0), (3.0, -5.0), (2.0, 100.0)];
+        let t = ExpTrend::fit(&pts);
+        assert!((t.b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn too_few_points_panics() {
+        ExpTrend::fit(&[(1.0, 10.0)]);
+    }
+}

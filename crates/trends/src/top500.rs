@@ -1,0 +1,137 @@
+//! Fig 1: TOP500 system counts by architecture class, 1993–2013.
+//!
+//! The dataset is a reconstruction of the published TOP500 list composition
+//! (June editions), carrying the three transitions the paper narrates: the
+//! vector/SIMD era, its displacement by RISC microprocessors in the late
+//! 1990s, and the x86 takeover through the 2000s ("the June 2013 TOP500 list
+//! is still dominated by x86"). Values are approximate — the *shape* is the
+//! figure's content.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture class of a TOP500 system (Fig 1's three series).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ArchClass {
+    /// Special-purpose vector and SIMD machines (Cray, NEC, MasPar, Convex).
+    VectorSimd,
+    /// RISC microprocessor systems (Alpha, SPARC, MIPS, POWER, PA-RISC).
+    Risc,
+    /// x86 commodity systems (Intel/AMD).
+    X86,
+}
+
+/// One June-list edition: counts per class (summing to ≤ 500; the remainder
+/// is "other").
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Top500Edition {
+    /// List year.
+    pub year: u32,
+    /// Vector/SIMD system count.
+    pub vector_simd: u32,
+    /// RISC system count.
+    pub risc: u32,
+    /// x86 system count.
+    pub x86: u32,
+}
+
+impl Top500Edition {
+    /// Count for a class.
+    pub fn count(&self, class: ArchClass) -> u32 {
+        match class {
+            ArchClass::VectorSimd => self.vector_simd,
+            ArchClass::Risc => self.risc,
+            ArchClass::X86 => self.x86,
+        }
+    }
+
+    /// The class with the most systems this edition.
+    pub fn dominant(&self) -> ArchClass {
+        let mut best = ArchClass::VectorSimd;
+        for c in [ArchClass::Risc, ArchClass::X86] {
+            if self.count(c) > self.count(best) {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// The Fig 1 dataset (June editions, reconstructed).
+pub fn editions() -> Vec<Top500Edition> {
+    // year, vector/SIMD, RISC, x86
+    const DATA: &[(u32, u32, u32, u32)] = &[
+        (1993, 334, 131, 20),
+        (1994, 282, 193, 14),
+        (1995, 248, 237, 8),
+        (1996, 205, 283, 7),
+        (1997, 123, 368, 6),
+        (1998, 86, 404, 8),
+        (1999, 65, 418, 12),
+        (2000, 47, 430, 17),
+        (2001, 34, 422, 38),
+        (2002, 31, 390, 72),
+        (2003, 23, 332, 135),
+        (2004, 17, 265, 210),
+        (2005, 14, 190, 288),
+        (2006, 9, 141, 342),
+        (2007, 6, 105, 382),
+        (2008, 4, 78, 411),
+        (2009, 3, 62, 428),
+        (2010, 2, 53, 437),
+        (2011, 1, 48, 444),
+        (2012, 1, 44, 448),
+        (2013, 1, 41, 451),
+    ];
+    DATA.iter()
+        .map(|&(year, vector_simd, risc, x86)| Top500Edition { year, vector_simd, risc, x86 })
+        .collect()
+}
+
+/// First June edition in which `class` is the dominant architecture.
+pub fn first_dominant_year(class: ArchClass) -> Option<u32> {
+    editions().into_iter().find(|e| e.dominant() == class).map(|e| e.year)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_covers_1993_to_2013_continuously() {
+        let e = editions();
+        assert_eq!(e.first().unwrap().year, 1993);
+        assert_eq!(e.last().unwrap().year, 2013);
+        assert!(e.windows(2).all(|w| w[1].year == w[0].year + 1));
+    }
+
+    #[test]
+    fn counts_never_exceed_500() {
+        for e in editions() {
+            assert!(e.vector_simd + e.risc + e.x86 <= 500, "year {}", e.year);
+        }
+    }
+
+    #[test]
+    fn the_three_eras_appear_in_order() {
+        // Vector dominates first, then RISC, then x86 — the Fig 1 story.
+        assert_eq!(first_dominant_year(ArchClass::VectorSimd), Some(1993));
+        let risc = first_dominant_year(ArchClass::Risc).unwrap();
+        let x86 = first_dominant_year(ArchClass::X86).unwrap();
+        assert!((1994..=1996).contains(&risc), "RISC takeover at {risc}");
+        assert!((2003..=2006).contains(&x86), "x86 takeover at {x86}");
+    }
+
+    #[test]
+    fn vector_systems_are_almost_extinct_by_2013() {
+        // §1: "Vector processors are almost extinct".
+        let last = editions().pop().unwrap();
+        assert!(last.vector_simd <= 2);
+        assert!(last.x86 > 400, "June 2013 x86 dominance");
+    }
+
+    #[test]
+    fn risc_peaks_around_the_millennium() {
+        let peak = editions().into_iter().max_by_key(|e| e.risc).unwrap();
+        assert!((1998..=2001).contains(&peak.year), "RISC peak at {}", peak.year);
+    }
+}

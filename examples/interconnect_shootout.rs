@@ -1,0 +1,38 @@
+//! Interconnect shoot-out: §4.1 / Fig 7 — TCP/IP vs Open-MX, PCIe vs USB.
+//!
+//! ```text
+//! cargo run --release --example interconnect_shootout
+//! ```
+
+use socready::mpi::{pingpong, JobSpec};
+use socready::net::{penalty_table, ProtocolModel};
+use socready::prelude::*;
+
+fn main() {
+    let cases = [
+        ("Tegra2  (PCIe NIC)  TCP/IP ", Platform::tegra2(), 1.0, ProtocolModel::tcp_ip()),
+        ("Tegra2  (PCIe NIC)  Open-MX", Platform::tegra2(), 1.0, ProtocolModel::open_mx()),
+        ("Exynos5 (USB3 NIC)  TCP/IP ", Platform::exynos5250(), 1.0, ProtocolModel::tcp_ip()),
+        ("Exynos5 (USB3 NIC)  Open-MX", Platform::exynos5250(), 1.0, ProtocolModel::open_mx()),
+        ("Exynos5 @1.4GHz     TCP/IP ", Platform::exynos5250(), 1.4, ProtocolModel::tcp_ip()),
+        ("Exynos5 @1.4GHz     Open-MX", Platform::exynos5250(), 1.4, ProtocolModel::open_mx()),
+    ];
+    println!("{:<30} {:>12} {:>12}", "configuration", "latency (us)", "BW (MB/s)");
+    for (name, plat, freq, proto) in cases {
+        let spec = JobSpec::new(plat, 2).with_freq(freq).with_proto(proto);
+        let lat = pingpong(spec.clone(), &[4], 3)[0].latency_us;
+        let bw = pingpong(spec, &[16 << 20], 1)[0].bandwidth_mbs;
+        println!("{name:<30} {lat:>12.1} {bw:>12.1}");
+    }
+    println!("\npaper: Tegra2 100/65 us, 65/117 MB/s; Exynos 125/93 us, 63/69 MB/s (75 @1.4GHz)");
+
+    println!("\nwhat a given latency costs in execution time (S4.1, after [36]):");
+    for row in penalty_table(&[65.0, 100.0], 2.0) {
+        println!(
+            "  {:>5.0} us  ->  +{:>2.0}% on a Sandy Bridge node, +{:>2.0}% on an ARM node",
+            row.latency_us,
+            100.0 * row.snb_penalty,
+            100.0 * row.arm_penalty
+        );
+    }
+}

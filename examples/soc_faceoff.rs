@@ -1,0 +1,44 @@
+//! SoC face-off: the paper's §3 single-node study, plus the ARMv8 what-if.
+//!
+//! Reproduces the Fig 3 frequency sweep (performance and energy relative to
+//! Tegra 2 @ 1 GHz) and then asks the paper's forward-looking question: what
+//! does the projected 4-core ARMv8 part do to the gap?
+//!
+//! ```text
+//! cargo run --release --example soc_faceoff
+//! ```
+
+use socready::arch::{suite_speedup, Platform};
+use socready::kernels::fig3_profiles;
+use socready::power::{suite_energy, PowerModel};
+
+fn main() {
+    let suite = fig3_profiles();
+    let baseline = Platform::tegra2().soc;
+    let e_base = suite_energy(&baseline, &PowerModel::tegra2_devkit(), 1.0, 1, &suite).1;
+
+    println!("single-core DVFS sweep (speedup and energy vs Tegra2@1GHz):\n");
+    println!("{:<14} {:>6} {:>9} {:>9}", "platform", "GHz", "speedup", "E ratio");
+    for p in Platform::table1() {
+        let pm = PowerModel::for_platform(p.id).unwrap();
+        for &f in &p.soc.dvfs_ghz {
+            let s = suite_speedup(&p.soc, f, 1, &baseline, 1.0, 1, &suite);
+            let e = suite_energy(&p.soc, &pm, f, 1, &suite).1;
+            println!("{:<14} {:>6.2} {:>9.2} {:>9.2}", p.id, f, s, e / e_base);
+        }
+        println!();
+    }
+
+    // The paper's §3.1.2 projection: ARMv8 doubles FP64 per cycle.
+    let v8 = Platform::armv8_projection();
+    let i7 = Platform::core_i7_2760qm();
+    let s_v8 = suite_speedup(&v8.soc, v8.soc.fmax_ghz, 1, &baseline, 1.0, 1, &suite);
+    let s_i7 = suite_speedup(&i7.soc, i7.soc.fmax_ghz, 1, &baseline, 1.0, 1, &suite);
+    println!("what-if: projected {}", v8.soc.name);
+    println!("  serial speedup vs Tegra2@1GHz: {s_v8:.2} (i7-2760QM: {s_i7:.2})");
+    println!(
+        "  remaining mobile-vs-laptop gap: {:.1}x (Tegra 2 era: {:.1}x)",
+        s_i7 / s_v8,
+        s_i7
+    );
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: the paper's claims, reproduced end-to-end
+//! through the public API at test-friendly scale.
+
+use socready::apps::hpl::{run_hpl, HplConfig};
+use socready::apps::{fig6, AppId};
+use socready::kernels::fig3_profiles;
+use socready::mpi::{pingpong, JobSpec};
+use socready::net::ProtocolModel;
+use socready::power::{suite_energy, PowerModel};
+use socready::prelude::*;
+
+#[test]
+fn fig3_headline_single_core_story() {
+    // "From the situation when Tegra 2 was 6.5 times slower we have arrived
+    // to the position where Exynos 5 is just 3 times slower" (§3.1.1).
+    let suite = fig3_profiles();
+    let t2 = Platform::tegra2().soc;
+    let e5 = Platform::exynos5250().soc;
+    let i7 = Platform::core_i7_2760qm().soc;
+    let gap_t2 = socready::arch::suite_speedup(&i7, 2.4, 1, &t2, 1.0, 1, &suite);
+    let gap_e5 = socready::arch::suite_speedup(&i7, 2.4, 1, &e5, 1.7, 1, &suite);
+    assert!((5.7..7.3).contains(&gap_t2), "Tegra2 gap {gap_t2}");
+    assert!((2.6..3.4).contains(&gap_e5), "Exynos gap {gap_e5}");
+}
+
+#[test]
+fn arm_platforms_win_on_energy_to_solution() {
+    // §3.1.1: every ARM platform consumes less energy per iteration than the
+    // Intel platform at the 1 GHz comparison point.
+    let suite = fig3_profiles();
+    let i7 = suite_energy(
+        &Platform::core_i7_2760qm().soc,
+        &PowerModel::core_i7_laptop(),
+        1.0,
+        1,
+        &suite,
+    )
+    .1;
+    for (p, pm) in [
+        (Platform::tegra2(), PowerModel::tegra2_devkit()),
+        (Platform::tegra3(), PowerModel::tegra3_devkit()),
+        (Platform::exynos5250(), PowerModel::exynos5250_devkit()),
+    ] {
+        let e = suite_energy(&p.soc, &pm, 1.0, 1, &suite).1;
+        assert!(e < i7, "{}: {e} J !< i7 {i7} J", p.id);
+    }
+}
+
+#[test]
+fn hpl_small_execute_is_correct_on_the_tibidabo_network() {
+    // Real LU with pivoting over the tree topology (not just the test star).
+    let m = Machine::tibidabo();
+    let res = run_hpl(m.job(6), HplConfig::small(72, 8));
+    assert!(res.residual.unwrap() < 16.0, "residual {}", res.residual.unwrap());
+}
+
+#[test]
+fn hpl_weak_scaling_efficiency_band_at_moderate_scale() {
+    // The §4 weak-scaling story at 16 nodes: efficiency must already be on
+    // the way down from the single-node dgemm bound (~70%) toward the
+    // 96-node 51%.
+    let m = Machine::tibidabo();
+    let cfg = HplConfig::tibidabo_weak(16);
+    let run = run_mpi(m.job(16), move |r| {
+        let t0 = r.now();
+        socready::apps::hpl::hpl_rank(r, &cfg);
+        (r.now() - t0).as_secs_f64()
+    })
+    .unwrap();
+    let secs = run.results.iter().cloned().fold(0.0, f64::max);
+    let eff = cfg.flops() / secs / 1e9 / m.peak_gflops(16);
+    assert!((0.50..0.72).contains(&eff), "16-node weak efficiency {eff}");
+}
+
+#[test]
+fn green500_at_16_nodes_is_in_the_tibidabo_class() {
+    let m = Machine::tibidabo();
+    let cfg = HplConfig::tibidabo_weak(16);
+    let run = run_mpi(m.job(16), move |r| {
+        let t0 = r.now();
+        socready::apps::hpl::hpl_rank(r, &cfg);
+        (r.now() - t0).as_secs_f64()
+    })
+    .unwrap();
+    let secs = run.results.iter().cloned().fold(0.0, f64::max);
+    let gflops = cfg.flops() / secs / 1e9;
+    let g = green500(&m, &run, 16, 1.0, gflops);
+    // Paper: 120 MFLOPS/W at 96 nodes; smaller partitions land close by.
+    assert!(
+        (100.0..180.0).contains(&g.mflops_per_watt),
+        "{} MFLOPS/W",
+        g.mflops_per_watt
+    );
+}
+
+#[test]
+fn openmx_beats_tcp_on_latency_everywhere_and_bandwidth_where_cpu_bound() {
+    // Fig 7: Open-MX always cuts latency. On Tegra 2 (PCIe NIC) it also
+    // nearly doubles bandwidth because TCP is CPU-copy-bound there; on the
+    // Arndale both protocols ride the same USB bottleneck (paper: 63 vs
+    // 69 MB/s — near-identical), so only parity is required.
+    for plat in [Platform::tegra2(), Platform::exynos5250()] {
+        let tcp = JobSpec::new(plat.clone(), 2).with_freq(1.0).with_proto(ProtocolModel::tcp_ip());
+        let omx =
+            JobSpec::new(plat.clone(), 2).with_freq(1.0).with_proto(ProtocolModel::open_mx());
+        let lat_tcp = pingpong(tcp.clone(), &[4], 2)[0].latency_us;
+        let lat_omx = pingpong(omx.clone(), &[4], 2)[0].latency_us;
+        let bw_tcp = pingpong(tcp, &[8 << 20], 1)[0].bandwidth_mbs;
+        let bw_omx = pingpong(omx, &[8 << 20], 1)[0].bandwidth_mbs;
+        assert!(lat_omx < lat_tcp, "{}: {lat_omx} !< {lat_tcp}", plat.id);
+        if plat.id == "tegra2" {
+            assert!(bw_omx > 1.5 * bw_tcp, "{}: {bw_omx} !>> {bw_tcp}", plat.id);
+        } else {
+            assert!(bw_omx > 0.97 * bw_tcp, "{}: {bw_omx} vs {bw_tcp}", plat.id);
+        }
+    }
+}
+
+#[test]
+fn fig6_shape_holds_at_reduced_scale() {
+    // SPECFEM3D best, PEPC worst, HYDRO in between — the Fig 6 ordering.
+    let m = Machine::tibidabo();
+    let series = fig6(&m, &[24, 48]);
+    let eff = |id: AppId| {
+        let s = series
+            .iter()
+            .find(|s| {
+                s.app
+                    == socready::apps::table3().iter().find(|a| a.id == id).unwrap().name
+            })
+            .unwrap();
+        socready::apps::final_efficiency(s)
+    };
+    let sem = eff(AppId::Specfem3d);
+    let pepc = eff(AppId::Pepc);
+    let hydro = eff(AppId::Hydro);
+    assert!(sem > hydro, "SEM {sem} !> HYDRO {hydro}");
+    assert!(hydro > pepc, "HYDRO {hydro} !> PEPC {pepc}");
+    assert!(sem > 0.85, "SPECFEM3D should scale nearly ideally: {sem}");
+}
+
+#[test]
+fn cluster_simulations_are_bit_deterministic() {
+    let go = || {
+        let m = Machine::tibidabo();
+        let run = run_mpi(m.job(12), |r| {
+            let v = r.allreduce(ReduceOp::Sum, vec![r.rank() as f64]);
+            r.barrier();
+            (r.now().as_nanos(), v[0])
+        })
+        .unwrap();
+        (run.elapsed.as_nanos(), run.results)
+    };
+    assert_eq!(go(), go());
+}
+
+#[test]
+fn table4_balance_story() {
+    // §4.1: the mobile SoCs with 1GbE sit near a dual-socket Sandy Bridge —
+    // the network is NOT the weak point relative to their compute.
+    use socready::cluster::{bytes_per_flop, NetClass};
+    let t3 = bytes_per_flop(&Platform::tegra3(), NetClass::GbE1);
+    let e5 = bytes_per_flop(&Platform::exynos5250(), NetClass::GbE1);
+    let i7_ib = bytes_per_flop(&Platform::core_i7_2760qm(), NetClass::Ib40);
+    assert!(t3 > 0.015 && t3 < 0.03);
+    assert!(e5 > 0.015 && e5 < 0.03);
+    assert!(i7_ib < 0.1, "even 40Gb IB leaves the i7 leaner: {i7_ib}");
+}

@@ -1,0 +1,129 @@
+//! Property-based integration tests: invariants that must hold across the
+//! whole stack for arbitrary inputs.
+
+use proptest::prelude::*;
+use socready::kernels::msort::{self, MsortConfig};
+use socready::mpi::{run_mpi, JobSpec, Msg, ReduceOp};
+use socready::net::{Network, TopologySpec};
+use socready::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The roofline never reports negative or non-finite time, for any work
+    /// shape on any platform/frequency/thread combination.
+    #[test]
+    fn kernel_time_is_finite_positive(
+        flops in 1.0e3..1.0e12_f64,
+        bytes in 0.0..1.0e11_f64,
+        pat_idx in 0usize..5,
+        plat_idx in 0usize..4,
+        threads in 1u32..16,
+    ) {
+        let pattern = AccessPattern::ALL[pat_idx];
+        let p = &Platform::table1()[plat_idx];
+        let w = WorkProfile::new("prop", flops, bytes, pattern);
+        for &f in &p.soc.dvfs_ghz {
+            let t = kernel_time(&p.soc, f, threads, &w);
+            prop_assert!(t.total_s.is_finite() && t.total_s > 0.0);
+            prop_assert!(t.total_s + 1e-15 >= t.compute_s.max(t.memory_s));
+        }
+    }
+
+    /// More work never takes less modelled time (monotonicity).
+    #[test]
+    fn kernel_time_monotone_in_work(
+        flops in 1.0e6..1.0e10_f64,
+        bytes in 1.0e3..1.0e9_f64,
+        scale in 1.01..10.0_f64,
+    ) {
+        let soc = Platform::exynos5250().soc;
+        let w1 = WorkProfile::new("w", flops, bytes, AccessPattern::Streaming);
+        let w2 = w1.scaled(scale);
+        let t1 = kernel_time(&soc, 1.0, 2, &w1).total_s;
+        let t2 = kernel_time(&soc, 1.0, 2, &w2).total_s;
+        prop_assert!(t2 > t1);
+    }
+
+    /// Network transfers arrive after they depart and later departures from
+    /// the same flow never overtake earlier ones.
+    #[test]
+    fn network_transfers_are_causal_and_fifo(
+        sizes in proptest::collection::vec(1u64..4_000_000, 1..20),
+        src in 0u32..192,
+        dst in 0u32..192,
+    ) {
+        prop_assume!(src != dst);
+        let mut net = Network::gbe(TopologySpec::tibidabo());
+        let mut depart = socready::des::SimTime::ZERO;
+        let mut last_arrival = socready::des::SimTime::ZERO;
+        for s in sizes {
+            let arr = net.transmit(depart, src, dst, s);
+            prop_assert!(arr > depart);
+            prop_assert!(arr >= last_arrival, "FIFO violated");
+            last_arrival = arr;
+            depart += socready::des::SimTime::from_micros(5);
+        }
+    }
+
+    /// allreduce(SUM) equals the arithmetic sum for any rank count and any
+    /// contribution values, on every rank.
+    #[test]
+    fn allreduce_sum_is_exact(
+        ranks in 2u32..12,
+        seed in 0u64..1000,
+    ) {
+        let vals: Vec<f64> = (0..ranks).map(|r| ((seed + r as u64) % 97) as f64).collect();
+        let expect: f64 = vals.iter().sum();
+        let vals_c = vals.clone();
+        let run = run_mpi(JobSpec::new(Platform::tegra2(), ranks), move |r| {
+            r.allreduce(ReduceOp::Sum, vec![vals_c[r.rank() as usize]])[0]
+        }).unwrap();
+        for v in run.results {
+            prop_assert!((v - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Message payloads survive any route through the cluster intact.
+    #[test]
+    fn payload_integrity_over_any_pair(
+        src in 0u32..8,
+        dst in 0u32..8,
+        data in proptest::collection::vec(-1.0e6..1.0e6_f64, 1..200),
+    ) {
+        prop_assume!(src != dst);
+        let data_c = data.clone();
+        let run = run_mpi(JobSpec::new(Platform::tegra2(), 8), move |r| {
+            if r.rank() == src {
+                r.send(dst, 5, Msg::from_f64s(&data_c));
+                Vec::new()
+            } else if r.rank() == dst {
+                r.recv(src, 5).to_f64s()
+            } else {
+                Vec::new()
+            }
+        }).unwrap();
+        prop_assert_eq!(&run.results[dst as usize], &data);
+    }
+
+    /// Merge sort sorts any input (exercised through the kernels crate's
+    /// public API; complements its unit tests with a larger domain).
+    #[test]
+    fn msort_sorts_anything(mut v in proptest::collection::vec(-1.0e9..1.0e9_f64, 0..500)) {
+        let out = msort::run_par(&MsortConfig { n: v.len() }, &v);
+        v.sort_by(f64::total_cmp);
+        prop_assert_eq!(out, v);
+    }
+}
+
+#[test]
+fn energy_monotone_in_time_for_fixed_power() {
+    // Longer runs at the same operating point cost more energy.
+    let pm = socready::power::PowerModel::tegra2_devkit();
+    let mut last = 0.0;
+    for secs in [0.5, 1.0, 2.0, 4.0] {
+        let e = pm.energy_j(secs, 1.0, 2, 1.0, false);
+        assert!(e > last);
+        last = e;
+    }
+}
