@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# CI gate for the workspace. Run from the repo root:
+#
+#   ./ci.sh          # full gate: fmt, clippy, build, tests, smoke run
+#   ./ci.sh --quick  # skip the release build + smoke run (fast local check)
+#
+# Everything here runs fully offline: all third-party deps are vendored
+# under vendor/, so no registry access is needed (or attempted).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+step() { echo; echo "==> $*"; }
+
+step "rustfmt (check only)"
+cargo fmt --all --check
+
+step "clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "tests (debug, whole workspace)"
+cargo test --workspace --quiet
+
+if [[ $quick -eq 0 ]]; then
+  step "release build"
+  cargo build --release --workspace --quiet
+
+  step "smoke: repro --quick --headline resilience"
+  out=$(mktemp -d)
+  cargo run --release -p bench --bin repro -- --quick --headline resilience --json "$out"
+  test -s "$out/resilience.json" || {
+    echo "error: resilience smoke run produced no JSON" >&2
+    exit 1
+  }
+  # The artefact must contain a populated sweep, not just an empty shell.
+  grep -q '"inflation"' "$out/resilience.json" || {
+    echo "error: resilience.json has no sweep cells" >&2
+    exit 1
+  }
+  echo "smoke OK: $(wc -c <"$out/resilience.json") bytes of resilience.json"
+  rm -rf "$out"
+fi
+
+echo
+echo "CI gate passed."

@@ -62,9 +62,10 @@ fn ablation_topology(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_topology");
     g.sample_size(10);
     let cfg = HplConfig { n: 4096, nb: 128, mode: Mode::Model };
-    for (name, topo) in
-        [("tibidabo_tree", TopologySpec::tibidabo()), ("ideal_star", TopologySpec::Star { nodes: 192 })]
-    {
+    for (name, topo) in [
+        ("tibidabo_tree", TopologySpec::tibidabo()),
+        ("ideal_star", TopologySpec::Star { nodes: 192 }),
+    ] {
         g.bench_function(format!("hpl_16n_{name}"), |b| {
             b.iter(|| {
                 let spec = JobSpec::new(Platform::tegra2(), 16).with_topology(topo);

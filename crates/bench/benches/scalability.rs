@@ -1,8 +1,8 @@
 //! Criterion benchmarks of the Fig 6 cluster simulations at reduced scale
 //! (the full 96-node weak-scaling run is the repro binary's job).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cluster::Machine;
+use criterion::{criterion_group, criterion_main, Criterion};
 use hpc_apps::hpl::{run_hpl, HplConfig};
 use hpc_apps::hydro::{run_hydro, HydroConfig};
 use hpc_apps::sem::{run_sem, SemConfig};

@@ -8,8 +8,12 @@
 //! repro --headline hpl   # the §4 HPL/Green500 numbers (96 nodes)
 //! repro --headline latency-penalty
 //! repro --headline extensions   # beyond-the-paper analyses (ECC, EEE, ...)
+//! repro --headline resilience   # fault injection + checkpoint/restart sweep
 //! repro --json DIR       # additionally dump machine-readable JSON
 //! ```
+//!
+//! The resilience headline always writes `resilience.json` (to the `--json`
+//! directory when given, `repro_out/` otherwise).
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -22,29 +26,58 @@ struct Opts {
     json_dir: Option<PathBuf>,
 }
 
+/// Every `items` key `main` dispatches on; a request outside this set would
+/// silently run nothing, so `parse_args` rejects it up front.
+const KNOWN_ITEMS: &[&str] = &[
+    "all",
+    "fig1",
+    "fig2",
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "hpl",
+    "latency-penalty",
+    "extensions",
+    "resilience",
+];
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 fn parse_args() -> Opts {
-    let mut items = Vec::new();
+    let mut items: Vec<String> = Vec::new();
     let mut quick = false;
     let mut json_dir = None;
     let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--all" => items.push("all".into()),
-            "--quick" => {
-                quick = true;
-                if items.is_empty() {
-                    items.push("all".into());
-                }
-            }
-            "--figure" => items.push(format!("fig{}", args.next().expect("--figure needs a value"))),
-            "--table" => items.push(format!("table{}", args.next().expect("--table needs a value"))),
-            "--headline" => items.push(args.next().expect("--headline needs a value")),
-            "--json" => json_dir = Some(PathBuf::from(args.next().expect("--json needs a dir"))),
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
-            }
+            // A bare `--quick` still means "everything, small sizes": the
+            // empty-items default below adds "all" after parsing, so flag
+            // order no longer matters.
+            "--quick" => quick = true,
+            "--figure" => items.push(format!("fig{}", value(&mut args, "--figure"))),
+            "--table" => items.push(format!("table{}", value(&mut args, "--table"))),
+            "--headline" => items.push(value(&mut args, "--headline")),
+            "--json" => json_dir = Some(PathBuf::from(value(&mut args, "--json"))),
+            other => die(&format!("unknown argument: {other}")),
         }
+    }
+    if let Some(bad) = items.iter().find(|i| !KNOWN_ITEMS.contains(&i.as_str())) {
+        die(&format!("unknown item '{bad}'; known: {}", KNOWN_ITEMS.join(", ")));
     }
     if items.is_empty() {
         items.push("all".into());
@@ -66,11 +99,7 @@ fn dump_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) 
 fn main() {
     let opts = parse_args();
     let want = |k: &str| opts.items.iter().any(|i| i == "all" || i == k);
-    let fig6_nodes: Vec<u32> = if opts.quick {
-        vec![4, 8, 16, 32]
-    } else {
-        FIG6_NODES.to_vec()
-    };
+    let fig6_nodes: Vec<u32> = if opts.quick { vec![4, 8, 16, 32] } else { FIG6_NODES.to_vec() };
 
     if want("fig1") {
         let fg = bench::fig1();
@@ -113,7 +142,9 @@ fn main() {
         println!("{}", bench::table3_render());
     }
     if want("fig6") {
-        eprintln!("running Fig 6 on nodes {fig6_nodes:?} (HPL weak scaling dominates the wall time)...");
+        eprintln!(
+            "running Fig 6 on nodes {fig6_nodes:?} (HPL weak scaling dominates the wall time)..."
+        );
         let fg = bench::fig6(&fig6_nodes);
         println!("{}", fg.render());
         dump_json(&opts.json_dir, "fig6", &fg);
@@ -140,5 +171,16 @@ fn main() {
         println!("{}", bench::eee_render());
         println!("{}", bench::roofline_render());
         println!("{}", bench::imb_render());
+    }
+    if want("resilience") || want("all") {
+        let sizes: &[u32] = if opts.quick { &[4, 8] } else { &[8, 16, 32] };
+        eprintln!(
+            "running the resilience sweep on nodes {sizes:?} x incidence {:?}...",
+            bench::INCIDENCE_GRID
+        );
+        let s = bench::resilience_study(sizes);
+        println!("{}", s.render());
+        let dir = opts.json_dir.clone().or_else(|| Some(PathBuf::from("repro_out")));
+        dump_json(&dir, "resilience", &s);
     }
 }

@@ -63,12 +63,7 @@ pub fn roofline_render() -> String {
         .iter()
         .map(|p| {
             let r = roofline(&p.soc, p.soc.fmax_ghz, p.soc.cores);
-            vec![
-                p.id.to_string(),
-                f(r.peak_gflops),
-                f(r.bandwidth_gbs),
-                f(r.ridge_intensity),
-            ]
+            vec![p.id.to_string(), f(r.peak_gflops), f(r.bandwidth_gbs), f(r.ridge_intensity)]
         })
         .collect();
     render_table(
@@ -81,8 +76,7 @@ pub fn roofline_render() -> String {
 /// IMB collectives on the Tibidabo model.
 pub fn imb_render() -> String {
     let mk = |p: u32| {
-        JobSpec::new(Platform::tegra2(), p)
-            .with_topology(netsim::TopologySpec::tibidabo())
+        JobSpec::new(Platform::tegra2(), p).with_topology(netsim::TopologySpec::tibidabo())
     };
     let mut rows = Vec::new();
     for op in [ImbOp::Barrier, ImbOp::Bcast, ImbOp::Allreduce, ImbOp::Exchange] {

@@ -95,12 +95,7 @@ impl Fig2 {
             .points
             .iter()
             .map(|p| {
-                vec![
-                    p.year.to_string(),
-                    format!("{:?}", p.class),
-                    p.name.to_string(),
-                    f(p.mflops),
-                ]
+                vec![p.year.to_string(), format!("{:?}", p.class), p.name.to_string(), f(p.mflops)]
             })
             .collect();
         rows.sort_by_key(|r| r[0].clone());

@@ -17,16 +17,45 @@ pub fn table1_render() -> String {
         rows.push(r);
     };
     push(&mut rows, "SoC", plats.iter().map(|p| p.soc.name.to_string()).collect());
-    push(&mut rows, "Architecture", plats.iter().map(|p| p.soc.core.uarch.name().to_string()).collect());
+    push(
+        &mut rows,
+        "Architecture",
+        plats.iter().map(|p| p.soc.core.uarch.name().to_string()).collect(),
+    );
     push(&mut rows, "Max freq (GHz)", plats.iter().map(|p| f(p.soc.fmax_ghz)).collect());
     push(&mut rows, "Cores", plats.iter().map(|p| p.soc.cores.to_string()).collect());
     push(&mut rows, "Threads", plats.iter().map(|p| p.soc.threads.to_string()).collect());
     push(&mut rows, "FP-64 GFLOPS", plats.iter().map(|p| f(p.soc.peak_gflops_max())).collect());
-    push(&mut rows, "L1 I/D (KiB)", plats.iter().map(|p| format!("{}/{}", p.soc.cache.l1i_kib, p.soc.cache.l1d_kib)).collect());
-    push(&mut rows, "L2 (KiB)", plats.iter().map(|p| format!("{}{}", p.soc.cache.l2_kib, if p.soc.cache.l2_shared { " shared" } else { " private" })).collect());
-    push(&mut rows, "L3 (KiB)", plats.iter().map(|p| p.soc.cache.l3_kib.map_or("-".into(), |v| v.to_string())).collect());
+    push(
+        &mut rows,
+        "L1 I/D (KiB)",
+        plats.iter().map(|p| format!("{}/{}", p.soc.cache.l1i_kib, p.soc.cache.l1d_kib)).collect(),
+    );
+    push(
+        &mut rows,
+        "L2 (KiB)",
+        plats
+            .iter()
+            .map(|p| {
+                format!(
+                    "{}{}",
+                    p.soc.cache.l2_kib,
+                    if p.soc.cache.l2_shared { " shared" } else { " private" }
+                )
+            })
+            .collect(),
+    );
+    push(
+        &mut rows,
+        "L3 (KiB)",
+        plats.iter().map(|p| p.soc.cache.l3_kib.map_or("-".into(), |v| v.to_string())).collect(),
+    );
     push(&mut rows, "Mem channels", plats.iter().map(|p| p.soc.mem.channels.to_string()).collect());
-    push(&mut rows, "Mem width (bits)", plats.iter().map(|p| p.soc.mem.width_bits.to_string()).collect());
+    push(
+        &mut rows,
+        "Mem width (bits)",
+        plats.iter().map(|p| p.soc.mem.width_bits.to_string()).collect(),
+    );
     push(&mut rows, "Peak BW (GB/s)", plats.iter().map(|p| f(p.soc.mem.peak_bw_gbs)).collect());
     push(&mut rows, "Kit", plats.iter().map(|p| p.kit_name.to_string()).collect());
     push(&mut rows, "Ethernet", plats.iter().map(|p| format!("{} Mb", p.eth_mbit)).collect());
@@ -177,9 +206,7 @@ impl Fig5 {
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
-            .map(|r| {
-                vec![r.platform.clone(), r.op.to_string(), f(r.single_gbs), f(r.multi_gbs)]
-            })
+            .map(|r| vec![r.platform.clone(), r.op.to_string(), f(r.single_gbs), f(r.multi_gbs)])
             .collect();
         render_table(
             "Fig 5: STREAM memory bandwidth (GB/s)",
@@ -193,7 +220,11 @@ impl Fig5 {
 pub fn fig5_efficiency_summary() -> String {
     let mut out = String::from("STREAM multi-core efficiency vs Table-1 peak:\n");
     for p in Platform::table1() {
-        let bw = kernels::stream::modeled_bandwidth_gbs(&p.soc, p.soc.cores, kernels::stream::StreamOp::Copy);
+        let bw = kernels::stream::modeled_bandwidth_gbs(
+            &p.soc,
+            p.soc.cores,
+            kernels::stream::StreamOp::Copy,
+        );
         out.push_str(&format!("  {:12} {:.0}%\n", p.id, 100.0 * bw / p.soc.mem.peak_bw_gbs));
     }
     out

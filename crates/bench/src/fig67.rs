@@ -126,8 +126,7 @@ pub fn fig7() -> Fig7 {
     let panels = cases
         .into_iter()
         .map(|(label, plat, freq, proto)| {
-            let spec =
-                JobSpec::new(plat, 2).with_freq(freq).with_proto(proto);
+            let spec = JobSpec::new(plat, 2).with_freq(freq).with_proto(proto);
             let latency = pingpong(spec.clone(), &small, 2);
             let bandwidth = pingpong(spec, &large, 1);
             Fig7Panel { label: label.to_string(), latency, bandwidth }

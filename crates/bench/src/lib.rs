@@ -17,6 +17,7 @@
 //! | Table 3 / 4 | [`table3_render`] / [`table4_render`] |
 //! | §4 HPL headline | [`hpl_headline`] |
 //! | §4.1 latency penalty | [`latency_penalty_render`] |
+//! | §6.3 resilience | [`resilience_study`] |
 
 #![warn(missing_docs)]
 
@@ -24,15 +25,20 @@ mod extensions;
 mod fig12;
 mod fig345;
 mod fig67;
+mod resilience;
 pub mod table;
 
+pub use extensions::{ecc_risk_render, eee_render, imb_render, roofline_render};
 pub use fig12::{fig1, fig2a, fig2b, Fig1, Fig2};
 pub use fig345::{
     fig3, fig4, fig5, fig5_efficiency_summary, socs, table1_render, table2_render, Fig34, Fig5,
     SweepPoint, SweepSeries,
 };
-pub use extensions::{ecc_risk_render, eee_render, imb_render, roofline_render};
 pub use fig67::{
     fig6, fig7, hpl_headline, latency_penalty, latency_penalty_render, table3_render,
     table4_render, Fig6, Fig7, Fig7Panel, HplHeadline,
+};
+pub use resilience::{
+    resilience_contrast, resilience_study, ResilienceCell, ResilienceContrast, ResilienceStudy,
+    INCIDENCE_GRID,
 };

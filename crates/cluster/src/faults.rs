@@ -1,0 +1,111 @@
+//! Calibration from physical reliability figures to virtual-time fault
+//! rates.
+//!
+//! The §6.3 reliability argument is expressed in *years* (Google's 4-20%
+//! annual per-DIMM incidence), but a simulated HPL run lasts virtual
+//! *seconds*. Injecting the physical rates verbatim would make every
+//! simulated run fault-free and the resilience machinery untestable, so the
+//! experiments compress time: an **acceleration factor** maps "one simulated
+//! second" to many machine-hours of exposure, preserving the *relative*
+//! risk across the Google incidence range while making faults visible at
+//! simulation scale.
+
+use des::{FaultRates, SimTime};
+
+use crate::reliability::EccRisk;
+
+/// Calibration from an [`EccRisk`] model to per-virtual-second
+/// [`FaultRates`] for the fault-injection layer.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultCalibration {
+    /// How many seconds of physical exposure one virtual second represents.
+    /// 1.0 simulates real time (faults essentially never strike);
+    /// the resilience experiments use ~1e6 (one virtual second ≈ 11.6 days).
+    pub acceleration: f64,
+    /// Fraction of memory errors severe enough to crash the node rather
+    /// than silently corrupt data. Field studies attribute a minority of
+    /// DRAM events to machine checks; the rest surface (if at all) as SDC.
+    pub crash_fraction: f64,
+    /// Link-degradation events per node per physical year (transient cable /
+    /// switch brownouts; not part of the DIMM study, modelled coarsely).
+    pub degrade_per_node_year: f64,
+    /// Loss probability while a link is degraded.
+    pub degrade_loss: f64,
+    /// How long a degradation window lasts, in virtual time.
+    pub degrade_duration: SimTime,
+}
+
+impl Default for FaultCalibration {
+    fn default() -> FaultCalibration {
+        FaultCalibration {
+            acceleration: 1e6,
+            crash_fraction: 0.1,
+            degrade_per_node_year: 2.0,
+            degrade_loss: 0.3,
+            degrade_duration: SimTime::from_millis(50),
+        }
+    }
+}
+
+impl FaultCalibration {
+    /// Per-node, per-virtual-second fault rates for a cluster whose DRAM
+    /// reliability matches `risk`.
+    ///
+    /// The per-node memory-event rate is `lambda_year * dimms_per_node`
+    /// (independent DIMMs), split into crashes and bit-flips by
+    /// `crash_fraction`, then compressed by `acceleration`.
+    pub fn rates(&self, risk: &EccRisk) -> FaultRates {
+        const SECS_PER_YEAR: f64 = 365.0 * 24.0 * 3600.0;
+        let node_events_year = risk.lambda_year() * risk.dimms_per_node as f64;
+        let node_events_sec = node_events_year / SECS_PER_YEAR * self.acceleration;
+        FaultRates {
+            crash_per_node_sec: node_events_sec * self.crash_fraction,
+            bitflip_per_node_sec: node_events_sec * (1.0 - self.crash_fraction),
+            degrade_per_node_sec: self.degrade_per_node_year / SECS_PER_YEAR * self.acceleration,
+            degrade_loss: self.degrade_loss,
+            degrade_duration: self.degrade_duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability::GOOGLE_ANNUAL_INCIDENCE;
+
+    #[test]
+    fn rates_scale_with_incidence_and_acceleration() {
+        let cal = FaultCalibration::default();
+        let lo = cal.rates(&EccRisk::tibidabo(GOOGLE_ANNUAL_INCIDENCE.0));
+        let hi = cal.rates(&EccRisk::tibidabo(GOOGLE_ANNUAL_INCIDENCE.1));
+        assert!(hi.crash_per_node_sec > lo.crash_per_node_sec);
+        assert!(hi.bitflip_per_node_sec > lo.bitflip_per_node_sec);
+
+        let slow = FaultCalibration { acceleration: 1.0, ..cal };
+        let real = slow.rates(&EccRisk::tibidabo(GOOGLE_ANNUAL_INCIDENCE.1));
+        // At real time the per-second rates are negligible (paper-scale
+        // incidence is a per-year figure).
+        assert!(real.crash_per_node_sec < 1e-8);
+        assert!(
+            (real.crash_per_node_sec * cal.acceleration
+                - cal.rates(&EccRisk::tibidabo(GOOGLE_ANNUAL_INCIDENCE.1)).crash_per_node_sec)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn crash_fraction_partitions_the_event_rate() {
+        let cal = FaultCalibration { crash_fraction: 0.25, ..FaultCalibration::default() };
+        let r = cal.rates(&EccRisk::tibidabo(0.1));
+        let total = r.crash_per_node_sec + r.bitflip_per_node_sec;
+        assert!((r.crash_per_node_sec / total - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_incidence_yields_zero_memory_faults() {
+        let r = FaultCalibration::default().rates(&EccRisk::tibidabo(0.0));
+        assert_eq!(r.crash_per_node_sec, 0.0);
+        assert_eq!(r.bitflip_per_node_sec, 0.0);
+    }
+}

@@ -10,10 +10,12 @@
 
 mod balance;
 mod energy;
+mod faults;
 mod machine;
 mod reliability;
 
 pub use balance::{bytes_per_flop, table4, BalanceRow, NetClass};
 pub use energy::{green500, job_energy, JobEnergy};
+pub use faults::FaultCalibration;
 pub use machine::Machine;
 pub use reliability::{risk_table, EccRisk, RiskRow, GOOGLE_ANNUAL_INCIDENCE};

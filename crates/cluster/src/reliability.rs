@@ -42,34 +42,74 @@ impl EccRisk {
         self.nodes as u64 * self.dimms_per_node as u64
     }
 
+    /// Per-DIMM annual error rate: the rate of a Poisson process whose
+    /// 1-year hit probability equals the incidence.
+    ///
+    /// Defined on the closed interval: incidence 0.0 gives rate 0 (errors
+    /// never happen) and incidence 1.0 gives `+inf` (every DIMM errors
+    /// immediately — `ln(0)` would otherwise leak a NaN into every caller).
+    ///
+    /// # Panics
+    ///
+    /// If `annual_incidence` is outside `[0, 1]` (including NaN).
+    pub fn lambda_year(&self) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&self.annual_incidence),
+            "annual_incidence must be in [0, 1], got {}",
+            self.annual_incidence
+        );
+        -(1.0 - self.annual_incidence).ln()
+    }
+
     /// Probability that at least one DIMM errors within `days`, assuming
     /// independent exponential arrivals at the annual incidence rate.
+    ///
+    /// Well-defined at the boundaries: zero exposure (no DIMMs, zero days,
+    /// or zero incidence) gives 0.0 and an infinite rate gives 1.0, with no
+    /// NaN from the `inf * 0` corner.
     pub fn error_probability(&self, days: f64) -> f64 {
-        assert!(days >= 0.0);
-        // Per-DIMM rate per day from the annual incidence (rate of a Poisson
-        // process whose 1-year hit probability equals the incidence).
-        let lambda_year = -(1.0 - self.annual_incidence).ln();
-        let lambda_day = lambda_year / 365.0;
-        1.0 - (-lambda_day * self.dimms() as f64 * days).exp()
+        assert!(days >= 0.0, "days must be non-negative, got {days}");
+        let lambda_day = self.lambda_year() / 365.0;
+        let exposure = self.dimms() as f64 * days;
+        if exposure == 0.0 || lambda_day == 0.0 {
+            return 0.0;
+        }
+        if lambda_day.is_infinite() {
+            return 1.0;
+        }
+        1.0 - (-lambda_day * exposure).exp()
     }
 
     /// Mean time between (uncorrected) memory errors anywhere in the
-    /// machine, in days.
+    /// machine, in days. `+inf` when errors cannot occur (zero incidence or
+    /// no DIMMs); 0.0 at incidence 1.0.
     pub fn mtbe_days(&self) -> f64 {
-        let lambda_year = -(1.0 - self.annual_incidence).ln();
-        let lambda_day = lambda_year / 365.0;
+        let lambda_day = self.lambda_year() / 365.0;
+        if self.dimms() == 0 || lambda_day == 0.0 {
+            return f64::INFINITY;
+        }
+        if lambda_day.is_infinite() {
+            return 0.0;
+        }
         1.0 / (lambda_day * self.dimms() as f64)
     }
 
     /// Largest node count keeping the daily error probability below
     /// `p_daily` (the inverse design question the paper's argument poses).
+    /// `u32::MAX` when the incidence is 0 (any size is safe); 0 when the
+    /// incidence is 1 (no size is).
     pub fn max_nodes_for_daily_risk(&self, p_daily: f64) -> u32 {
-        assert!((0.0..1.0).contains(&p_daily));
-        let lambda_year = -(1.0 - self.annual_incidence).ln();
-        let lambda_day = lambda_year / 365.0;
+        assert!((0.0..1.0).contains(&p_daily), "p_daily must be in [0, 1), got {p_daily}");
+        let lambda_day = self.lambda_year() / 365.0;
+        if lambda_day == 0.0 {
+            return u32::MAX;
+        }
+        if lambda_day.is_infinite() {
+            return 0;
+        }
         // 1 - exp(-lambda_day * dimms) <= p  =>  dimms <= -ln(1-p)/lambda.
         let dimms = -(1.0 - p_daily).ln() / lambda_day;
-        (dimms / self.dimms_per_node as f64).floor() as u32
+        (dimms / self.dimms_per_node as f64).floor().min(u32::MAX as f64) as u32
     }
 }
 
@@ -89,8 +129,10 @@ pub fn risk_table(node_counts: &[u32]) -> Vec<RiskRow> {
     node_counts
         .iter()
         .map(|&nodes| {
-            let lo = EccRisk { nodes, dimms_per_node: 2, annual_incidence: GOOGLE_ANNUAL_INCIDENCE.0 };
-            let hi = EccRisk { nodes, dimms_per_node: 2, annual_incidence: GOOGLE_ANNUAL_INCIDENCE.1 };
+            let lo =
+                EccRisk { nodes, dimms_per_node: 2, annual_incidence: GOOGLE_ANNUAL_INCIDENCE.0 };
+            let hi =
+                EccRisk { nodes, dimms_per_node: 2, annual_incidence: GOOGLE_ANNUAL_INCIDENCE.1 };
             RiskRow {
                 nodes,
                 daily_low: lo.error_probability(1.0),
@@ -144,6 +186,47 @@ mod tests {
         // ...and adding nodes must violate it.
         let over = EccRisk { nodes: n + 1, dimms_per_node: 2, annual_incidence: 0.2 };
         assert!(over.error_probability(1.0) > 0.01);
+    }
+
+    #[test]
+    fn zero_incidence_boundary() {
+        let r = EccRisk { nodes: 1500, dimms_per_node: 2, annual_incidence: 0.0 };
+        assert_eq!(r.lambda_year(), 0.0);
+        assert_eq!(r.error_probability(365.0), 0.0);
+        assert_eq!(r.mtbe_days(), f64::INFINITY);
+        assert_eq!(r.max_nodes_for_daily_risk(0.3), u32::MAX);
+        // p_daily = 0 with zero incidence is satisfiable everywhere, not 0/0.
+        assert_eq!(r.max_nodes_for_daily_risk(0.0), u32::MAX);
+    }
+
+    #[test]
+    fn certain_incidence_boundary() {
+        let r = EccRisk { nodes: 1500, dimms_per_node: 2, annual_incidence: 1.0 };
+        assert_eq!(r.lambda_year(), f64::INFINITY);
+        // inf * 0 exposure must not produce NaN.
+        assert_eq!(r.error_probability(0.0), 0.0);
+        assert_eq!(r.error_probability(0.001), 1.0);
+        assert_eq!(r.mtbe_days(), 0.0);
+        assert_eq!(r.max_nodes_for_daily_risk(0.3), 0);
+    }
+
+    #[test]
+    fn empty_machine_boundary() {
+        let r = EccRisk { nodes: 0, dimms_per_node: 2, annual_incidence: 1.0 };
+        assert_eq!(r.error_probability(100.0), 0.0);
+        assert_eq!(r.mtbe_days(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "annual_incidence")]
+    fn incidence_above_one_is_rejected() {
+        EccRisk { nodes: 1, dimms_per_node: 1, annual_incidence: 1.5 }.error_probability(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "annual_incidence")]
+    fn negative_incidence_is_rejected() {
+        EccRisk { nodes: 1, dimms_per_node: 1, annual_incidence: -0.1 }.mtbe_days();
     }
 
     #[test]

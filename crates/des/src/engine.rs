@@ -237,11 +237,7 @@ impl Engine {
             let at = st.now;
             st.push_event(at, pid, 0);
         }
-        let ctx = Context {
-            pid,
-            shared: Arc::clone(&self.shared),
-            resume_rx,
-        };
+        let ctx = Context { pid, shared: Arc::clone(&self.shared), resume_rx };
         let shared = Arc::clone(&self.shared);
         let handle = std::thread::Builder::new()
             .name(format!("des-{name}"))
@@ -279,8 +275,8 @@ impl Engine {
         if result.is_err() {
             // Unblock any still-parked process threads: replacing a slot's
             // resume sender drops the old one, so the thread's `recv` fails,
-            // its internal `expect` panics, the panic is caught by the
-            // process wrapper, and the thread exits cleanly.
+            // it unwinds quietly (see `yield_and_wait`), the unwind is caught
+            // by the process wrapper, and the thread exits cleanly.
             let mut st = self.shared.state.lock();
             for slot in &mut st.procs {
                 if slot.status != Status::Finished {
@@ -336,13 +332,9 @@ impl Engine {
                 slot.gen += 1;
                 (slot.resume_tx.clone(), ev.pid)
             };
-            resume_tx
-                .send(())
-                .expect("des process thread died outside the engine protocol");
+            resume_tx.send(()).expect("des process thread died outside the engine protocol");
             // Block until the resumed process yields back.
-            self.yield_rx
-                .recv()
-                .expect("all des process threads disappeared");
+            self.yield_rx.recv().expect("all des process threads disappeared");
             // If the process panicked, surface it immediately.
             let st = self.shared.state.lock();
             let slot = &st.procs[event_pid.index()];
@@ -427,6 +419,30 @@ impl Context {
         self.yield_and_wait();
     }
 
+    /// Park with a timeout: block until another process wakes this one, or
+    /// until virtual time `deadline` — whichever comes first.
+    ///
+    /// Returns `true` if a peer's wake resumed the process **strictly
+    /// before** `deadline`, `false` on timeout. A wake landing exactly at
+    /// `deadline` counts as a timeout (the self-scheduled timeout event was
+    /// enqueued first and wins the tie), which gives retry loops a crisp
+    /// "no answer by t" semantic. A `deadline` at or before the current time
+    /// resumes immediately with `false`.
+    pub fn park_until(&self, deadline: SimTime) -> bool {
+        {
+            let mut st = self.shared.state.lock();
+            let at = deadline.max(st.now);
+            let slot_gen = {
+                let slot = &mut st.procs[self.pid.index()];
+                slot.status = Status::Parked;
+                slot.gen
+            };
+            st.push_event(at, self.pid, slot_gen);
+        }
+        self.yield_and_wait();
+        self.now() < deadline
+    }
+
     /// Schedule a wake-up for `target` at absolute time `at` (must be `>=`
     /// now). The target must currently be **parked**; waking a running,
     /// sleeping, or finished process is a protocol violation and panics.
@@ -456,13 +472,13 @@ impl Context {
     }
 
     fn yield_and_wait(&self) {
-        self.shared
-            .yield_tx
-            .send(())
-            .expect("des engine disappeared while process was running");
-        self.resume_rx
-            .recv()
-            .expect("des engine dropped resume channel");
+        // A send/recv failure means the engine aborted the run (e.g. another
+        // process died) and dropped our channel. Unwind with
+        // `resume_unwind` — not `panic!` — so the panic hook doesn't print a
+        // message and backtrace for every process parked at teardown.
+        if self.shared.yield_tx.send(()).is_err() || self.resume_rx.recv().is_err() {
+            std::panic::resume_unwind(Box::new("des process resumed after engine abort"));
+        }
     }
 }
 
@@ -629,6 +645,45 @@ mod tests {
         let rep = eng.run().unwrap();
         assert_eq!(*counter.lock(), 64);
         assert_eq!(rep.processes, 64);
+    }
+
+    #[test]
+    fn park_until_times_out_without_waker() {
+        let mut eng = Engine::new();
+        eng.spawn("waiter", |ctx| {
+            let woken = ctx.park_until(SimTime::from_micros(30));
+            assert!(!woken, "nobody woke us; must report timeout");
+            assert_eq!(ctx.now(), SimTime::from_micros(30));
+        });
+        let rep = eng.run().unwrap();
+        assert_eq!(rep.end_time, SimTime::from_micros(30));
+    }
+
+    #[test]
+    fn park_until_woken_early_reports_wake() {
+        let mut eng = Engine::new();
+        let waiter = eng.spawn("waiter", |ctx| {
+            let woken = ctx.park_until(SimTime::from_micros(100));
+            assert!(woken);
+            assert_eq!(ctx.now(), SimTime::from_micros(20));
+        });
+        eng.spawn("waker", move |ctx| {
+            ctx.advance(SimTime::from_micros(5));
+            ctx.wake_at(waiter, SimTime::from_micros(20));
+        });
+        let rep = eng.run().unwrap();
+        assert_eq!(rep.end_time, SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn park_until_past_deadline_resumes_immediately() {
+        let mut eng = Engine::new();
+        eng.spawn("late", |ctx| {
+            ctx.advance(SimTime::from_micros(50));
+            assert!(!ctx.park_until(SimTime::from_micros(10)));
+            assert_eq!(ctx.now(), SimTime::from_micros(50));
+        });
+        assert!(eng.run().is_ok());
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] is a **pre-computed, seeded schedule** of fault events
+//! (node crashes, DRAM bit flips, link degradation windows) over virtual
+//! time. Plans are generated *before* a simulation starts and are plain
+//! data, so the same `(seed, nodes, horizon, rates)` always produces the
+//! same schedule and — because the engine itself is deterministic — the
+//! same simulated outcome, bit for bit. Changing only the seed moves every
+//! fault to a different time.
+//!
+//! The plan deliberately lives here in `des`, below the network and MPI
+//! layers: upper layers *consult* the plan (e.g. "does my node crash before
+//! virtual time t?") rather than mutating shared fault state, which keeps
+//! replays and restarts (see [`FaultPlan::shifted`]) trivially reproducible.
+
+use crate::time::SimTime;
+
+/// Small deterministic RNG (SplitMix64) for fault-schedule sampling.
+///
+/// Not cryptographic; chosen for reproducibility and statelessness. Distinct
+/// substreams for each (fault class, node) pair keep generated plans stable
+/// under changes elsewhere in the program.
+#[derive(Clone, Debug)]
+pub struct SimRng(u64);
+
+impl SimRng {
+    /// Create an RNG from a seed (any value, including 0, is fine).
+    pub fn new(seed: u64) -> SimRng {
+        // Pre-mix so that small, similar seeds give unrelated streams.
+        let mut rng = SimRng(seed ^ 0x9E3779B97F4A7C15);
+        rng.next_u64();
+        rng
+    }
+
+    /// Derive an independent stream for a tagged purpose.
+    pub fn substream(&self, tag: u64) -> SimRng {
+        let mut probe = SimRng(self.0 ^ tag.wrapping_mul(0xA24BAED4963EE407));
+        probe.next_u64();
+        probe
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Exponential inter-arrival time in seconds for a Poisson process with
+    /// `rate` events/second. Returns infinity for zero/negative rates.
+    pub fn exp_secs(&mut self, rate: f64) -> f64 {
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        // -ln(1-u) with u in [0,1) is finite and positive.
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+}
+
+/// What kind of fault strikes, and where.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The node halts: every rank hosted on it dies instantly and its NIC
+    /// goes silent.
+    NodeCrash {
+        /// Physical node index.
+        node: u32,
+    },
+    /// A DRAM bit flips on the node (silent data corruption unless the
+    /// application's verification catches it).
+    BitFlip {
+        /// Physical node index.
+        node: u32,
+    },
+    /// The node's link drops packets with probability `loss` for `duration`.
+    LinkDegrade {
+        /// Physical node index.
+        node: u32,
+        /// Per-transmission loss probability in `[0, 1)` while degraded.
+        loss: f64,
+        /// How long the degradation window lasts.
+        duration: SimTime,
+    },
+}
+
+impl FaultKind {
+    /// The physical node this fault strikes.
+    pub fn node(&self) -> u32 {
+        match *self {
+            FaultKind::NodeCrash { node }
+            | FaultKind::BitFlip { node }
+            | FaultKind::LinkDegrade { node, .. } => node,
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time at which the fault strikes.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Per-node fault rates used by [`FaultPlan::generate`].
+///
+/// Rates are events per node per *virtual* second. Physical annual DIMM
+/// incidence (the paper's §6 reliability discussion) is mapped onto these by
+/// the `cluster` crate with an acceleration factor, since runs last virtual
+/// seconds, not years.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultRates {
+    /// Node crash rate (events / node / second).
+    pub crash_per_node_sec: f64,
+    /// DRAM bit-flip rate (events / node / second).
+    pub bitflip_per_node_sec: f64,
+    /// Link-degradation window rate (events / node / second).
+    pub degrade_per_node_sec: f64,
+    /// Loss probability inside a degradation window, in `[0, 1)`.
+    pub degrade_loss: f64,
+    /// Length of each degradation window.
+    pub degrade_duration: SimTime,
+}
+
+impl FaultRates {
+    /// No faults at all.
+    pub fn none() -> FaultRates {
+        FaultRates {
+            crash_per_node_sec: 0.0,
+            bitflip_per_node_sec: 0.0,
+            degrade_per_node_sec: 0.0,
+            degrade_loss: 0.0,
+            degrade_duration: SimTime::ZERO,
+        }
+    }
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates::none()
+    }
+}
+
+/// A deterministic, pre-computed schedule of fault events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Sorted by `at`, ties broken by generation order (node-major).
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a fault-free run.
+    pub fn none() -> FaultPlan {
+        FaultPlan { seed: 0, events: Vec::new() }
+    }
+
+    /// Build a plan from explicit events (sorted internally). Useful for
+    /// tests and targeted experiments ("kill node 3 at t=2s").
+    pub fn from_events(mut events: Vec<FaultEvent>) -> FaultPlan {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed: 0, events }
+    }
+
+    /// Sample a plan: independent Poisson processes per fault class per
+    /// node over `[0, horizon)`.
+    ///
+    /// Each (class, node) pair draws from its own RNG substream, so adding a
+    /// node or enabling another fault class does not disturb the schedule of
+    /// existing ones. Only the **first** crash per node is kept — a dead
+    /// node cannot die twice.
+    pub fn generate(seed: u64, nodes: u32, horizon: SimTime, rates: &FaultRates) -> FaultPlan {
+        let root = SimRng::new(seed);
+        let mut events = Vec::new();
+        for node in 0..nodes {
+            let classes: [(u64, f64); 3] = [
+                (0, rates.crash_per_node_sec),
+                (1, rates.bitflip_per_node_sec),
+                (2, rates.degrade_per_node_sec),
+            ];
+            for (class, rate) in classes {
+                let mut rng = root.substream((class << 32) | node as u64);
+                let mut t = SimTime::ZERO;
+                loop {
+                    let dt = rng.exp_secs(rate);
+                    if !dt.is_finite() {
+                        break;
+                    }
+                    t += SimTime::from_secs_f64(dt);
+                    if t >= horizon {
+                        break;
+                    }
+                    let kind = match class {
+                        0 => FaultKind::NodeCrash { node },
+                        1 => FaultKind::BitFlip { node },
+                        _ => FaultKind::LinkDegrade {
+                            node,
+                            loss: rates.degrade_loss,
+                            duration: rates.degrade_duration,
+                        },
+                    };
+                    events.push(FaultEvent { at: t, kind });
+                    if class == 0 {
+                        break; // only the first crash per node matters
+                    }
+                }
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+
+    /// The seed this plan was generated from (0 for manual plans).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// When (if ever) `node` crashes.
+    pub fn crash_time(&self, node: u32) -> Option<SimTime> {
+        self.events
+            .iter()
+            .find(|e| matches!(e.kind, FaultKind::NodeCrash { node: n } if n == node))
+            .map(|e| e.at)
+    }
+
+    /// The earliest crash in the plan, as `(time, node)`.
+    pub fn first_crash(&self) -> Option<(SimTime, u32)> {
+        self.events
+            .iter()
+            .find(|e| matches!(e.kind, FaultKind::NodeCrash { .. }))
+            .map(|e| (e.at, e.kind.node()))
+    }
+
+    /// Bit-flip times on `node`, in order.
+    pub fn bit_flips(&self, node: u32) -> impl Iterator<Item = SimTime> + '_ {
+        self.events.iter().filter_map(move |e| {
+            matches!(e.kind, FaultKind::BitFlip { node: n } if n == node).then_some(e.at)
+        })
+    }
+
+    /// Packet-loss probability on `node`'s link at time `t`: the maximum
+    /// loss over all degradation windows covering `t` (0.0 when none do).
+    pub fn link_loss_at(&self, node: u32, t: SimTime) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkDegrade { node: n, loss, duration }
+                    if n == node && e.at <= t && t < e.at + duration =>
+                {
+                    Some(loss)
+                }
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// The plan as seen from a restart at virtual time `start`: events
+    /// before `start` are dropped (they already happened), the rest are
+    /// rebased so the restarted run begins at time zero.
+    pub fn shifted(&self, start: SimTime) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.at >= start)
+                .map(|e| FaultEvent { at: e.at - start, kind: e.kind })
+                .collect(),
+        }
+    }
+
+    /// The plan with every event striking `node` removed — used when a
+    /// failed node has been replaced by a spare and is out of the job.
+    pub fn without_node(&self, node: u32) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            events: self.events.iter().filter(|e| e.kind.node() != node).copied().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates() -> FaultRates {
+        FaultRates {
+            crash_per_node_sec: 0.05,
+            bitflip_per_node_sec: 0.2,
+            degrade_per_node_sec: 0.1,
+            degrade_loss: 0.3,
+            degrade_duration: SimTime::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let h = SimTime::from_secs_f64(60.0);
+        let a = FaultPlan::generate(7, 16, h, &rates());
+        let b = FaultPlan::generate(7, 16, h, &rates());
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(8, 16, h, &rates());
+        assert_ne!(a.events(), c.events(), "different seed must move faults");
+    }
+
+    #[test]
+    fn adding_nodes_does_not_disturb_existing_schedule() {
+        let h = SimTime::from_secs_f64(60.0);
+        let small = FaultPlan::generate(7, 4, h, &rates());
+        let big = FaultPlan::generate(7, 8, h, &rates());
+        for node in 0..4 {
+            let s: Vec<_> = small.events().iter().filter(|e| e.kind.node() == node).collect();
+            let b: Vec<_> = big.events().iter().filter(|e| e.kind.node() == node).collect();
+            assert_eq!(s, b, "node {node} schedule changed when cluster grew");
+        }
+    }
+
+    #[test]
+    fn at_most_one_crash_per_node_and_sorted() {
+        let plan = FaultPlan::generate(3, 32, SimTime::from_secs_f64(600.0), &rates());
+        for node in 0..32 {
+            let crashes = plan
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::NodeCrash { node: n } if n == node))
+                .count();
+            assert!(crashes <= 1, "node {node} crashed {crashes} times");
+        }
+        assert!(plan.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn zero_rates_give_empty_plan() {
+        let plan = FaultPlan::generate(9, 64, SimTime::from_secs_f64(1e6), &FaultRates::none());
+        assert!(plan.is_empty());
+        assert_eq!(plan.first_crash(), None);
+        assert_eq!(plan.link_loss_at(0, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn link_loss_window_covers_exactly_its_duration() {
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at: SimTime::from_millis(100),
+            kind: FaultKind::LinkDegrade { node: 2, loss: 0.5, duration: SimTime::from_millis(50) },
+        }]);
+        assert_eq!(plan.link_loss_at(2, SimTime::from_millis(99)), 0.0);
+        assert_eq!(plan.link_loss_at(2, SimTime::from_millis(100)), 0.5);
+        assert_eq!(plan.link_loss_at(2, SimTime::from_millis(149)), 0.5);
+        assert_eq!(plan.link_loss_at(2, SimTime::from_millis(150)), 0.0);
+        assert_eq!(plan.link_loss_at(3, SimTime::from_millis(120)), 0.0);
+    }
+
+    #[test]
+    fn shifted_drops_past_and_rebases_future() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent { at: SimTime::from_secs_f64(1.0), kind: FaultKind::BitFlip { node: 0 } },
+            FaultEvent { at: SimTime::from_secs_f64(3.0), kind: FaultKind::NodeCrash { node: 1 } },
+        ]);
+        let resumed = plan.shifted(SimTime::from_secs_f64(2.0));
+        assert_eq!(resumed.events().len(), 1);
+        assert_eq!(resumed.crash_time(1), Some(SimTime::from_secs_f64(1.0)));
+    }
+
+    #[test]
+    fn without_node_removes_only_that_node() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent { at: SimTime::from_secs_f64(1.0), kind: FaultKind::NodeCrash { node: 0 } },
+            FaultEvent { at: SimTime::from_secs_f64(2.0), kind: FaultKind::NodeCrash { node: 1 } },
+        ]);
+        let pruned = plan.without_node(0);
+        assert_eq!(pruned.crash_time(0), None);
+        assert_eq!(pruned.crash_time(1), Some(SimTime::from_secs_f64(2.0)));
+    }
+}

@@ -35,7 +35,9 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod faults;
 mod time;
 
 pub use engine::{Context, Engine, Pid, RunReport, SimError};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates, SimRng};
 pub use time::SimTime;

@@ -12,7 +12,8 @@ fn main() {
             let s = r.now();
             hpc_apps::hpl::hpl_rank(r, &cfg);
             (r.now() - s).as_secs_f64()
-        }).unwrap();
+        })
+        .unwrap();
         let secs = run.results.iter().cloned().fold(0.0, f64::max);
         let gf = cfg.flops() / secs / 1e9;
         let peak = m.peak_gflops(nodes);

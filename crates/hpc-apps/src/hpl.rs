@@ -18,6 +18,7 @@ use simmpi::{JobSpec, Msg, Rank, ReduceOp};
 use soc_arch::{AccessPattern, WorkProfile};
 
 use crate::mode::Mode;
+use crate::resilience::{corrupt_block, CkptHooks, RankSnapshot};
 
 /// HPL problem configuration.
 #[derive(Clone, Copy, Debug)]
@@ -92,8 +93,17 @@ fn b_entry(row: usize) -> f64 {
     ((row % 97) as f64) * 0.125 - 6.0
 }
 
-/// The per-rank HPL program. Returns `(local_seconds, residual_on_rank0)`.
+/// The per-rank HPL program. Returns the scaled residual on rank 0 in
+/// Execute mode, `None` elsewhere.
 pub fn hpl_rank(r: &mut Rank<'_>, cfg: &HplConfig) -> Option<f64> {
+    hpl_rank_ckpt(r, cfg, None)
+}
+
+/// [`hpl_rank`] with optional coordinated-checkpoint hooks: resume from a
+/// stored snapshot, write new snapshots every `hooks.every` panels, and
+/// (Execute mode) apply scheduled DRAM bit-flips to live data. Used by
+/// [`run_hpl_resilient`](crate::resilience::run_hpl_resilient).
+pub fn hpl_rank_ckpt(r: &mut Rank<'_>, cfg: &HplConfig, hooks: Option<&CkptHooks>) -> Option<f64> {
     let p = r.size() as usize;
     let me = r.rank() as usize;
     let n = cfg.n;
@@ -123,8 +133,44 @@ pub fn hpl_rank(r: &mut Rank<'_>, cfg: &HplConfig) -> Option<f64> {
     // Pivot history for verification: (column, chosen row) in order.
     let mut pivot_log: Vec<u64> = Vec::new();
 
+    // Resuming from a checkpoint: load this rank's snapshot (matrix state
+    // and pivot history as of panel `start_k`) instead of starting fresh.
+    let start_k = hooks.map_or(0, |h| h.start_k);
+    if let Some(h) = hooks {
+        if h.start_k > 0 {
+            let snap = h
+                .store
+                .lock()
+                .unwrap()
+                .load(h.start_k, me)
+                .expect("resume requested without a complete checkpoint");
+            if cfg.mode.carries_data() {
+                blocks = snap.blocks;
+            }
+            pivot_log = snap.pivot_log;
+        }
+    }
+
     let t0 = r.now();
-    for k in 0..nblk {
+    for k in start_k..nblk {
+        // Coordinated checkpoint: synchronise, write local state at the
+        // node-local storage bandwidth, snapshot to stable storage.
+        if let Some(h) = hooks {
+            if h.every > 0 && k > start_k && k % h.every == 0 {
+                r.barrier();
+                let local_bytes = if cfg.mode.carries_data() {
+                    blocks.iter().map(|b| b.len() * 8).sum::<usize>() as f64
+                } else {
+                    (block_global.len() * n * nb * 8) as f64
+                };
+                r.compute_secs(local_bytes / h.write_bw_bytes);
+                h.store.lock().unwrap().save(
+                    k,
+                    me,
+                    RankSnapshot { blocks: blocks.clone(), pivot_log: pivot_log.clone() },
+                );
+            }
+        }
         let owner = (k % p) as u32;
         let kb = k * nb;
         let width = nb.min(n - kb);
@@ -272,11 +318,22 @@ pub fn hpl_rank(r: &mut Rank<'_>, cfg: &HplConfig) -> Option<f64> {
             if trailing > 0 {
                 let cols = trailing * nb;
                 let m2 = n - kb - width;
-                let flops = 2.0 * m2 as f64 * width as f64 * cols as f64
-                    + (width * width * cols) as f64;
+                let flops =
+                    2.0 * m2 as f64 * width as f64 * cols as f64 + (width * width * cols) as f64;
                 let bytes = 4.0 * 8.0 * (m2 as f64 * cols as f64);
-                let work = WorkProfile::new("hpl-update", flops, bytes, AccessPattern::LocalityRich);
+                let work =
+                    WorkProfile::new("hpl-update", flops, bytes, AccessPattern::LocalityRich);
                 r.compute(&work);
+            }
+        }
+
+        // Any DRAM bit-flip that struck this node during the panel corrupts
+        // live matrix data; the end-of-run residual is the detector.
+        if let Some(h) = hooks {
+            if h.apply_bit_flips && cfg.mode.carries_data() {
+                while let Some(at) = r.poll_bit_flip() {
+                    corrupt_block(&mut blocks, &block_global, at, n, nb);
+                }
             }
         }
     }
@@ -289,7 +346,6 @@ pub fn hpl_rank(r: &mut Rank<'_>, cfg: &HplConfig) -> Option<f64> {
 
     // --- Verification (Execute mode): gather to rank 0 and solve ---------
     if cfg.mode.carries_data() {
-        
         verify(r, cfg, &blocks, &block_global, &pivot_log)
     } else {
         None

@@ -69,7 +69,8 @@ impl Strip {
     fn init(cfg: &HydroConfig, row0: usize, rows: usize) -> Strip {
         let nx = cfg.nx;
         let total = (rows + 2) * nx;
-        let mut s = Strip { nx, rows, h: vec![1.0; total], hu: vec![0.0; total], hv: vec![0.0; total] };
+        let mut s =
+            Strip { nx, rows, h: vec![1.0; total], hu: vec![0.0; total], hv: vec![0.0; total] };
         for r in 0..rows {
             let gr = row0 + r;
             for c in 0..nx {
@@ -106,15 +107,11 @@ fn lf_step(s: &mut Strip, dt: f64, dx: f64) {
     let mut nhu = vec![0.0; n];
     let mut nhv = vec![0.0; n];
 
-    let flux =
-        |h: f64, hu: f64, hv: f64| -> ([f64; 3], [f64; 3]) {
-            let u = hu / h;
-            let v = hv / h;
-            (
-                [hu, hu * u + 0.5 * G * h * h, hu * v],
-                [hv, hv * u, hv * v + 0.5 * G * h * h],
-            )
-        };
+    let flux = |h: f64, hu: f64, hv: f64| -> ([f64; 3], [f64; 3]) {
+        let u = hu / h;
+        let v = hv / h;
+        ([hu, hu * u + 0.5 * G * h * h, hu * v], [hv, hv * u, hv * v + 0.5 * G * h * h])
+    };
 
     for r in 1..=rows {
         for c in 0..nx {
@@ -181,8 +178,7 @@ pub fn hydro_rank(r: &mut Rank<'_>, cfg: &HydroConfig) -> f64 {
     let row0 = me * base + me.min(extra);
     let halo_bytes = (3 * cfg.nx * 8) as u64;
 
-    let mut strip =
-        if cfg.mode.carries_data() { Some(Strip::init(cfg, row0, rows)) } else { None };
+    let mut strip = if cfg.mode.carries_data() { Some(Strip::init(cfg, row0, rows)) } else { None };
     let profile = cfg.step_profile(rows);
 
     for _ in 0..cfg.steps {

@@ -32,10 +32,13 @@ pub mod hydro;
 pub mod md;
 pub mod mode;
 pub mod registry;
+pub mod resilience;
 pub mod scaling;
 pub mod sem;
 pub mod treecode;
 
 pub use mode::Mode;
 pub use registry::{table3, AppId, AppSpec};
-pub use scaling::{fig6, final_efficiency, scaling_series, ScalingPoint, ScalingSeries, FIG6_NODES};
+pub use scaling::{
+    fig6, final_efficiency, scaling_series, ScalingPoint, ScalingSeries, FIG6_NODES,
+};

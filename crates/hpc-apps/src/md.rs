@@ -223,7 +223,13 @@ pub fn md_rank(r: &mut Rank<'_>, cfg: &MdConfig) -> (f64, f64) {
                 let next = ((me + 1) % p) as u32;
                 let prev = ((me + p - 1) % p) as u32;
                 r.sendrecv(next, TAG_GHOST, Msg::size_only(ghost_bytes_model), prev, TAG_GHOST);
-                r.sendrecv(prev, TAG_GHOST + 1, Msg::size_only(ghost_bytes_model), next, TAG_GHOST + 1);
+                r.sendrecv(
+                    prev,
+                    TAG_GHOST + 1,
+                    Msg::size_only(ghost_bytes_model),
+                    next,
+                    TAG_GHOST + 1,
+                );
                 let _ = r.allreduce(ReduceOp::Sum, vec![0.0; 256]);
             }
             Vec::new()

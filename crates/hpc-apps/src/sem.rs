@@ -304,8 +304,7 @@ pub fn sem_rank(r: &mut Rank<'_>, cfg: &SemConfig) -> f64 {
                 // Central difference update.
                 let mut u_new = vec![0.0; f.len()];
                 for i in 0..f.len() {
-                    u_new[i] =
-                        2.0 * d.u[i] - d.u_old[i] + cfg.dt * cfg.dt * f[i] / d.mass[i];
+                    u_new[i] = 2.0 * d.u[i] - d.u_old[i] + cfg.dt * cfg.dt * f[i] / d.mass[i];
                 }
                 energy = d.energy(cfg, &u_new, cfg.dt, left.is_some());
                 d.u_old = std::mem::replace(&mut d.u, u_new);

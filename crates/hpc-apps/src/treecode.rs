@@ -66,10 +66,7 @@ pub fn make_particles(n: usize) -> Vec<Particle> {
                 x ^= x >> 29;
                 (x % 1_000_000) as f64 / 1_000_000.0
             };
-            Particle {
-                pos: [h(1), h(2), h(3)],
-                charge: if i % 2 == 0 { 1.0 } else { -1.0 },
-            }
+            Particle { pos: [h(1), h(2), h(3)], charge: if i % 2 == 0 { 1.0 } else { -1.0 } }
         })
         .collect()
 }
@@ -176,7 +173,13 @@ impl Octree {
 
     /// Coulomb field at body `i` via the Barnes–Hut traversal; returns the
     /// field vector and the number of interactions evaluated.
-    pub fn field_at(&self, i: usize, bodies: &[Particle], theta: f64, eps2: f64) -> ([f64; 3], u64) {
+    pub fn field_at(
+        &self,
+        i: usize,
+        bodies: &[Particle],
+        theta: f64,
+        eps2: f64,
+    ) -> ([f64; 3], u64) {
         let mut field = [0.0f64; 3];
         let mut interactions = 0u64;
         let target = bodies[i].pos;

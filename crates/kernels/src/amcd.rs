@@ -101,10 +101,7 @@ pub fn run_par(cfg: &AmcdConfig) -> AmcdResult {
 
 fn finalize(cfg: &AmcdConfig, sum: f64, accepted: u64) -> AmcdResult {
     let total = (cfg.samples / cfg.chains) * cfg.chains;
-    AmcdResult {
-        second_moment: sum / total as f64,
-        acceptance: accepted as f64 / total as f64,
-    }
+    AmcdResult { second_moment: sum / total as f64, acceptance: accepted as f64 / total as f64 }
 }
 
 #[cfg(test)]

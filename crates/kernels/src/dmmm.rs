@@ -34,7 +34,12 @@ impl DmmmConfig {
     /// cache). LocalityRich pattern.
     pub fn profile(&self) -> WorkProfile {
         let n = self.n as f64;
-        WorkProfile::new("dmmm", 2.0 * n * n * n, 4.0 * 3.0 * 8.0 * n * n, AccessPattern::LocalityRich)
+        WorkProfile::new(
+            "dmmm",
+            2.0 * n * n * n,
+            4.0 * 3.0 * 8.0 * n * n,
+            AccessPattern::LocalityRich,
+        )
     }
 }
 
@@ -81,29 +86,27 @@ pub fn run_seq(cfg: &DmmmConfig, a: &[f64], b: &[f64], c: &mut [f64]) {
 pub fn run_par(cfg: &DmmmConfig, a: &[f64], b: &[f64], c: &mut [f64]) {
     let n = cfg.n;
     c.fill(0.0);
-    c.par_chunks_mut(BLOCK * n)
-        .enumerate()
-        .for_each(|(bi, c_rows)| {
-            let ii = bi * BLOCK;
-            let ie = (ii + BLOCK).min(n);
-            for kk in (0..n).step_by(BLOCK) {
-                let ke = (kk + BLOCK).min(n);
-                for jj in (0..n).step_by(BLOCK) {
-                    let je = (jj + BLOCK).min(n);
-                    // c_rows is the slice for rows ii..ie; rebase row index.
-                    for i in ii..ie {
-                        let crow = &mut c_rows[(i - ii) * n..(i - ii) * n + n];
-                        for k in kk..ke {
-                            let aik = a[i * n + k];
-                            let brow = &b[k * n..k * n + n];
-                            for j in jj..je {
-                                crow[j] += aik * brow[j];
-                            }
+    c.par_chunks_mut(BLOCK * n).enumerate().for_each(|(bi, c_rows)| {
+        let ii = bi * BLOCK;
+        let ie = (ii + BLOCK).min(n);
+        for kk in (0..n).step_by(BLOCK) {
+            let ke = (kk + BLOCK).min(n);
+            for jj in (0..n).step_by(BLOCK) {
+                let je = (jj + BLOCK).min(n);
+                // c_rows is the slice for rows ii..ie; rebase row index.
+                for i in ii..ie {
+                    let crow = &mut c_rows[(i - ii) * n..(i - ii) * n + n];
+                    for k in kk..ke {
+                        let aik = a[i * n + k];
+                        let brow = &b[k * n..k * n + n];
+                        for j in jj..je {
+                            crow[j] += aik * brow[j];
                         }
                     }
                 }
             }
-        });
+        }
+    });
 }
 
 fn block_update(

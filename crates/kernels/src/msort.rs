@@ -31,8 +31,13 @@ impl MsortConfig {
         let n = self.n as f64;
         // Runs below ~32K elements sort inside the L2 of every platform.
         let levels = ((self.n as f64) / 32_768.0).log2().max(1.0).ceil();
-        WorkProfile::new("msort", 2.0 * n * levels, 2.0 * 8.0 * n * levels, AccessPattern::Streaming)
-            .with_parallel_fraction(0.85)
+        WorkProfile::new(
+            "msort",
+            2.0 * n * levels,
+            2.0 * 8.0 * n * levels,
+            AccessPattern::Streaming,
+        )
+        .with_parallel_fraction(0.85)
     }
 }
 
@@ -40,7 +45,8 @@ impl MsortConfig {
 pub fn inputs(cfg: &MsortConfig) -> Vec<f64> {
     (0..cfg.n)
         .map(|i| {
-            let mut x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mut x =
+                (i as u64).wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             x ^= x >> 33;
             (x % 1_000_000) as f64 * 1e-3 - 500.0
         })

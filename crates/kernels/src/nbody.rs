@@ -120,10 +120,8 @@ pub fn run_seq(cfg: &NbodyConfig, bodies: &[Body]) -> Vec<Body> {
 pub fn run_par(cfg: &NbodyConfig, bodies: &[Body]) -> Vec<Body> {
     let mut bodies = bodies.to_vec();
     for _ in 0..cfg.steps {
-        let accels: Vec<[f64; 3]> = (0..bodies.len())
-            .into_par_iter()
-            .map(|i| accel_on(i, &bodies, cfg.eps2))
-            .collect();
+        let accels: Vec<[f64; 3]> =
+            (0..bodies.len()).into_par_iter().map(|i| accel_on(i, &bodies, cfg.eps2)).collect();
         step(&mut bodies, &accels, cfg.dt);
     }
     bodies

@@ -83,16 +83,15 @@ pub fn run_par(cfg: &Stencil3dConfig, grid: &[f64]) -> Vec<f64> {
     for _ in 0..cfg.sweeps {
         {
             let a_ref = &a;
-            b.par_chunks_mut(n * n)
-                .enumerate()
-                .filter(|(z, _)| *z >= 1 && *z < n - 1)
-                .for_each(|(z, plane)| {
+            b.par_chunks_mut(n * n).enumerate().filter(|(z, _)| *z >= 1 && *z < n - 1).for_each(
+                |(z, plane)| {
                     for y in 1..n - 1 {
                         for x in 1..n - 1 {
                             plane[y * n + x] = stencil_point(a_ref, n, x, y, z);
                         }
                     }
-                });
+                },
+            );
         }
         std::mem::swap(&mut a, &mut b);
     }

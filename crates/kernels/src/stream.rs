@@ -21,7 +21,8 @@ pub enum StreamOp {
 
 impl StreamOp {
     /// All four operations in STREAM's canonical order.
-    pub const ALL: [StreamOp; 4] = [StreamOp::Copy, StreamOp::Scale, StreamOp::Add, StreamOp::Triad];
+    pub const ALL: [StreamOp; 4] =
+        [StreamOp::Copy, StreamOp::Scale, StreamOp::Add, StreamOp::Triad];
 
     /// Display name.
     pub fn name(self) -> &'static str {

@@ -6,9 +6,8 @@ use soc_arch::WorkProfile;
 
 use crate::{
     amcd::AmcdConfig, conv2d::Conv2dConfig, dmmm::DmmmConfig, fft::FftConfig,
-    histogram::HistogramConfig, msort::MsortConfig, nbody::NbodyConfig,
-    reduction::ReductionConfig, spmv::SpmvConfig, stencil3d::Stencil3dConfig,
-    vecop::VecopConfig,
+    histogram::HistogramConfig, msort::MsortConfig, nbody::NbodyConfig, reduction::ReductionConfig,
+    spmv::SpmvConfig, stencil3d::Stencil3dConfig, vecop::VecopConfig,
 };
 
 /// Identifier of a micro-kernel (Table 2 order).
@@ -182,7 +181,11 @@ pub fn smoke_run_all() -> Vec<SmokeResult> {
         crate::dmmm::run_seq(&cfg, &a, &b, &mut cs);
         crate::dmmm::run_par(&cfg, &a, &b, &mut cp);
         let agree = cs.iter().zip(&cp).all(|(x, y)| (x - y).abs() < 1e-9);
-        out.push(SmokeResult { tag: "dmmm", seq_par_agree: agree, checksum: crate::dmmm::checksum(&cs) });
+        out.push(SmokeResult {
+            tag: "dmmm",
+            seq_par_agree: agree,
+            checksum: crate::dmmm::checksum(&cs),
+        });
     }
     {
         let cfg = Stencil3dConfig::small();
@@ -200,7 +203,11 @@ pub fn smoke_run_all() -> Vec<SmokeResult> {
         let img = crate::conv2d::inputs(&cfg);
         let s = crate::conv2d::run_seq(&cfg, &img);
         let p = crate::conv2d::run_par(&cfg, &img);
-        out.push(SmokeResult { tag: "2dcon", seq_par_agree: s == p, checksum: crate::conv2d::checksum(&s) });
+        out.push(SmokeResult {
+            tag: "2dcon",
+            seq_par_agree: s == p,
+            checksum: crate::conv2d::checksum(&s),
+        });
     }
     {
         let cfg = FftConfig::small();
@@ -209,7 +216,11 @@ pub fn smoke_run_all() -> Vec<SmokeResult> {
         let mut p = input;
         crate::fft::run_seq(&mut s, false);
         crate::fft::run_par(&mut p, false);
-        out.push(SmokeResult { tag: "fft", seq_par_agree: s == p, checksum: crate::fft::checksum(&s) });
+        out.push(SmokeResult {
+            tag: "fft",
+            seq_par_agree: s == p,
+            checksum: crate::fft::checksum(&s),
+        });
     }
     {
         let cfg = ReductionConfig::small();
@@ -273,7 +284,11 @@ pub fn smoke_run_all() -> Vec<SmokeResult> {
         let mut yp = vec![0.0; cfg.n];
         crate::spmv::run_seq(&a, &x, &mut ys);
         crate::spmv::run_par(&a, &x, &mut yp);
-        out.push(SmokeResult { tag: "spvm", seq_par_agree: ys == yp, checksum: crate::spmv::checksum(&ys) });
+        out.push(SmokeResult {
+            tag: "spvm",
+            seq_par_agree: ys == yp,
+            checksum: crate::spmv::checksum(&ys),
+        });
     }
 
     out
@@ -290,7 +305,10 @@ mod tests {
         let tags: Vec<&str> = t.iter().map(|k| k.tag).collect();
         assert_eq!(
             tags,
-            vec!["vecop", "dmmm", "3dstc", "2dcon", "fft", "red", "hist", "msort", "nbody", "amcd", "spvm"]
+            vec![
+                "vecop", "dmmm", "3dstc", "2dcon", "fft", "red", "hist", "msort", "nbody", "amcd",
+                "spvm"
+            ]
         );
     }
 

@@ -34,4 +34,4 @@ mod topology;
 pub use eee::{eee_tradeoff, EeeModel, EeeTradeoffPoint};
 pub use penalty::{penalty, penalty_table, snb_penalty, PenaltyRow, SNB_REFERENCE};
 pub use proto::{AttachModel, EndpointModel, ProtocolModel};
-pub use topology::{Network, TopologySpec};
+pub use topology::{LossWindow, Network, TopologySpec};

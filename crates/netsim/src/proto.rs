@@ -168,14 +168,18 @@ impl ProtocolModel {
     /// Sender-side per-message CPU busy time.
     pub fn send_overhead(&self, ep: &EndpointModel) -> SimTime {
         SimTime::from_micros_f64(
-            self.send_fixed_us + self.send_cpu_us / ep.scalar_speed + ep.attach.message_us(ep.scalar_speed),
+            self.send_fixed_us
+                + self.send_cpu_us / ep.scalar_speed
+                + ep.attach.message_us(ep.scalar_speed),
         )
     }
 
     /// Receiver-side per-message CPU busy time.
     pub fn recv_overhead(&self, ep: &EndpointModel) -> SimTime {
         SimTime::from_micros_f64(
-            self.recv_fixed_us + self.recv_cpu_us / ep.scalar_speed + ep.attach.message_us(ep.scalar_speed),
+            self.recv_fixed_us
+                + self.recv_cpu_us / ep.scalar_speed
+                + ep.attach.message_us(ep.scalar_speed),
         )
     }
 
@@ -280,10 +284,7 @@ mod tests {
         let l_lo = tcp.one_way_time(&lo, &lo, path(), GBE, 4).as_micros_f64();
         let l_hi = tcp.one_way_time(&hi, &hi, path(), GBE, 4).as_micros_f64();
         let reduction = (l_lo - l_hi) / l_lo;
-        assert!(
-            targets::EXYNOS_LAT_GAIN_1P4.check(reduction),
-            "latency reduction {reduction}"
-        );
+        assert!(targets::EXYNOS_LAT_GAIN_1P4.check(reduction), "latency reduction {reduction}");
     }
 
     #[test]

@@ -68,6 +68,23 @@ impl TopologySpec {
     }
 }
 
+/// A time window during which one node's links drop frames.
+///
+/// Fault-injection layers (the `simmpi` crate's `FaultPlan`) register these
+/// so the network owns the "how lossy is this path right now" question;
+/// retransmission policy stays with the protocol layer above.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossWindow {
+    /// Affected node (both its up and down links).
+    pub node: u32,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Per-transmission drop probability in `[0, 1)` while active.
+    pub loss: f64,
+}
+
 /// The interconnect: topology + per-link reservation state.
 #[derive(Clone, Debug)]
 pub struct Network {
@@ -75,6 +92,7 @@ pub struct Network {
     /// Wire bandwidth of a node link, bytes/s.
     pub link_bw_bytes: f64,
     links: Vec<Link>,
+    loss_windows: Vec<LossWindow>,
 }
 
 /// Index layout within `links`:
@@ -101,7 +119,7 @@ impl Network {
                 }
             }
         }
-        Network { spec, link_bw_bytes, links }
+        Network { spec, link_bw_bytes, links, loss_windows: Vec::new() }
     }
 
     /// Gigabit-Ethernet network (125 MB/s links, 1.25 µs per traversal).
@@ -192,7 +210,30 @@ impl Network {
         head + bottleneck
     }
 
+    /// Register a loss window: `node`'s links drop frames with probability
+    /// `loss` for `from <= t < until`.
+    pub fn add_loss_window(&mut self, window: LossWindow) {
+        debug_assert!(window.node < self.nodes());
+        debug_assert!((0.0..1.0).contains(&window.loss));
+        self.loss_windows.push(window);
+    }
+
+    /// Drop probability for a frame departing at `at` on the `src -> dst`
+    /// path: the worst loss window active on either endpoint (0.0 when the
+    /// path is clean). Self-sends never traverse a link and never lose.
+    pub fn loss_probability(&self, src: u32, dst: u32, at: SimTime) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        self.loss_windows
+            .iter()
+            .filter(|w| (w.node == src || w.node == dst) && w.from <= at && at < w.until)
+            .map(|w| w.loss)
+            .fold(0.0, f64::max)
+    }
+
     /// Reset all link reservations (between independent experiments).
+    /// Loss windows are part of the experiment definition and persist.
     pub fn reset(&mut self) {
         for l in &mut self.links {
             l.next_free = SimTime::ZERO;
@@ -243,7 +284,7 @@ mod tests {
     fn uncontended_transfer_time_is_latency_plus_serialisation() {
         let mut net = Network::gbe(TopologySpec::Star { nodes: 2 });
         let arrival = net.transmit(SimTime::ZERO, 0, 1, 125_000); // 1 ms of wire
-        // 2 × 1.25 µs latency + 1 ms serialisation.
+                                                                  // 2 × 1.25 µs latency + 1 ms serialisation.
         let expect = SimTime::from_micros_f64(2.5) + SimTime::from_millis(1);
         assert_eq!(arrival, expect);
     }
@@ -293,6 +334,33 @@ mod tests {
         // After reset, a single flow is fast again.
         let arr = net.transmit(SimTime::ZERO, 0, 48, bytes);
         assert!(arr < SimTime::from_millis(11));
+    }
+
+    #[test]
+    fn loss_windows_cover_either_endpoint_within_their_span() {
+        let mut net = Network::gbe(TopologySpec::Star { nodes: 4 });
+        assert_eq!(net.loss_probability(0, 1, SimTime::ZERO), 0.0);
+        net.add_loss_window(LossWindow {
+            node: 1,
+            from: SimTime::from_millis(10),
+            until: SimTime::from_millis(20),
+            loss: 0.25,
+        });
+        // Active only inside the window, on paths touching node 1.
+        assert_eq!(net.loss_probability(0, 1, SimTime::from_millis(9)), 0.0);
+        assert_eq!(net.loss_probability(0, 1, SimTime::from_millis(10)), 0.25);
+        assert_eq!(net.loss_probability(1, 3, SimTime::from_millis(15)), 0.25);
+        assert_eq!(net.loss_probability(0, 1, SimTime::from_millis(20)), 0.0);
+        assert_eq!(net.loss_probability(0, 2, SimTime::from_millis(15)), 0.0);
+        // Self-sends never lose, and overlapping windows take the max.
+        assert_eq!(net.loss_probability(1, 1, SimTime::from_millis(15)), 0.0);
+        net.add_loss_window(LossWindow {
+            node: 1,
+            from: SimTime::from_millis(12),
+            until: SimTime::from_millis(18),
+            loss: 0.75,
+        });
+        assert_eq!(net.loss_probability(0, 1, SimTime::from_millis(15)), 0.75);
     }
 
     #[test]

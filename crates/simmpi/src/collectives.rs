@@ -365,10 +365,8 @@ mod tests {
 
     #[test]
     fn allreduce_gives_same_answer_everywhere() {
-        let run = run_mpi(spec(9), |r| {
-            r.allreduce(ReduceOp::Sum, vec![1.0, r.rank() as f64])
-        })
-        .unwrap();
+        let run =
+            run_mpi(spec(9), |r| r.allreduce(ReduceOp::Sum, vec![1.0, r.rank() as f64])).unwrap();
         for v in run.results {
             assert_eq!(v, vec![9.0, 36.0]);
         }

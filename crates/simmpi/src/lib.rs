@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod collectives;
+mod error;
 mod imb;
 mod payload;
 mod pingpong;
@@ -37,8 +38,9 @@ mod rank;
 mod world;
 
 pub use collectives::{ReduceOp, COLL_TAG_BASE};
+pub use error::{JobSpecError, MpiFault};
 pub use imb::{imb_collective, imb_rank_sweep, ImbOp, ImbPoint};
 pub use payload::Msg;
 pub use pingpong::{large_sizes, pingpong, small_sizes, PingPongPoint};
 pub use rank::{run_mpi, MpiRun, Rank};
-pub use world::{JobSpec, NetStats};
+pub use world::{JobSpec, NetStats, RetryPolicy};

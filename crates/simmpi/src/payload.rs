@@ -57,18 +57,14 @@ impl Msg {
     pub fn to_f64s(&self) -> Vec<f64> {
         let data = self.data.as_ref().expect("size-only message has no data");
         assert!(data.len().is_multiple_of(8), "payload is not a sequence of f64");
-        data.chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect()
+        data.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
     }
 
     /// Decode the payload as `u64`s.
     pub fn to_u64s(&self) -> Vec<u64> {
         let data = self.data.as_ref().expect("size-only message has no data");
         assert!(data.len().is_multiple_of(8), "payload is not a sequence of u64");
-        data.chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-            .collect()
+        data.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
     }
 }
 

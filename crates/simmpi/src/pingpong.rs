@@ -82,21 +82,13 @@ mod tests {
     #[test]
     fn tegra2_tcp_small_message_latency_near_100us() {
         let pts = pingpong(t2_spec(ProtocolModel::tcp_ip()), &[4], 3);
-        assert!(
-            (90.0..112.0).contains(&pts[0].latency_us),
-            "latency {} us",
-            pts[0].latency_us
-        );
+        assert!((90.0..112.0).contains(&pts[0].latency_us), "latency {} us", pts[0].latency_us);
     }
 
     #[test]
     fn tegra2_openmx_small_message_latency_near_65us() {
         let pts = pingpong(t2_spec(ProtocolModel::open_mx()), &[4], 3);
-        assert!(
-            (58.0..72.0).contains(&pts[0].latency_us),
-            "latency {} us",
-            pts[0].latency_us
-        );
+        assert!((58.0..72.0).contains(&pts[0].latency_us), "latency {} us", pts[0].latency_us);
     }
 
     #[test]
@@ -122,9 +114,8 @@ mod tests {
         let e5 = JobSpec::new(Platform::exynos5250(), 2)
             .with_freq(1.0)
             .with_proto(ProtocolModel::tcp_ip());
-        let t2 = JobSpec::new(Platform::tegra2(), 2)
-            .with_freq(1.0)
-            .with_proto(ProtocolModel::tcp_ip());
+        let t2 =
+            JobSpec::new(Platform::tegra2(), 2).with_freq(1.0).with_proto(ProtocolModel::tcp_ip());
         let le5 = pingpong(e5, &[4], 2)[0].latency_us;
         let lt2 = pingpong(t2, &[4], 2)[0].latency_us;
         assert!(le5 > lt2, "Exynos {le5} us should exceed Tegra2 {lt2} us");

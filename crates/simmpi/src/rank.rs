@@ -1,12 +1,39 @@
 //! The per-rank API: point-to-point messaging, modelled compute, and the job
 //! runner.
+//!
+//! ## Fault semantics
+//!
+//! Faults come from the job's [`FaultPlan`](des::FaultPlan) and surface as a
+//! typed [`MpiFault`] from [`run_mpi`] instead of a hang or a panic message:
+//!
+//! * **Node crash** — every rank caches its node's crash time up front; every
+//!   virtual-time advance (compute, backoff, wire waits) is split at that
+//!   instant and every park carries it as a deadline, so the rank detects its
+//!   own death at *exactly* the crash's virtual time, records
+//!   [`MpiFault::RankDied`] in the world, and unwinds. There is no injector
+//!   process: the schedule is static, so self-checks are both sufficient and
+//!   immune to stale-wakeup races.
+//! * **Lossy links** — senders consult the network's loss windows per
+//!   transmission attempt and draw from the world's deterministic RNG;
+//!   dropped frames cost an exponential backoff (`retrans_base * 2^n`,
+//!   capped) and exhaust into [`MpiFault::Timeout`]. The rendezvous RTS/CTS
+//!   handshake is assumed reliable (control frames are tiny and would be
+//!   protected in a real transport); loss applies to eager payloads and the
+//!   rendezvous bulk transfer.
+//! * **Receive timeout** — when the retry policy sets one, a receive that
+//!   finds no matching message by its deadline fails the run with
+//!   [`MpiFault::Timeout`] rather than deadlocking.
+//!
+//! The first fault to strike wins; the engine aborts the run at that virtual
+//! instant and `run_mpi` reports it.
 
 use std::sync::Arc;
 
-use des::{Context, Engine, SimError, SimTime};
+use des::{Context, Engine, SimTime};
 use parking_lot::Mutex;
 use soc_arch::{kernel_time, WorkProfile};
 
+use crate::error::MpiFault;
 use crate::payload::Msg;
 use crate::world::{matches, Delivery, InMsg, JobSpec, NetStats, World};
 
@@ -16,6 +43,14 @@ pub struct Rank<'a> {
     ctx: &'a Context,
     rank: u32,
     world: Arc<World>,
+    /// Physical node hosting this rank.
+    node: u32,
+    /// When this rank's node crashes, per the fault plan.
+    crash_at: Option<SimTime>,
+    /// Scheduled DRAM bit-flips on this node, sorted ascending.
+    flips: Vec<SimTime>,
+    /// Flips already consumed by [`Rank::poll_bit_flip`].
+    flips_seen: usize,
 }
 
 /// Result of a completed job.
@@ -47,12 +82,25 @@ impl<R> MpiRun<R> {
 /// Run an MPI job: every rank executes `body` on its own simulated process.
 ///
 /// Communication costs come from the job's protocol/topology models; compute
-/// costs from [`Rank::compute`]. The run is bit-deterministic.
-pub fn run_mpi<R, F>(spec: JobSpec, body: F) -> Result<MpiRun<R>, SimError>
+/// costs from [`Rank::compute`]. The run is bit-deterministic, including
+/// under fault injection: identical `(spec, fault_plan)` pairs produce
+/// identical virtual times, results, and failure reports.
+///
+/// # Errors
+///
+/// * [`MpiFault::InvalidSpec`] — the spec failed validation; nothing ran.
+/// * [`MpiFault::RankDied`] — a node crash from the fault plan killed a
+///   participating rank, at the crash's virtual time.
+/// * [`MpiFault::Timeout`] — retransmissions were exhausted on a lossy link,
+///   or a receive timed out under the retry policy.
+/// * [`MpiFault::Engine`] — simulator-level failure (deadlock, rank panic)
+///   unrelated to injected faults.
+pub fn run_mpi<R, F>(spec: JobSpec, body: F) -> Result<MpiRun<R>, MpiFault>
 where
     R: Send + 'static,
     F: Fn(&mut Rank<'_>) -> R + Send + Sync + 'static,
 {
+    spec.validate().map_err(MpiFault::InvalidSpec)?;
     let world = Arc::new(World::new(spec));
     let nranks = world.spec.ranks;
     let body = Arc::new(body);
@@ -65,13 +113,25 @@ where
         let body = Arc::clone(&body);
         let results = Arc::clone(&results);
         let pid = engine.spawn(format!("rank{r}"), move |ctx| {
-            let mut rank = Rank { ctx, rank: r, world: world_for_rank };
+            let node = world_for_rank.spec.node_of(r);
+            let plan = &world_for_rank.spec.fault_plan;
+            let crash_at = plan.crash_time(node);
+            let flips: Vec<SimTime> = plan.bit_flips(node).collect();
+            let mut rank =
+                Rank { ctx, rank: r, world: world_for_rank, node, crash_at, flips, flips_seen: 0 };
             let out = body(&mut rank);
             results.lock()[r as usize] = Some(out);
         });
         world.state.lock().ranks[r as usize].pid = Some(pid);
     }
-    let report = engine.run()?;
+    let report = match engine.run() {
+        Ok(report) => report,
+        Err(e) => {
+            // A rank that died on purpose recorded why before unwinding.
+            let recorded = world.state.lock().fault.take();
+            return Err(recorded.unwrap_or(MpiFault::Engine(e)));
+        }
+    };
 
     let mut st = world.state.lock();
     let compute_busy = st.ranks.iter().map(|r| r.compute_busy).collect();
@@ -116,15 +176,117 @@ impl Rank<'_> {
         self.compute_secs(t.total_s);
     }
 
-    /// Model `seconds` of computation.
+    /// Model `seconds` of computation. If the node crashes mid-computation,
+    /// the rank dies at exactly the crash instant.
     pub fn compute_secs(&mut self, seconds: f64) {
         let dt = SimTime::from_secs_f64(seconds);
+        let end = self.ctx.now() + dt;
+        if let Some(crash) = self.crash_at {
+            if crash <= end {
+                let done = crash - self.ctx.now();
+                self.ctx.advance_to(crash);
+                self.world.state.lock().ranks[self.rank as usize].compute_busy += done;
+                self.die_crashed();
+            }
+        }
         self.ctx.advance(dt);
         self.world.state.lock().ranks[self.rank as usize].compute_busy += dt;
     }
 
+    /// Consume the earliest scheduled DRAM bit-flip on this rank's node that
+    /// has already struck (`at <= now`). Applications model silent data
+    /// corruption by polling this between phases and corrupting their own
+    /// state when it fires.
+    pub fn poll_bit_flip(&mut self) -> Option<SimTime> {
+        let next = *self.flips.get(self.flips_seen)?;
+        if next <= self.ctx.now() {
+            self.flips_seen += 1;
+            Some(next)
+        } else {
+            None
+        }
+    }
+
     fn tally_comm(&self, dt: SimTime) {
         self.world.state.lock().ranks[self.rank as usize].comm_busy += dt;
+    }
+
+    /// Record `fault` as the run's outcome (first one wins) and unwind this
+    /// rank's process. The engine aborts the run; `run_mpi` reports the
+    /// recorded fault. Must not be called with the world lock held.
+    fn die(&self, fault: MpiFault) -> ! {
+        {
+            let mut st = self.world.state.lock();
+            if st.fault.is_none() {
+                st.fault = Some(fault);
+            }
+        }
+        // resume_unwind skips the panic hook: the failure is reported
+        // through MpiFault, not stderr.
+        std::panic::resume_unwind(Box::new("simmpi rank fault (see MpiFault)"));
+    }
+
+    fn die_crashed(&self) -> ! {
+        let at = self.crash_at.expect("die_crashed without a crash time");
+        self.die(MpiFault::RankDied { rank: self.rank, node: self.node, at });
+    }
+
+    /// Die if this rank's node has already crashed.
+    fn check_crashed(&self) {
+        if self.crash_at.is_some_and(|c| c <= self.ctx.now()) {
+            self.die_crashed();
+        }
+    }
+
+    /// Advance to `at`, dying at the crash instant if it lands first.
+    fn advance_to_or_die(&self, at: SimTime) {
+        match self.crash_at {
+            Some(crash) if crash <= at => {
+                self.ctx.advance_to(crash);
+                self.die_crashed();
+            }
+            _ => self.ctx.advance_to(at),
+        }
+    }
+
+    /// Advance by `dt` of protocol CPU time, dying at the crash instant if
+    /// it lands inside the interval.
+    fn advance_comm_or_die(&self, dt: SimTime) {
+        let end = self.ctx.now() + dt;
+        match self.crash_at {
+            Some(crash) if crash <= end => {
+                self.ctx.advance_to(crash);
+                self.die_crashed();
+            }
+            _ => {
+                self.ctx.advance(dt);
+                self.tally_comm(dt);
+            }
+        }
+    }
+
+    /// Park awaiting a peer, bounded by the crash instant and an optional
+    /// absolute timeout. On timeout the rank dies with the appropriate
+    /// fault; on a peer wake it simply returns.
+    fn park_or_die(&self, timeout_at: Option<SimTime>, peer: Option<u32>) {
+        let deadline = match (self.crash_at, timeout_at) {
+            (None, None) => {
+                self.ctx.park();
+                return;
+            }
+            (Some(c), None) => c,
+            (None, Some(t)) => t,
+            (Some(c), Some(t)) => c.min(t),
+        };
+        if !self.ctx.park_until(deadline) {
+            self.check_crashed();
+            self.die(MpiFault::Timeout { rank: self.rank, peer, at: self.ctx.now(), attempts: 0 });
+        }
+    }
+
+    /// Deadline for the current receive, from the retry policy.
+    fn recv_deadline(&self) -> Option<SimTime> {
+        self.world.spec.retry.recv_timeout.map(|t| self.ctx.now() + t)
     }
 
     /// Blocking send of `msg` to rank `dst` with `tag`.
@@ -135,11 +297,11 @@ impl Rank<'_> {
     pub fn send(&mut self, dst: u32, tag: u32, msg: Msg) {
         assert!(dst < self.size(), "send to invalid rank {dst}");
         assert!(dst != self.rank, "self-sends are not supported; restructure the algorithm");
+        self.check_crashed();
         let world = Arc::clone(&self.world);
         let proto = world.spec.proto;
         let o_s = proto.send_overhead(&world.ep);
-        self.ctx.advance(o_s);
-        self.tally_comm(o_s);
+        self.advance_comm_or_die(o_s);
 
         let bytes = msg.bytes;
         let src_node = world.spec.node_of(self.rank);
@@ -178,20 +340,51 @@ impl Rank<'_> {
                 }
             };
             let _ = (rts_arrival, my_pid);
-            // Wait until the receiver completes the transfer and wakes us.
-            self.ctx.park();
+            // Wait until the receiver completes the transfer and wakes us
+            // (bounded by our own crash and the per-message timeout).
+            self.park_or_die(self.recv_deadline(), Some(dst));
             return;
         }
 
-        // Eager path.
+        // Eager path: get the payload through any active loss window first.
+        // A dropped frame costs an exponential backoff and a retransmission;
+        // exhausting the budget fails the run.
+        let retry = world.spec.retry;
+        let mut attempts = 0u32;
+        loop {
+            let depart = self.ctx.now();
+            let dropped = {
+                let mut st = world.state.lock();
+                let loss = st.net.loss_probability(src_node, dst_node, depart);
+                let dropped = loss > 0.0 && st.rng.next_f64() < loss;
+                if dropped {
+                    st.stats.retransmits += 1;
+                }
+                dropped
+            };
+            if !dropped {
+                break;
+            }
+            attempts += 1;
+            if attempts > retry.max_retries {
+                self.die(MpiFault::Timeout {
+                    rank: self.rank,
+                    peer: Some(dst),
+                    at: depart,
+                    attempts,
+                });
+            }
+            self.advance_comm_or_die(backoff(retry.retrans_base, attempts));
+        }
+
         let injection;
         {
             let mut st = world.state.lock();
             let depart = self.ctx.now();
             let wire = world.framed(bytes);
             let link_bw = st.net.link_bw_bytes;
-            let arrival =
-                st.net.transmit(depart, src_node, dst_node, wire) + world.endpoint_extra_serial(bytes, link_bw);
+            let arrival = st.net.transmit(depart, src_node, dst_node, wire)
+                + world.endpoint_extra_serial(bytes, link_bw);
             st.stats.messages += 1;
             st.stats.payload_bytes += bytes;
             let dst_state = &mut st.ranks[dst as usize];
@@ -235,9 +428,13 @@ impl Rank<'_> {
 
     /// Blocking receive with optional source/tag filters.
     pub fn recv_filtered(&mut self, src: Option<u32>, tag: Option<u32>) -> (u32, u32, Msg) {
+        self.check_crashed();
         let world = Arc::clone(&self.world);
         let proto = world.spec.proto;
         let filter = (src, tag);
+        // The timeout (when the retry policy sets one) is absolute from the
+        // moment the receive was posted, not re-armed per park.
+        let timeout_at = self.recv_deadline();
         loop {
             let found = {
                 let mut st = world.state.lock();
@@ -253,7 +450,7 @@ impl Rank<'_> {
                                 } else {
                                     // Wait for the wire, then re-scan.
                                     drop(st);
-                                    self.ctx.advance_to(available_at);
+                                    self.advance_to_or_die(available_at);
                                     continue;
                                 }
                             }
@@ -270,17 +467,23 @@ impl Rank<'_> {
                 Some(m) => match m.delivery {
                     Delivery::Eager { .. } => {
                         let o_r = proto.recv_overhead(&world.ep);
-                        self.ctx.advance(o_r);
-                        self.tally_comm(o_r);
+                        self.advance_comm_or_die(o_r);
                         return (m.src, m.tag, m.msg);
                     }
                     Delivery::Rendezvous { sender_pid, rts_arrival } => {
-                        return self.complete_rendezvous(m.src, m.tag, m.msg, sender_pid, rts_arrival);
+                        return self.complete_rendezvous(
+                            m.src,
+                            m.tag,
+                            m.msg,
+                            sender_pid,
+                            rts_arrival,
+                        );
                     }
                 },
                 None => {
-                    // Park until a sender delivers a matching message.
-                    self.ctx.park();
+                    // Park until a sender delivers a matching message, our
+                    // node crashes, or the receive times out.
+                    self.park_or_die(timeout_at, src);
                 }
             }
         }
@@ -298,11 +501,11 @@ impl Rank<'_> {
     ) -> (u32, u32, Msg) {
         let world = Arc::clone(&self.world);
         let proto = world.spec.proto;
+        let retry = world.spec.retry;
         // Process the RTS once it has arrived.
-        self.ctx.advance_to(rts_arrival);
+        self.advance_to_or_die(rts_arrival);
         let o_r = proto.recv_overhead(&world.ep);
-        self.ctx.advance(o_r);
-        self.tally_comm(o_r);
+        self.advance_comm_or_die(o_r);
 
         let src_node = world.spec.node_of(src);
         let dst_node = world.spec.node_of(self.rank);
@@ -310,24 +513,45 @@ impl Rank<'_> {
             let mut st = world.state.lock();
             let now = self.ctx.now();
             // CTS travels back; the sender starts the bulk transfer on its
-            // arrival.
+            // arrival. The RTS/CTS control frames are assumed reliable; loss
+            // applies to the bulk transfer below.
             let cts_arrival = st.net.transmit(now, dst_node, src_node, 128)
                 + proto.send_overhead(&world.ep)
                 + proto.recv_overhead(&world.ep);
             let wire = world.framed(msg.bytes);
             let link_bw = st.net.link_bw_bytes;
-            let data_arrival = st.net.transmit(cts_arrival, src_node, dst_node, wire)
-                + world.endpoint_extra_serial(msg.bytes, link_bw);
-            let injection =
-                SimTime::from_secs_f64(msg.bytes as f64 / world.cpu_stage_rate());
-            let sender_done = (cts_arrival + injection).max(now);
+            // Push the bulk transfer through any loss window: each drop
+            // delays the (remote) sender's departure by the backoff.
+            let mut bulk_depart = cts_arrival;
+            let mut attempts = 0u32;
+            let data_arrival = loop {
+                let loss = st.net.loss_probability(src_node, dst_node, bulk_depart);
+                if loss > 0.0 && st.rng.next_f64() < loss {
+                    st.stats.retransmits += 1;
+                    attempts += 1;
+                    if attempts > retry.max_retries {
+                        drop(st);
+                        self.die(MpiFault::Timeout {
+                            rank: self.rank,
+                            peer: Some(src),
+                            at: bulk_depart,
+                            attempts,
+                        });
+                    }
+                    bulk_depart += backoff(retry.retrans_base, attempts);
+                    continue;
+                }
+                break st.net.transmit(bulk_depart, src_node, dst_node, wire)
+                    + world.endpoint_extra_serial(msg.bytes, link_bw);
+            };
+            let injection = SimTime::from_secs_f64(msg.bytes as f64 / world.cpu_stage_rate());
+            let sender_done = (bulk_depart + injection).max(now);
             (data_arrival, sender_done)
         };
         self.ctx.wake_at(sender_pid, sender_done);
-        self.ctx.advance_to(data_arrival);
+        self.advance_to_or_die(data_arrival);
         let o_r2 = proto.recv_overhead(&world.ep);
-        self.ctx.advance(o_r2);
-        self.tally_comm(o_r2);
+        self.advance_comm_or_die(o_r2);
         (src, tag, msg)
     }
 
@@ -351,9 +575,16 @@ impl Rank<'_> {
     }
 }
 
+/// Bounded exponential backoff: `base * 2^(attempt-1)`, capped at `base * 64`.
+fn backoff(base: SimTime, attempt: u32) -> SimTime {
+    base * (1u64 << (attempt.saturating_sub(1)).min(6))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::world::RetryPolicy;
+    use des::{FaultEvent, FaultKind, FaultPlan, SimError};
     use soc_arch::Platform;
 
     fn spec(n: u32) -> JobSpec {
@@ -546,9 +777,217 @@ mod tests {
         })
         .unwrap_err();
         match err {
-            SimError::Deadlock { parked, .. } => assert_eq!(parked, vec!["rank1".to_string()]),
+            MpiFault::Engine(SimError::Deadlock { parked, .. }) => {
+                assert_eq!(parked, vec!["rank1".to_string()])
+            }
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    fn crash_plan(node: u32, at: SimTime) -> FaultPlan {
+        FaultPlan::from_events(vec![FaultEvent { at, kind: FaultKind::NodeCrash { node } }])
+    }
+
+    fn degrade_plan(node: u32, loss: f64, until: SimTime) -> FaultPlan {
+        FaultPlan::from_events(vec![FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::LinkDegrade { node, loss, duration: until },
+        }])
+    }
+
+    #[test]
+    fn invalid_spec_is_a_typed_error() {
+        let mut bad = spec(8);
+        bad.topology = netsim::TopologySpec::Star { nodes: 4 };
+        match run_mpi(bad, |_| ()) {
+            Err(MpiFault::InvalidSpec(crate::JobSpecError::TooManyNodes {
+                needed: 8,
+                available: 4,
+            })) => {}
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_mid_compute_returns_rank_died_at_crash_time() {
+        let crash = SimTime::from_millis(3);
+        let s = spec(2).with_fault_plan(crash_plan(1, crash));
+        let err = run_mpi(s, |r| {
+            r.compute_secs(0.010); // rank 1 dies 3ms in
+            r.rank()
+        })
+        .unwrap_err();
+        assert_eq!(err, MpiFault::RankDied { rank: 1, node: 1, at: crash });
+    }
+
+    #[test]
+    fn crash_while_peer_waits_kills_run_not_just_the_peer() {
+        // Rank 1 crashes before sending; rank 0 is parked in recv. The run
+        // must end with RankDied at the crash instant — no hang, and no
+        // deadlock diagnostic.
+        let crash = SimTime::from_millis(1);
+        let s = spec(2).with_fault_plan(crash_plan(1, crash));
+        let err = run_mpi(s, |r| {
+            if r.rank() == 0 {
+                r.recv(1, 0);
+            } else {
+                r.compute_secs(0.005); // never gets there
+                r.send(0, 0, Msg::empty());
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, MpiFault::RankDied { rank: 1, node: 1, at: crash });
+    }
+
+    #[test]
+    fn recv_timeout_turns_missing_message_into_timeout() {
+        let mut s = spec(2);
+        s.retry.recv_timeout = Some(SimTime::from_millis(2));
+        let err = run_mpi(s, |r| {
+            if r.rank() == 1 {
+                r.recv(0, 99); // never sent
+            }
+        })
+        .unwrap_err();
+        match err {
+            MpiFault::Timeout { rank: 1, peer: Some(0), at, attempts: 0 } => {
+                assert_eq!(at, SimTime::from_millis(2));
+            }
+            other => panic!("expected recv timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_link_delivers_with_retransmits() {
+        let s = spec(2).with_fault_plan(degrade_plan(1, 0.5, SimTime::from_secs(100)));
+        let run = run_mpi(s, |r| {
+            if r.rank() == 0 {
+                for i in 0..8u64 {
+                    r.send(1, 1, Msg::from_u64s(&[i]));
+                }
+                0
+            } else {
+                (0..8).map(|_| r.recv(0, 1).to_u64s()[0]).sum::<u64>()
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results[1], 28); // every payload survived
+        assert!(run.net.retransmits > 0, "a 50% lossy link must drop something");
+    }
+
+    #[test]
+    fn retry_exhaustion_is_a_send_timeout() {
+        let s = spec(2)
+            .with_fault_plan(degrade_plan(1, 0.99, SimTime::from_secs(100)))
+            .with_retry(RetryPolicy { max_retries: 2, ..RetryPolicy::default() });
+        let err = run_mpi(s, |r| {
+            if r.rank() == 0 {
+                r.send(1, 0, Msg::empty());
+            } else {
+                r.recv(0, 0);
+            }
+        })
+        .unwrap_err();
+        match err {
+            MpiFault::Timeout { rank: 0, peer: Some(1), attempts: 3, .. } => {}
+            other => panic!("expected exhausted retries, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rendezvous_bulk_survives_lossy_link() {
+        let s = spec(2).with_proto(netsim::ProtocolModel::open_mx()).with_fault_plan(degrade_plan(
+            0,
+            0.5,
+            SimTime::from_secs(100),
+        ));
+        let payload: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let expect: f64 = payload.iter().sum();
+        let run = run_mpi(s, move |r| {
+            if r.rank() == 0 {
+                r.send(1, 0, Msg::from_f64s(&payload));
+                0.0
+            } else {
+                r.recv(0, 0).to_f64s().iter().sum::<f64>()
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results[1], expect);
+        assert!(run.net.retransmits > 0);
+    }
+
+    #[test]
+    fn bit_flips_are_polled_in_order() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent { at: SimTime::from_millis(1), kind: FaultKind::BitFlip { node: 0 } },
+            FaultEvent { at: SimTime::from_millis(2), kind: FaultKind::BitFlip { node: 0 } },
+        ]);
+        let run = run_mpi(spec(1).with_fault_plan(plan), |r| {
+            assert_eq!(r.poll_bit_flip(), None); // nothing struck yet
+            r.compute_secs(0.0015);
+            let first = r.poll_bit_flip();
+            assert_eq!(first, Some(SimTime::from_millis(1)));
+            assert_eq!(r.poll_bit_flip(), None); // second flip still pending
+            r.compute_secs(0.0010);
+            let second = r.poll_bit_flip();
+            assert_eq!(second, Some(SimTime::from_millis(2)));
+            (first.is_some() as u32) + (second.is_some() as u32)
+        })
+        .unwrap();
+        assert_eq!(run.results, vec![2]);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let go = |seed: u64| {
+            let plan = FaultPlan::generate(
+                seed,
+                4,
+                SimTime::from_secs(10),
+                &des::FaultRates {
+                    degrade_per_node_sec: 0.5,
+                    degrade_loss: 0.3,
+                    degrade_duration: SimTime::from_secs(1),
+                    ..des::FaultRates::none()
+                },
+            );
+            run_mpi(spec(4).with_fault_plan(plan), |r| {
+                let next = (r.rank() + 1) % r.size();
+                let prev = (r.rank() + r.size() - 1) % r.size();
+                for _ in 0..4 {
+                    r.sendrecv(next, 1, Msg::size_only(4096), prev, 1);
+                }
+                r.now().as_nanos()
+            })
+            .unwrap()
+        };
+        let a = go(7);
+        let b = go(7);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.net, b.net);
+    }
+
+    #[test]
+    fn node_map_relocates_faults_with_the_physical_node() {
+        // Crash physical node 3. With the identity map, ranks 0/1 (nodes
+        // 0/1) never touch node 3 and the run completes; remapping rank 1
+        // onto physical node 3 puts it in the blast radius.
+        let crash = crash_plan(3, SimTime::from_millis(1));
+        let base =
+            spec(2).with_topology(netsim::TopologySpec::Star { nodes: 4 }).with_fault_plan(crash);
+        let ok = run_mpi(base.clone(), |r| {
+            r.compute_secs(0.01);
+            r.rank()
+        })
+        .unwrap();
+        assert_eq!(ok.results, vec![0, 1]);
+        let err = run_mpi(base.with_node_map(vec![0, 3]), |r| {
+            r.compute_secs(0.01);
+            r.rank()
+        })
+        .unwrap_err();
+        assert_eq!(err, MpiFault::RankDied { rank: 1, node: 3, at: SimTime::from_millis(1) });
     }
 
     #[test]

@@ -9,11 +9,12 @@
 
 use std::collections::VecDeque;
 
-use des::{Pid, SimTime};
-use netsim::{EndpointModel, Network, ProtocolModel, TopologySpec};
+use des::{FaultKind, FaultPlan, Pid, SimRng, SimTime};
+use netsim::{EndpointModel, LossWindow, Network, ProtocolModel, TopologySpec};
 use parking_lot::Mutex;
 use soc_arch::Platform;
 
+use crate::error::{JobSpecError, MpiFault};
 use crate::payload::Msg;
 
 /// Per-frame overhead added to every wire transfer (Ethernet header + FCS +
@@ -35,6 +36,38 @@ pub struct JobSpec {
     pub ranks: u32,
     /// Ranks placed on each node (1 = one rank per node using all cores).
     pub ranks_per_node: u32,
+    /// Scheduled faults injected into this run ([`FaultPlan::none`] = clean).
+    pub fault_plan: FaultPlan,
+    /// Retransmission and timeout policy for lossy/dead links.
+    pub retry: RetryPolicy,
+    /// Optional logical→physical node mapping. Lets a checkpoint/restart
+    /// driver re-run a job on surviving nodes plus spares without changing
+    /// rank numbering. `None` = identity.
+    pub node_map: Option<Vec<u32>>,
+}
+
+/// Message retransmission and receive-timeout policy.
+///
+/// On a lossy link a transmission may be dropped; the sender backs off
+/// `retrans_base * 2^min(attempt-1, 6)` and retries, giving up (and failing
+/// the run with [`MpiFault::Timeout`]) after `max_retries` retransmissions.
+/// `recv_timeout`, when set, bounds how long a receive waits for a matching
+/// message before failing the run — this is what turns a dead peer into a
+/// typed error instead of a deadlock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Base retransmission delay (doubled each attempt, capped at 64x).
+    pub retrans_base: SimTime,
+    /// Maximum retransmissions per message before giving up.
+    pub max_retries: u32,
+    /// Receive-side timeout; `None` waits forever (seed behaviour).
+    pub recv_timeout: Option<SimTime>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { retrans_base: SimTime::from_micros(200), max_retries: 12, recv_timeout: None }
+    }
 }
 
 impl JobSpec {
@@ -49,6 +82,9 @@ impl JobSpec {
             topology: TopologySpec::Star { nodes: ranks },
             ranks,
             ranks_per_node: 1,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            node_map: None,
         }
     }
 
@@ -77,9 +113,39 @@ impl JobSpec {
         self
     }
 
-    /// Node hosting a rank.
-    pub fn node_of(&self, rank: u32) -> u32 {
+    /// Builder: set the fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> JobSpec {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Builder: set the retry/timeout policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> JobSpec {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: set a logical→physical node mapping (for restarting on
+    /// spare nodes after a crash).
+    pub fn with_node_map(mut self, map: Vec<u32>) -> JobSpec {
+        self.node_map = Some(map);
+        self
+    }
+
+    /// Logical node hosting a rank (before any `node_map` remapping).
+    pub fn logical_node_of(&self, rank: u32) -> u32 {
         rank / self.ranks_per_node
+    }
+
+    /// Physical node hosting a rank: the logical node pushed through
+    /// `node_map` when one is set. Fault plans and the network address
+    /// physical nodes.
+    pub fn node_of(&self, rank: u32) -> u32 {
+        let logical = self.logical_node_of(rank);
+        match &self.node_map {
+            Some(map) => map.get(logical as usize).copied().unwrap_or(logical),
+            None => logical,
+        }
     }
 
     /// Cores available to each rank.
@@ -87,20 +153,46 @@ impl JobSpec {
         (self.platform.soc.cores / self.ranks_per_node).max(1)
     }
 
-    /// Validate the spec (enough nodes, supported frequency).
-    pub fn validate(&self) -> Result<(), String> {
-        let nodes_needed = self.ranks.div_ceil(self.ranks_per_node);
-        if nodes_needed > self.topology.nodes() {
-            return Err(format!(
-                "{} ranks at {} per node need {} nodes; topology has {}",
-                self.ranks,
-                self.ranks_per_node,
-                nodes_needed,
-                self.topology.nodes()
-            ));
-        }
+    /// Validate the spec: enough nodes, a coherent node map, and a sane
+    /// retry policy.
+    pub fn validate(&self) -> Result<(), JobSpecError> {
         if self.ranks == 0 {
-            return Err("job needs at least one rank".into());
+            return Err(JobSpecError::NoRanks);
+        }
+        if self.ranks_per_node == 0 {
+            return Err(JobSpecError::NoRanksPerNode);
+        }
+        let nodes_needed = self.ranks.div_ceil(self.ranks_per_node);
+        let available = self.topology.nodes();
+        if self.node_map.is_none() && nodes_needed > available {
+            return Err(JobSpecError::TooManyNodes { needed: nodes_needed, available });
+        }
+        if let Some(map) = &self.node_map {
+            if map.len() != nodes_needed as usize {
+                return Err(JobSpecError::NodeMapLength {
+                    got: map.len(),
+                    expected: nodes_needed as usize,
+                });
+            }
+            let mut seen = vec![false; available as usize];
+            for &node in map {
+                if node >= available {
+                    return Err(JobSpecError::NodeMapOutOfRange { node, available });
+                }
+                if std::mem::replace(&mut seen[node as usize], true) {
+                    return Err(JobSpecError::NodeMapDuplicate { node });
+                }
+            }
+        }
+        if self.retry.max_retries > 0 && self.retry.retrans_base == SimTime::ZERO {
+            return Err(JobSpecError::BadRetryPolicy {
+                reason: "retrans_base must be positive when retries are enabled",
+            });
+        }
+        if self.retry.recv_timeout == Some(SimTime::ZERO) {
+            return Err(JobSpecError::BadRetryPolicy {
+                reason: "recv_timeout must be positive when set",
+            });
         }
         Ok(())
     }
@@ -159,12 +251,20 @@ pub struct NetStats {
     pub messages: u64,
     /// Total payload bytes sent.
     pub payload_bytes: u64,
+    /// Transmissions repeated because a lossy link dropped the frame.
+    pub retransmits: u64,
 }
 
 pub(crate) struct WorldState {
     pub net: Network,
     pub ranks: Vec<RankState>,
     pub stats: NetStats,
+    /// First injected fault that surfaced; `run_mpi` reports this instead of
+    /// the engine's generic unwind error.
+    pub fault: Option<MpiFault>,
+    /// Deterministic stream for loss draws (one per run, seeded from the
+    /// fault plan so clean plans share no state with faulty ones).
+    pub rng: SimRng,
 }
 
 /// The shared world of one job.
@@ -179,9 +279,36 @@ impl World {
         spec.validate().expect("invalid job spec");
         let ep = EndpointModel::for_platform(&spec.platform, spec.freq_ghz);
         let link_bw = spec.platform.eth_mbit.max(1000) as f64 / 8.0 * 1e6; // cluster NICs are 1GbE
-        let net = Network::new(spec.topology, link_bw, SimTime::from_micros_f64(1.25));
+        let mut net = Network::new(spec.topology, link_bw, SimTime::from_micros_f64(1.25));
+        // Link-degradation faults live in the network layer as loss windows;
+        // senders consult them per transmission attempt.
+        for ev in spec.fault_plan.events() {
+            if let FaultKind::LinkDegrade { node, loss, duration } = ev.kind {
+                if node < spec.topology.nodes() {
+                    net.add_loss_window(LossWindow {
+                        node,
+                        from: ev.at,
+                        until: ev.at + duration,
+                        loss,
+                    });
+                }
+            }
+        }
         let ranks = (0..spec.ranks).map(|_| RankState::default()).collect();
-        World { spec, ep, state: Mutex::new(WorldState { net, ranks, stats: NetStats::default() }) }
+        // Tag chosen arbitrarily; it only has to differ from the substreams
+        // FaultPlan::generate uses for event scheduling.
+        let rng = SimRng::new(spec.fault_plan.seed()).substream(0x1055_d4a3);
+        World {
+            spec,
+            ep,
+            state: Mutex::new(WorldState {
+                net,
+                ranks,
+                stats: NetStats::default(),
+                fault: None,
+                rng,
+            }),
+        }
     }
 
     /// Wire bytes for a payload including framing and protocol headers.
@@ -245,6 +372,53 @@ mod tests {
     }
 
     #[test]
+    fn validation_checks_node_map() {
+        let base =
+            JobSpec::new(Platform::tegra2(), 4).with_topology(TopologySpec::Star { nodes: 6 });
+        assert!(base.clone().with_node_map(vec![5, 4, 3, 2]).validate().is_ok());
+        assert_eq!(
+            base.clone().with_node_map(vec![0, 1]).validate(),
+            Err(JobSpecError::NodeMapLength { got: 2, expected: 4 })
+        );
+        assert_eq!(
+            base.clone().with_node_map(vec![0, 1, 2, 6]).validate(),
+            Err(JobSpecError::NodeMapOutOfRange { node: 6, available: 6 })
+        );
+        assert_eq!(
+            base.clone().with_node_map(vec![0, 1, 2, 1]).validate(),
+            Err(JobSpecError::NodeMapDuplicate { node: 1 })
+        );
+        // The map redirects physical placement without renumbering ranks.
+        let spec = base.with_node_map(vec![5, 4, 3, 2]);
+        assert_eq!(spec.logical_node_of(2), 2);
+        assert_eq!(spec.node_of(2), 3);
+    }
+
+    #[test]
+    fn validation_checks_retry_policy() {
+        let mut spec = JobSpec::new(Platform::tegra2(), 2);
+        spec.retry.retrans_base = SimTime::ZERO;
+        assert!(matches!(spec.validate(), Err(JobSpecError::BadRetryPolicy { .. })));
+        spec.retry.max_retries = 0; // no retries -> zero base is fine
+        assert!(spec.validate().is_ok());
+        spec.retry.recv_timeout = Some(SimTime::ZERO);
+        assert!(matches!(spec.validate(), Err(JobSpecError::BadRetryPolicy { .. })));
+    }
+
+    #[test]
+    fn fault_plan_degrade_windows_reach_the_network() {
+        use des::FaultEvent;
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at: SimTime::from_millis(1),
+            kind: FaultKind::LinkDegrade { node: 1, loss: 0.5, duration: SimTime::from_millis(2) },
+        }]);
+        let w = World::new(JobSpec::new(Platform::tegra2(), 4).with_fault_plan(plan));
+        let st = w.state.lock();
+        assert_eq!(st.net.loss_probability(0, 1, SimTime::from_millis(2)), 0.5);
+        assert_eq!(st.net.loss_probability(0, 1, SimTime::from_millis(4)), 0.0);
+    }
+
+    #[test]
     fn filter_matching() {
         assert!(matches(&(None, None), 3, 7));
         assert!(matches(&(Some(3), None), 3, 7));
@@ -267,7 +441,8 @@ mod tests {
         let extra = w.endpoint_extra_serial(1 << 20, 125e6);
         assert!(extra > SimTime::ZERO);
         // Open-MX is wire-bound: no extra.
-        let w2 = World::new(JobSpec::new(Platform::tegra2(), 2).with_proto(ProtocolModel::open_mx()));
+        let w2 =
+            World::new(JobSpec::new(Platform::tegra2(), 2).with_proto(ProtocolModel::open_mx()));
         assert_eq!(w2.endpoint_extra_serial(1 << 20, 125e6), SimTime::ZERO);
     }
 }

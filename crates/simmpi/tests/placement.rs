@@ -25,8 +25,8 @@ fn colocated_ranks_share_the_nic() {
     })
     .unwrap();
 
-    let separate = JobSpec::new(Platform::tegra2(), 4)
-        .with_topology(TopologySpec::Star { nodes: 4 });
+    let separate =
+        JobSpec::new(Platform::tegra2(), 4).with_topology(TopologySpec::Star { nodes: 4 });
     let run_separate = run_mpi(separate, move |r| {
         match r.rank() {
             0 | 1 => r.send(r.rank() + 2, 7, Msg::size_only(bytes)),
@@ -40,10 +40,7 @@ fn colocated_ranks_share_the_nic() {
 
     let t_shared = run_shared.results.iter().cloned().fold(0.0, f64::max);
     let t_separate = run_separate.results.iter().cloned().fold(0.0, f64::max);
-    assert!(
-        t_shared > 1.3 * t_separate,
-        "shared NIC should serialise: {t_shared} vs {t_separate}"
-    );
+    assert!(t_shared > 1.3 * t_separate, "shared NIC should serialise: {t_shared} vs {t_separate}");
 }
 
 #[test]

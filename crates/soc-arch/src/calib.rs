@@ -78,7 +78,8 @@ pub mod energy_1ghz {
     /// "Tegra 3 consumes 19.62J".
     pub const TEGRA3_J: Target = Target { name: "T3 @1GHz J/iter", value: 19.62, rel_tol: 0.08 };
     /// "Arndale consumes 16.95J".
-    pub const EXYNOS_J: Target = Target { name: "Exynos @1GHz J/iter", value: 16.95, rel_tol: 0.08 };
+    pub const EXYNOS_J: Target =
+        Target { name: "Exynos @1GHz J/iter", value: 16.95, rel_tol: 0.08 };
     /// "The Intel platform, meanwhile, consumes 28.57J".
     pub const I7_J: Target = Target { name: "i7 @1GHz J/iter", value: 28.57, rel_tol: 0.08 };
     /// "it requires 1.4 times less energy" (Tegra 3 at fmax vs Tegra 2 at fmax).

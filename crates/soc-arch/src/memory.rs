@@ -64,13 +64,15 @@ impl MemoryModel {
     /// we interpolate between the calibrated endpoints with a saturating
     /// curve: each extra core adds a diminishing share of the remaining gap.
     pub fn stream_bw_bytes(&self, cores: u32, total_cores: u32) -> f64 {
-        let eff = self.efficiency_at(cores, total_cores, self.stream_eff_single, self.stream_eff_multi);
+        let eff =
+            self.efficiency_at(cores, total_cores, self.stream_eff_single, self.stream_eff_multi);
         self.peak_bw_bytes() * eff
     }
 
     /// Sustained bandwidth (bytes/s) for untuned kernel code on `cores` cores.
     pub fn kernel_bw_bytes(&self, cores: u32, total_cores: u32) -> f64 {
-        let eff = self.efficiency_at(cores, total_cores, self.kernel_eff_single, self.kernel_eff_multi);
+        let eff =
+            self.efficiency_at(cores, total_cores, self.kernel_eff_single, self.kernel_eff_multi);
         self.peak_bw_bytes() * eff
     }
 

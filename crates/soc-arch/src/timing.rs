@@ -47,10 +47,9 @@ pub fn kernel_time(soc: &Soc, f_ghz: f64, threads: u32, work: &WorkProfile) -> T
     // --- Compute time ---------------------------------------------------
     let issue = soc.core.issue_efficiency(work.pattern);
     let f1 = soc.core.fp64_flops_per_cycle * f_ghz * 1e9 * issue; // one core, flops/s
-    // SMT: threads beyond the physical core count add fractional throughput.
+                                                                  // SMT: threads beyond the physical core count add fractional throughput.
     let smt_threads = threads.saturating_sub(soc.cores);
-    let throughput_cores =
-        phys_cores as f64 + smt_threads as f64 * soc.smt_yield;
+    let throughput_cores = phys_cores as f64 + smt_threads as f64 * soc.smt_yield;
     // Cache-sensitive patterns benefit from smaller per-core working sets in
     // the shared last-level cache when run multi-threaded.
     let cache_bonus = if threads > 1
@@ -209,13 +208,8 @@ mod tests {
         let soc = Platform::tegra3().soc;
         let w = stream_profile().with_imbalance(0.5);
         let w0 = stream_profile();
-        assert_eq!(
-            kernel_time(&soc, 1.3, 1, &w).total_s,
-            kernel_time(&soc, 1.3, 1, &w0).total_s
-        );
-        assert!(
-            kernel_time(&soc, 1.3, 4, &w).total_s > kernel_time(&soc, 1.3, 4, &w0).total_s
-        );
+        assert_eq!(kernel_time(&soc, 1.3, 1, &w).total_s, kernel_time(&soc, 1.3, 1, &w0).total_s);
+        assert!(kernel_time(&soc, 1.3, 4, &w).total_s > kernel_time(&soc, 1.3, 4, &w0).total_s);
     }
 
     #[test]
@@ -232,10 +226,7 @@ mod tests {
     fn thread_count_clamps_to_hardware() {
         let soc = Platform::tegra2().soc;
         let w = compute_profile();
-        assert_eq!(
-            kernel_time(&soc, 1.0, 2, &w).total_s,
-            kernel_time(&soc, 1.0, 64, &w).total_s
-        );
+        assert_eq!(kernel_time(&soc, 1.0, 2, &w).total_s, kernel_time(&soc, 1.0, 64, &w).total_s);
     }
 
     #[test]
@@ -243,8 +234,7 @@ mod tests {
         let soc = Platform::tegra2().soc;
         let suite = vec![compute_profile(), stream_profile()];
         let total = suite_time(&soc, 1.0, 1, &suite);
-        let manual: f64 =
-            suite.iter().map(|w| kernel_time(&soc, 1.0, 1, w).total_s).sum();
+        let manual: f64 = suite.iter().map(|w| kernel_time(&soc, 1.0, 1, w).total_s).sum();
         assert_eq!(total, manual);
     }
 

@@ -73,14 +73,7 @@ pub struct WorkProfile {
 impl WorkProfile {
     /// A perfectly parallel, balanced profile; adjust fields as needed.
     pub fn new(name: &'static str, flops: f64, dram_bytes: f64, pattern: AccessPattern) -> Self {
-        WorkProfile {
-            name,
-            flops,
-            dram_bytes,
-            pattern,
-            parallel_fraction: 1.0,
-            imbalance: 0.0,
-        }
+        WorkProfile { name, flops, dram_bytes, pattern, parallel_fraction: 1.0, imbalance: 0.0 }
     }
 
     /// Builder-style: set the Amdahl parallel fraction.
@@ -110,11 +103,8 @@ impl WorkProfile {
     /// the result to stay meaningful; the dominant-by-bytes pattern wins).
     pub fn merge(&self, other: &WorkProfile) -> WorkProfile {
         let total_flops = self.flops + other.flops;
-        let pattern = if self.dram_bytes >= other.dram_bytes {
-            self.pattern
-        } else {
-            other.pattern
-        };
+        let pattern =
+            if self.dram_bytes >= other.dram_bytes { self.pattern } else { other.pattern };
         let pf = if total_flops > 0.0 {
             (self.parallel_fraction * self.flops + other.parallel_fraction * other.flops)
                 / total_flops
@@ -183,8 +173,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "parallel fraction")]
     fn parallel_fraction_validated() {
-        let _ = WorkProfile::new("a", 1.0, 1.0, AccessPattern::Streaming)
-            .with_parallel_fraction(1.5);
+        let _ =
+            WorkProfile::new("a", 1.0, 1.0, AccessPattern::Streaming).with_parallel_fraction(1.5);
     }
 
     #[test]
@@ -198,8 +188,7 @@ mod tests {
                 > AccessPattern::Strided.bandwidth_factor()
         );
         assert!(
-            AccessPattern::Strided.bandwidth_factor()
-                > AccessPattern::Irregular.bandwidth_factor()
+            AccessPattern::Strided.bandwidth_factor() > AccessPattern::Irregular.bandwidth_factor()
         );
     }
 }

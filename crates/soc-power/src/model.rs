@@ -244,7 +244,9 @@ mod tests {
 
     #[test]
     fn tibidabo_node_is_leaner_than_devkit() {
-        assert!(PowerModel::tibidabo_node().idle_power_w() < PowerModel::tegra2_devkit().idle_power_w());
+        assert!(
+            PowerModel::tibidabo_node().idle_power_w() < PowerModel::tegra2_devkit().idle_power_w()
+        );
     }
 
     #[test]

@@ -78,24 +78,31 @@ pub fn fig2b_points() -> Vec<CpuPoint> {
         CpuPoint { name: "AMD Opteron 2356 (4c)", year: 2008, mflops: 36_800.0, class: Server },
         CpuPoint { name: "Intel Xeon X5570 (4c)", year: 2009, mflops: 46_880.0, class: Server },
         CpuPoint { name: "Intel Xeon E5-2670 (8c)", year: 2012, mflops: 166_400.0, class: Server },
-        CpuPoint { name: "Intel Xeon E5-2697v2 (12c)", year: 2013, mflops: 259_200.0, class: Server },
+        CpuPoint {
+            name: "Intel Xeon E5-2697v2 (12c)",
+            year: 2013,
+            mflops: 259_200.0,
+            class: Server,
+        },
         CpuPoint { name: "ARM11 (no FP64 SIMD)", year: 2005, mflops: 80.0, class: Mobile },
         CpuPoint { name: "Cortex-A8 SoCs", year: 2008, mflops: 300.0, class: Mobile },
         CpuPoint { name: "NVIDIA Tegra 2", year: 2011, mflops: 2000.0, class: Mobile },
         CpuPoint { name: "NVIDIA Tegra 3", year: 2012, mflops: 5200.0, class: Mobile },
         CpuPoint { name: "Samsung Exynos 5250", year: 2012, mflops: 6800.0, class: Mobile },
-        CpuPoint { name: "Samsung Exynos 5410 (4×A15)", year: 2013, mflops: 12_800.0, class: Mobile },
+        CpuPoint {
+            name: "Samsung Exynos 5410 (4×A15)",
+            year: 2013,
+            mflops: 12_800.0,
+            class: Mobile,
+        },
         CpuPoint { name: "4-core ARMv8 @ 2GHz", year: 2014, mflops: 32_000.0, class: Mobile },
     ]
 }
 
 /// Fit the exponential trend of one class within a point set.
 pub fn trend_of(points: &[CpuPoint], class: CpuClass) -> ExpTrend {
-    let pts: Vec<(f64, f64)> = points
-        .iter()
-        .filter(|p| p.class == class)
-        .map(|p| (p.year as f64, p.mflops))
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        points.iter().filter(|p| p.class == class).map(|p| (p.year as f64, p.mflops)).collect();
     ExpTrend::fit(&pts)
 }
 

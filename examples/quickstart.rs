@@ -42,8 +42,5 @@ fn main() {
         r.allreduce(ReduceOp::Sum, vec![rank_value])[0]
     })
     .expect("simulation failed");
-    println!(
-        "  every rank computed sum = {} in {} of virtual time",
-        run.results[0], run.elapsed
-    );
+    println!("  every rank computed sum = {} in {} of virtual time", run.results[0], run.elapsed);
 }

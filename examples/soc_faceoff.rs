@@ -36,9 +36,5 @@ fn main() {
     let s_i7 = suite_speedup(&i7.soc, i7.soc.fmax_ghz, 1, &baseline, 1.0, 1, &suite);
     println!("what-if: projected {}", v8.soc.name);
     println!("  serial speedup vs Tegra2@1GHz: {s_v8:.2} (i7-2760QM: {s_i7:.2})");
-    println!(
-        "  remaining mobile-vs-laptop gap: {:.1}x (Tegra 2 era: {:.1}x)",
-        s_i7 / s_v8,
-        s_i7
-    );
+    println!("  remaining mobile-vs-laptop gap: {:.1}x (Tegra 2 era: {:.1}x)", s_i7 / s_v8, s_i7);
 }

@@ -29,7 +29,9 @@ fn main() {
     let cfg = HplConfig::tibidabo_weak(nodes);
     println!(
         "\nweak-scaling HPL on {nodes} Tibidabo nodes (N = {}, nb = {}, {:?} mode)...",
-        cfg.n, cfg.nb, Mode::Model
+        cfg.n,
+        cfg.nb,
+        Mode::Model
     );
     let run = run_mpi(m.job(nodes), move |r| {
         let t0 = r.now();
@@ -42,7 +44,10 @@ fn main() {
     let peak = m.peak_gflops(nodes);
     let g = green500(&m, &run, nodes, 1.0, gflops);
     println!("  time          : {secs:.1} virtual seconds");
-    println!("  sustained     : {gflops:.1} GFLOPS ({:.1}% of {peak:.0} GFLOPS peak)", 100.0 * gflops / peak);
+    println!(
+        "  sustained     : {gflops:.1} GFLOPS ({:.1}% of {peak:.0} GFLOPS peak)",
+        100.0 * gflops / peak
+    );
     println!("  system power  : {:.0} W", g.watts);
     println!("  Green500      : {:.1} MFLOPS/W", g.mflops_per_watt);
     println!("\npaper, 96 nodes: 97 GFLOPS, 51% efficiency, 120 MFLOPS/W");

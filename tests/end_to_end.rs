@@ -86,11 +86,7 @@ fn green500_at_16_nodes_is_in_the_tibidabo_class() {
     let gflops = cfg.flops() / secs / 1e9;
     let g = green500(&m, &run, 16, 1.0, gflops);
     // Paper: 120 MFLOPS/W at 96 nodes; smaller partitions land close by.
-    assert!(
-        (100.0..180.0).contains(&g.mflops_per_watt),
-        "{} MFLOPS/W",
-        g.mflops_per_watt
-    );
+    assert!((100.0..180.0).contains(&g.mflops_per_watt), "{} MFLOPS/W", g.mflops_per_watt);
 }
 
 #[test]
@@ -101,8 +97,7 @@ fn openmx_beats_tcp_on_latency_everywhere_and_bandwidth_where_cpu_bound() {
     // 69 MB/s — near-identical), so only parity is required.
     for plat in [Platform::tegra2(), Platform::exynos5250()] {
         let tcp = JobSpec::new(plat.clone(), 2).with_freq(1.0).with_proto(ProtocolModel::tcp_ip());
-        let omx =
-            JobSpec::new(plat.clone(), 2).with_freq(1.0).with_proto(ProtocolModel::open_mx());
+        let omx = JobSpec::new(plat.clone(), 2).with_freq(1.0).with_proto(ProtocolModel::open_mx());
         let lat_tcp = pingpong(tcp.clone(), &[4], 2)[0].latency_us;
         let lat_omx = pingpong(omx.clone(), &[4], 2)[0].latency_us;
         let bw_tcp = pingpong(tcp, &[8 << 20], 1)[0].bandwidth_mbs;
@@ -124,10 +119,7 @@ fn fig6_shape_holds_at_reduced_scale() {
     let eff = |id: AppId| {
         let s = series
             .iter()
-            .find(|s| {
-                s.app
-                    == socready::apps::table3().iter().find(|a| a.id == id).unwrap().name
-            })
+            .find(|s| s.app == socready::apps::table3().iter().find(|a| a.id == id).unwrap().name)
             .unwrap();
         socready::apps::final_efficiency(s)
     };

@@ -1,0 +1,82 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the one type the workspace uses: [`Bytes`], an immutable
+//! reference-counted byte buffer whose clones share the allocation (cheap
+//! broadcast fan-out). Slicing views and the mutable builder types of the
+//! real crate are not needed and not implemented.
+
+use std::sync::Arc;
+
+/// Immutable, cheaply cloneable byte buffer (clones share one allocation).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Bytes {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b.as_ptr(), c.as_ptr());
+        assert_eq!(&*c, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_api_via_deref() {
+        let b = Bytes::from(&b"abcdefgh"[..]);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.chunks_exact(4).count(), 2);
+    }
+}

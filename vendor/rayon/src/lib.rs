@@ -1,0 +1,163 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! supplies the `par_*` entry points the workspace uses, executed
+//! **sequentially**. Every `par_*` method returns a [`ParIter`] wrapper that
+//! behaves like the std iterator it wraps, plus the rayon-specific adaptors
+//! (`reduce` with an identity closure). Numerical outputs are bit-identical
+//! to a single-threaded rayon run, which keeps kernel checksums and the
+//! determinism tests stable.
+
+/// Number of "threads" the stand-in reports (the host parallelism, so code
+/// sizing work per thread behaves sensibly).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run two closures (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Sequential "parallel iterator": wraps a std iterator and re-exposes the
+/// rayon adaptor surface. Adaptors that exist on both (`map`, `enumerate`,
+/// `zip`) are provided inherently so chains stay inside `ParIter` and can
+/// end with rayon's two-closure [`ParIter::reduce`].
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// rayon-shaped `map` (stays a `ParIter`).
+    #[inline]
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// rayon-shaped `enumerate` (stays a `ParIter`).
+    #[inline]
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// rayon-shaped `zip`; accepts anything iterable, like rayon accepts any
+    /// `IntoParallelIterator`.
+    #[inline]
+    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
+        ParIter(self.0.zip(other))
+    }
+
+    /// rayon's `reduce`: fold from an identity closure.
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+}
+
+/// The traits that give slices, ranges and collections their `par_*` methods.
+pub mod prelude {
+    pub use super::ParIter;
+
+    /// `par_iter` / `par_chunks` on shared slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+            ParIter(self.iter())
+        }
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+            ParIter(self.chunks(chunk_size))
+        }
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+            ParIter(self.iter_mut())
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+            ParIter(self.chunks_mut(chunk_size))
+        }
+    }
+
+    /// `into_par_iter` on anything that is `IntoIterator` (ranges, vectors).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for `into_par_iter`.
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chains_match_sequential() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s: f64 = v.par_chunks(7).map(|c| c.iter().sum::<f64>()).sum();
+        assert_eq!(s, v.iter().sum::<f64>());
+
+        let mut out = vec![0.0; 100];
+        out.par_iter_mut().zip(v.par_iter()).for_each(|(o, x)| *o = 2.0 * x);
+        assert_eq!(out[99], 198.0);
+
+        let total: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn rayon_style_reduce_with_identity() {
+        let (s, n) = (0..5u64)
+            .into_par_iter()
+            .map(|i| (i as f64, 1u64))
+            .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!((s, n), (10.0, 5));
+    }
+
+    #[test]
+    fn enumerate_for_each_on_chunks_mut() {
+        let mut v = vec![0usize; 9];
+        v.par_chunks_mut(3).enumerate().for_each(|(ci, c)| c.iter_mut().for_each(|x| *x = ci));
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1, || "x");
+        assert_eq!((a, b), (1, "x"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io (so no `syn`/`quote`);
+//! this proc macro hand-parses the derive input token stream. It supports
+//! exactly the shapes the workspace derives on: structs with named fields,
+//! and enums whose variants are unit or named-struct (no generics, no
+//! `#[serde(...)]` attributes). Anything else is a compile-time panic with
+//! a clear message.
+//!
+//! `#[derive(Serialize)]` emits an `impl ::serde::Serialize` building the
+//! vendored `serde::Value` tree; `#[derive(Deserialize)]` expands to nothing
+//! (the workspace never deserializes).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item.body {
+        Body::Struct(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pairs}])\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from(\"{v}\")),",
+                        name = item.name
+                    ),
+                    Some(fs) => {
+                        let binds = fs.join(", ");
+                        let pairs: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => \
+                             ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Object(::std::vec![{pairs}])\
+                             )]),",
+                            name = item.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+    };
+    code.parse().expect("serde_derive stand-in generated invalid Rust")
+}
+
+/// Derive stub for `serde::Deserialize` — expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    /// Named fields of a struct.
+    Struct(Vec<String>),
+    /// Variants: name plus `Some(named fields)` for struct variants.
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_vis(&toks, &mut i);
+
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in: generic type `{name}` is not supported");
+        }
+    }
+    let body_stream = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(_)) | Some(TokenTree::Punct(_)) => {
+            panic!("serde_derive stand-in: `{name}` must have named fields")
+        }
+        _ => panic!("serde_derive stand-in: missing body for `{name}`"),
+    };
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(named_fields(body_stream)),
+        "enum" => Body::Enum(enum_variants(body_stream)),
+        other => panic!("serde_derive stand-in: cannot derive for `{other}`"),
+    };
+    Item { name, body }
+}
+
+fn skip_attributes_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names from the token stream of a `{ ... }` body with named fields.
+/// Commas inside generic arguments (`HashMap<K, V>`) are skipped by tracking
+/// angle-bracket depth.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        match &toks[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("serde_derive stand-in: expected field name, got {other}"),
+        }
+        i += 1;
+        let mut depth: i32 = 0;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn enum_variants(body: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stand-in: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(_)) => {
+                panic!("serde_derive stand-in: tuple variant `{name}` is not supported")
+            }
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '=' {
+                panic!("serde_derive stand-in: explicit discriminants are not supported");
+            }
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Renders the vendored `serde::Value` tree as JSON text. Matches real
+//! serde_json's observable conventions for the output the workspace emits:
+//! struct field order is preserved, pretty output uses two-space indent,
+//! and non-finite floats render as `null`.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (the stand-in never actually fails; this exists so
+/// call sites can keep `serde_json::to_string_pretty(..).unwrap()`).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to pretty JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => write_f64(out, *x),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            write_seq(out, indent, level, items.len(), '[', ']', |out, i, lvl| {
+                write_value(out, &items[i], indent, lvl)
+            })
+        }
+        Value::Object(pairs) => {
+            write_seq(out, indent, level, pairs.len(), '{', '}', |out, i, lvl| {
+                let (k, pv) = &pairs[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, pv, indent, lvl);
+            })
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<&str>,
+    level: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..=level {
+                out.push_str(pad);
+            }
+        }
+        write_item(out, i, level + 1);
+    }
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str(pad);
+        }
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        // Keep whole floats visibly floating point, like serde_json ("2.0").
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn compact_and_pretty_rendering() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("hpl".into())),
+            ("n".into(), Value::UInt(4096)),
+            ("gflops".into(), Value::Float(2.0)),
+            ("ok".into(), Value::Bool(true)),
+            ("tags".into(), Value::Array(vec![Value::Int(-1), Value::Null])),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"name":"hpl","n":4096,"gflops":2.0,"ok":true,"tags":[-1,null],"empty":[]}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"hpl\""));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string(&"a\"b\\c\nd").unwrap(), r#""a\"b\\c\nd""#);
+    }
+}
