@@ -24,6 +24,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 step "tests (debug, whole workspace)"
 cargo test --workspace --quiet
 
+step "golden figures + sweep determinism (in-process)"
+cargo test --quiet --test golden_figures --test determinism
+
 if [[ $quick -eq 0 ]]; then
   step "release build"
   cargo build --release --workspace --quiet
@@ -42,6 +45,38 @@ if [[ $quick -eq 0 ]]; then
   }
   echo "smoke OK: $(wc -c <"$out/resilience.json") bytes of resilience.json"
   rm -rf "$out"
+
+  step "sweep executor: serial vs parallel byte-identity (binary level)"
+  # Full --golden artefact run twice: the reference serial schedule and a
+  # many-worker schedule. Any divergence in stdout or in any JSON artefact
+  # (execution stats excluded — they are the one legitimately nondeterministic
+  # output) fails the gate.
+  repro=target/release/repro
+  jobs=$(nproc)
+  sdir=$(mktemp -d) && pdir=$(mktemp -d)
+  t0=$SECONDS
+  "$repro" --golden --serial --json "$sdir" >"$sdir/stdout.txt" 2>"$sdir/stderr.txt"
+  t_serial=$((SECONDS - t0))
+  t0=$SECONDS
+  "$repro" --golden --jobs "$jobs" --json "$pdir" >"$pdir/stdout.txt" 2>"$pdir/stderr.txt"
+  t_parallel=$((SECONDS - t0))
+  diff "$sdir/stdout.txt" "$pdir/stdout.txt" || {
+    echo "error: stdout diverged between --serial and --jobs $jobs" >&2
+    exit 1
+  }
+  diff -r -x '_sweep_stats.json' -x 'stdout.txt' -x 'stderr.txt' "$sdir" "$pdir" || {
+    echo "error: JSON artefacts diverged between --serial and --jobs $jobs" >&2
+    exit 1
+  }
+  echo "byte-identity OK (serial ${t_serial}s vs ${jobs}-worker ${t_parallel}s)"
+  grep -o 'sweep: .*' "$pdir/stderr.txt" || true
+  # The speedup expectation only means something with real cores; CI boxes
+  # with cgroup-limited cpu counts still enforce identity above.
+  if [[ "$jobs" -ge 4 && $t_serial -ge 8 && $((t_parallel * 2)) -gt $t_serial ]]; then
+    echo "error: ${jobs}-worker run (${t_parallel}s) is not 2x faster than serial (${t_serial}s)" >&2
+    exit 1
+  fi
+  rm -rf "$sdir" "$pdir"
 fi
 
 echo

@@ -3,6 +3,7 @@
 //! ```text
 //! repro --all            # everything at full scale (Fig 6 takes minutes)
 //! repro --quick          # everything, Fig 6 truncated to 32 nodes
+//! repro --golden         # everything, golden-test scale (seconds in debug)
 //! repro --figure 6       # one figure (1, 2a, 2b, 3..7)
 //! repro --table 4        # one table (1..4)
 //! repro --headline hpl   # the §4 HPL/Green500 numbers (96 nodes)
@@ -10,24 +11,38 @@
 //! repro --headline extensions   # beyond-the-paper analyses (ECC, EEE, ...)
 //! repro --headline resilience   # fault injection + checkpoint/restart sweep
 //! repro --json DIR       # additionally dump machine-readable JSON
+//! repro --jobs N         # run the scenario cells on N workers
+//! repro --serial         # reference serial schedule (same bytes as --jobs N)
 //! ```
 //!
+//! The run is decomposed into independent scenario cells and executed by the
+//! sweep executor (`bench::run_plan`); results merge in canonical paper
+//! order, so stdout and every JSON artefact are byte-identical for any
+//! `--jobs` value. Wall-clock and timing-cache statistics — the only
+//! nondeterministic outputs — go to stderr and, with `--json`, to
+//! `_sweep_stats.json` (underscore-prefixed so artefact diffs can exclude
+//! it).
+//!
 //! The resilience headline always writes `resilience.json` (to the `--json`
-//! directory when given, `repro_out/` otherwise).
+//! directory when given, `repro_out/` otherwise). JSON files are written via
+//! temp-file + rename, and left untouched when the content is unchanged, so
+//! interrupted runs never leave half-written artefacts and timestamps only
+//! move when bytes do.
 
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use hpc_apps::FIG6_NODES;
+use bench::{run_plan, RunPlan, RunScales, SweepConfig};
 
 struct Opts {
     items: Vec<String>,
-    quick: bool,
+    scales: RunScales,
     json_dir: Option<PathBuf>,
+    sweep: SweepConfig,
 }
 
-/// Every `items` key `main` dispatches on; a request outside this set would
-/// silently run nothing, so `parse_args` rejects it up front.
+/// Every `items` key the plan dispatches on; a request outside this set
+/// would silently run nothing, so `parse_args` rejects it up front.
 const KNOWN_ITEMS: &[&str] = &[
     "all",
     "fig1",
@@ -57,7 +72,10 @@ fn die(msg: &str) -> ! {
 fn parse_args() -> Opts {
     let mut items: Vec<String> = Vec::new();
     let mut quick = false;
+    let mut golden = false;
     let mut json_dir = None;
+    let mut jobs: Option<usize> = None;
+    let mut serial = false;
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
@@ -69,10 +87,16 @@ fn parse_args() -> Opts {
             // empty-items default below adds "all" after parsing, so flag
             // order no longer matters.
             "--quick" => quick = true,
+            "--golden" => golden = true,
             "--figure" => items.push(format!("fig{}", value(&mut args, "--figure"))),
             "--table" => items.push(format!("table{}", value(&mut args, "--table"))),
             "--headline" => items.push(value(&mut args, "--headline")),
             "--json" => json_dir = Some(PathBuf::from(value(&mut args, "--json"))),
+            "--jobs" => {
+                let v = value(&mut args, "--jobs");
+                jobs = Some(v.parse().unwrap_or_else(|_| die(&format!("bad --jobs value '{v}'"))));
+            }
+            "--serial" => serial = true,
             other => die(&format!("unknown argument: {other}")),
         }
     }
@@ -81,106 +105,92 @@ fn parse_args() -> Opts {
     }
     if items.is_empty() {
         items.push("all".into());
-        quick = true;
+        if !golden {
+            quick = true;
+        }
     }
-    Opts { items, quick, json_dir }
+    if serial && jobs.is_some_and(|j| j > 1) {
+        die("--serial contradicts --jobs N>1");
+    }
+    let scales = if golden {
+        RunScales::golden()
+    } else if quick {
+        RunScales::quick()
+    } else {
+        RunScales::full()
+    };
+    let sweep = if serial {
+        SweepConfig::serial()
+    } else {
+        match jobs {
+            Some(j) => SweepConfig::with_jobs(j),
+            None => SweepConfig::auto(),
+        }
+    };
+    Opts { items, scales, json_dir, sweep }
 }
 
-fn dump_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
-    if let Some(dir) = dir {
-        std::fs::create_dir_all(dir).expect("create json dir");
-        let path = dir.join(format!("{name}.json"));
-        let mut f = std::fs::File::create(&path).expect("create json file");
-        f.write_all(serde_json::to_string_pretty(value).unwrap().as_bytes()).unwrap();
-        eprintln!("wrote {}", path.display());
+/// Write `content` to `dir/name.json` atomically (temp file + rename), and
+/// skip the write entirely when the file already holds exactly `content` —
+/// so a crash mid-write never leaves a torn artefact, and mtimes move only
+/// when bytes do.
+fn dump_json(dir: &Path, name: &str, content: &str) {
+    std::fs::create_dir_all(dir).expect("create json dir");
+    let path = dir.join(format!("{name}.json"));
+    if std::fs::read_to_string(&path).is_ok_and(|old| old == content) {
+        eprintln!("unchanged {}", path.display());
+        return;
     }
+    let tmp = dir.join(format!(".{name}.json.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp).expect("create json temp file");
+        f.write_all(content.as_bytes()).expect("write json");
+        f.sync_all().expect("sync json");
+    }
+    std::fs::rename(&tmp, &path).expect("rename json into place");
+    eprintln!("wrote {}", path.display());
 }
 
 fn main() {
     let opts = parse_args();
     let want = |k: &str| opts.items.iter().any(|i| i == "all" || i == k);
-    let fig6_nodes: Vec<u32> = if opts.quick { vec![4, 8, 16, 32] } else { FIG6_NODES.to_vec() };
 
-    if want("fig1") {
-        let fg = bench::fig1();
-        println!("{}", fg.render());
-        dump_json(&opts.json_dir, "fig1", &fg);
-    }
-    if want("fig2a") || want("fig2") {
-        let fg = bench::fig2a();
-        println!("{}", fg.render());
-        dump_json(&opts.json_dir, "fig2a", &fg);
-    }
-    if want("fig2b") || want("fig2") {
-        let fg = bench::fig2b();
-        println!("{}", fg.render());
-        dump_json(&opts.json_dir, "fig2b", &fg);
-    }
-    if want("table1") {
-        println!("{}", bench::table1_render());
-    }
-    if want("table2") {
-        println!("{}", bench::table2_render());
-    }
-    if want("fig3") {
-        let fg = bench::fig3();
-        println!("{}", fg.render());
-        dump_json(&opts.json_dir, "fig3", &fg);
-    }
-    if want("fig4") {
-        let fg = bench::fig4();
-        println!("{}", fg.render());
-        dump_json(&opts.json_dir, "fig4", &fg);
-    }
-    if want("fig5") {
-        let fg = bench::fig5();
-        println!("{}", fg.render());
-        println!("{}", bench::fig5_efficiency_summary());
-        dump_json(&opts.json_dir, "fig5", &fg);
-    }
-    if want("table3") {
-        println!("{}", bench::table3_render());
-    }
     if want("fig6") {
         eprintln!(
-            "running Fig 6 on nodes {fig6_nodes:?} (HPL weak scaling dominates the wall time)..."
+            "running Fig 6 on nodes {:?} (HPL weak scaling dominates the wall time)...",
+            opts.scales.fig6_nodes
         );
-        let fg = bench::fig6(&fig6_nodes);
-        println!("{}", fg.render());
-        dump_json(&opts.json_dir, "fig6", &fg);
     }
-    if want("fig7") {
-        let fg = bench::fig7();
-        println!("{}", fg.render());
-        dump_json(&opts.json_dir, "fig7", &fg);
-    }
-    if want("table4") {
-        println!("{}", bench::table4_render());
-    }
-    if want("hpl") || want("all") {
-        let nodes = if opts.quick { 16 } else { 96 };
-        let h = bench::hpl_headline(nodes);
-        println!("{}", h.render());
-        dump_json(&opts.json_dir, "hpl_headline", &h);
-    }
-    if want("latency-penalty") || want("all") {
-        println!("{}", bench::latency_penalty_render());
-    }
-    if want("extensions") || want("all") {
-        println!("{}", bench::ecc_risk_render());
-        println!("{}", bench::eee_render());
-        println!("{}", bench::roofline_render());
-        println!("{}", bench::imb_render());
-    }
-    if want("resilience") || want("all") {
-        let sizes: &[u32] = if opts.quick { &[4, 8] } else { &[8, 16, 32] };
+    if want("resilience") {
         eprintln!(
-            "running the resilience sweep on nodes {sizes:?} x incidence {:?}...",
+            "running the resilience sweep on nodes {:?} x incidence {:?}...",
+            opts.scales.resilience_sizes,
             bench::INCIDENCE_GRID
         );
-        let s = bench::resilience_study(sizes);
-        println!("{}", s.render());
-        let dir = opts.json_dir.clone().or_else(|| Some(PathBuf::from("repro_out")));
-        dump_json(&dir, "resilience", &s);
     }
+
+    let plan = RunPlan::from_items(&opts.items, &opts.scales);
+    let (artefacts, stats) = run_plan(plan, &opts.sweep);
+
+    for a in &artefacts {
+        for block in &a.blocks {
+            println!("{block}");
+        }
+        if let Some((stem, content)) = &a.json {
+            // The resilience study is the one artefact with a default JSON
+            // home: it documents a full fault-injection campaign, so it is
+            // persisted even without --json.
+            match (&opts.json_dir, a.key) {
+                (Some(dir), _) => dump_json(dir, stem, content),
+                (None, "resilience") => dump_json(Path::new("repro_out"), stem, content),
+                (None, _) => {}
+            }
+        }
+    }
+
+    if let Some(dir) = &opts.json_dir {
+        let stats_json = serde_json::to_string_pretty(&stats).expect("stats serialization");
+        dump_json(dir, "_sweep_stats", &stats_json);
+    }
+    eprintln!("{}", stats.summary());
 }

@@ -108,36 +108,45 @@ pub struct Fig34 {
     pub series: Vec<SweepSeries>,
 }
 
-fn sweep(figure: &'static str, serial: bool) -> Fig34 {
+/// The Fig 3/4 normalisation constant: per-iteration suite energy of the
+/// Tegra 2 baseline at 1 GHz serial. Cheap (one modelled suite pass), so
+/// every DVFS cell can recompute-free share it by value.
+pub(crate) fn fig34_base_energy() -> f64 {
     let suite = fig3_profiles();
     let baseline = Platform::tegra2().soc;
-    let base_energy = {
-        let pm = PowerModel::tegra2_devkit();
-        suite_energy(&baseline, &pm, 1.0, 1, &suite).1
-    };
-    let series = Platform::table1()
-        .into_iter()
-        .map(|p| {
-            let pm = PowerModel::for_platform(p.id).expect("power model");
-            let threads = if serial { 1 } else { p.soc.threads };
-            let points = p
-                .soc
-                .dvfs_ghz
-                .iter()
-                .map(|&freq| {
-                    let sp = suite_speedup(&p.soc, freq, threads, &baseline, 1.0, 1, &suite);
-                    let (_, e) = suite_energy(&p.soc, &pm, freq, threads, &suite);
-                    SweepPoint {
-                        freq_ghz: freq,
-                        speedup_vs_baseline: sp,
-                        energy_j: e,
-                        energy_norm: e / base_energy,
-                    }
-                })
-                .collect();
-            SweepSeries { platform: p.id.to_string(), threads, points }
+    let pm = PowerModel::tegra2_devkit();
+    suite_energy(&baseline, &pm, 1.0, 1, &suite).1
+}
+
+/// One platform's complete Fig 3 (`serial`) or Fig 4 DVFS series — the unit
+/// of work the sweep executor schedules for these figures.
+pub(crate) fn fig34_series_for(p: &Platform, serial: bool, base_energy: f64) -> SweepSeries {
+    let suite = fig3_profiles();
+    let baseline = Platform::tegra2().soc;
+    let pm = PowerModel::for_platform(p.id).expect("power model");
+    let threads = if serial { 1 } else { p.soc.threads };
+    let points = p
+        .soc
+        .dvfs_ghz
+        .iter()
+        .map(|&freq| {
+            let sp = suite_speedup(&p.soc, freq, threads, &baseline, 1.0, 1, &suite);
+            let (_, e) = suite_energy(&p.soc, &pm, freq, threads, &suite);
+            SweepPoint {
+                freq_ghz: freq,
+                speedup_vs_baseline: sp,
+                energy_j: e,
+                energy_norm: e / base_energy,
+            }
         })
         .collect();
+    SweepSeries { platform: p.id.to_string(), threads, points }
+}
+
+fn sweep(figure: &'static str, serial: bool) -> Fig34 {
+    let base_energy = fig34_base_energy();
+    let series =
+        Platform::table1().iter().map(|p| fig34_series_for(p, serial, base_energy)).collect();
     Fig34 { figure, series }
 }
 
@@ -191,11 +200,17 @@ pub struct Fig5 {
     pub rows: Vec<kernels::stream::StreamResult>,
 }
 
+/// One platform's Fig 5 STREAM rows — the per-cell unit for the sweep
+/// executor; [`fig5`] is the in-order concatenation over Table 1.
+pub(crate) fn fig5_rows_for(p: &Platform) -> Vec<kernels::stream::StreamResult> {
+    kernels::stream::fig5_rows(&p.soc, p.id)
+}
+
 /// Generate Fig 5.
 pub fn fig5() -> Fig5 {
     let mut rows = Vec::new();
     for p in Platform::table1() {
-        rows.extend(kernels::stream::fig5_rows(&p.soc, p.id));
+        rows.extend(fig5_rows_for(&p));
     }
     Fig5 { rows }
 }

@@ -111,26 +111,41 @@ pub struct Fig7 {
     pub panels: Vec<Fig7Panel>,
 }
 
-/// Generate Fig 7 (both rows of panels: latency and bandwidth).
-pub fn fig7() -> Fig7 {
-    let cases: Vec<(&str, Platform, f64, ProtocolModel)> = vec![
+/// The six Fig 7 panel configurations, in paper order. Each entry is an
+/// independent ping-pong scenario — the per-panel unit the sweep executor
+/// schedules.
+pub(crate) fn fig7_cases() -> Vec<(&'static str, Platform, f64, ProtocolModel)> {
+    vec![
         ("Tegra2 TCP/IP @1.0GHz", Platform::tegra2(), 1.0, ProtocolModel::tcp_ip()),
         ("Tegra2 Open-MX @1.0GHz", Platform::tegra2(), 1.0, ProtocolModel::open_mx()),
         ("Exynos5 TCP/IP @1.0GHz", Platform::exynos5250(), 1.0, ProtocolModel::tcp_ip()),
         ("Exynos5 Open-MX @1.0GHz", Platform::exynos5250(), 1.0, ProtocolModel::open_mx()),
         ("Exynos5 TCP/IP @1.4GHz", Platform::exynos5250(), 1.4, ProtocolModel::tcp_ip()),
         ("Exynos5 Open-MX @1.4GHz", Platform::exynos5250(), 1.4, ProtocolModel::open_mx()),
-    ];
+    ]
+}
+
+/// Run one Fig 7 panel: the small-message latency sweep and the large-message
+/// bandwidth sweep for one (platform, protocol, frequency) case.
+pub(crate) fn fig7_panel(
+    label: &str,
+    plat: Platform,
+    freq: f64,
+    proto: ProtocolModel,
+) -> Fig7Panel {
     let small = simmpi::small_sizes();
     let large: Vec<u64> = (10..=24).map(|e| 1u64 << e).collect();
-    let panels = cases
+    let spec = JobSpec::new(plat, 2).with_freq(freq).with_proto(proto);
+    let latency = pingpong(spec.clone(), &small, 2);
+    let bandwidth = pingpong(spec, &large, 1);
+    Fig7Panel { label: label.to_string(), latency, bandwidth }
+}
+
+/// Generate Fig 7 (both rows of panels: latency and bandwidth).
+pub fn fig7() -> Fig7 {
+    let panels = fig7_cases()
         .into_iter()
-        .map(|(label, plat, freq, proto)| {
-            let spec = JobSpec::new(plat, 2).with_freq(freq).with_proto(proto);
-            let latency = pingpong(spec.clone(), &small, 2);
-            let bandwidth = pingpong(spec, &large, 1);
-            Fig7Panel { label: label.to_string(), latency, bandwidth }
-        })
+        .map(|(label, plat, freq, proto)| fig7_panel(label, plat, freq, proto))
         .collect();
     Fig7 { panels }
 }

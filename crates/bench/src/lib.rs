@@ -21,11 +21,19 @@
 
 #![warn(missing_docs)]
 
+//!
+//! The [`plan`]/[`sweep`] pair is the parallel deterministic sweep executor:
+//! [`RunPlan::from_items`] decomposes a run into independent scenario cells,
+//! [`run_plan`] fans them out over a rayon pool and merges in canonical
+//! order, so `repro --jobs N` output is byte-identical to `--serial`.
+
 mod extensions;
 mod fig12;
 mod fig345;
 mod fig67;
+pub mod plan;
 mod resilience;
+pub mod sweep;
 pub mod table;
 
 pub use extensions::{ecc_risk_render, eee_render, imb_render, roofline_render};
@@ -38,7 +46,9 @@ pub use fig67::{
     fig6, fig7, hpl_headline, latency_penalty, latency_penalty_render, table3_render,
     table4_render, Fig6, Fig7, Fig7Panel, HplHeadline,
 };
+pub use plan::{run_plan, ArtefactOut, RunPlan, RunScales};
 pub use resilience::{
-    resilience_contrast, resilience_study, ResilienceCell, ResilienceContrast, ResilienceStudy,
-    INCIDENCE_GRID,
+    resilience_cell, resilience_contrast, resilience_grid, resilience_study, resilience_study_from,
+    ResilienceCell, ResilienceContrast, ResilienceStudy, INCIDENCE_GRID,
 };
+pub use sweep::{run_cells, Cell, CellTiming, SweepConfig, SweepStats};

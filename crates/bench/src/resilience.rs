@@ -166,6 +166,36 @@ pub fn resilience_contrast() -> ResilienceContrast {
     }
 }
 
+/// Enumerate the sweep grid for `sizes`: `(nodes, incidence, seed)` per
+/// cell, in the study's canonical (nodes-major, incidence-minor) order. The
+/// seed derivation is part of the artefact's identity — goldens depend on
+/// it — so every caller (serial study or parallel executor) goes through
+/// this single enumeration.
+pub fn resilience_grid(sizes: &[u32]) -> Vec<(u32, f64, u64)> {
+    let mut grid = Vec::with_capacity(sizes.len() * INCIDENCE_GRID.len());
+    for (i, &nodes) in sizes.iter().enumerate() {
+        for (j, &incidence) in INCIDENCE_GRID.iter().enumerate() {
+            let seed = 0xC0FFEE + (i * INCIDENCE_GRID.len() + j) as u64;
+            grid.push((nodes, incidence, seed));
+        }
+    }
+    grid
+}
+
+/// Run one grid cell on the Tibidabo model.
+pub fn resilience_cell(nodes: u32, incidence: f64, seed: u64) -> ResilienceCell {
+    sweep_cell(&Machine::tibidabo(), nodes, incidence, seed)
+}
+
+/// Assemble the study artefact from externally-computed cells (in
+/// [`resilience_grid`] order) and the contrast demonstration.
+pub fn resilience_study_from(
+    cells: Vec<ResilienceCell>,
+    contrast: ResilienceContrast,
+) -> ResilienceStudy {
+    ResilienceStudy { acceleration: sweep_calibration().acceleration, cells, contrast }
+}
+
 /// Run the resilience sweep over `sizes` node counts × the Google incidence
 /// range, plus the checkpoint-vs-scratch contrast.
 ///
@@ -174,18 +204,11 @@ pub fn resilience_contrast() -> ResilienceContrast {
 /// cell, so the whole study is bit-reproducible.
 pub fn resilience_study(sizes: &[u32]) -> ResilienceStudy {
     let m = Machine::tibidabo();
-    let mut cells = Vec::new();
-    for (i, &nodes) in sizes.iter().enumerate() {
-        for (j, &incidence) in INCIDENCE_GRID.iter().enumerate() {
-            let seed = 0xC0FFEE + (i * INCIDENCE_GRID.len() + j) as u64;
-            cells.push(sweep_cell(&m, nodes, incidence, seed));
-        }
-    }
-    ResilienceStudy {
-        acceleration: sweep_calibration().acceleration,
-        cells,
-        contrast: resilience_contrast(),
-    }
+    let cells = resilience_grid(sizes)
+        .into_iter()
+        .map(|(nodes, incidence, seed)| sweep_cell(&m, nodes, incidence, seed))
+        .collect();
+    resilience_study_from(cells, resilience_contrast())
 }
 
 impl ResilienceStudy {

@@ -185,6 +185,17 @@ pub struct Engine {
     threads: Vec<JoinHandle<()>>,
 }
 
+// The sweep harness constructs one engine per scenario cell and drives it on
+// whatever worker thread claims the cell, so `Engine` (and everything a cell
+// returns) must stay `Send`. Compile-time check: a non-Send field sneaking in
+// breaks the build here, not in a downstream crate.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+    assert_send::<RunReport>();
+    assert_send::<SimError>();
+};
+
 impl Default for Engine {
     fn default() -> Self {
         Self::new()

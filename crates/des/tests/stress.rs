@@ -59,6 +59,35 @@ fn heavy_event_volume_completes() {
     assert!(report.events >= 32 * 2000);
 }
 
+#[test]
+fn concurrent_engines_are_independent_and_deterministic() {
+    // The sweep harness drives one engine per scenario cell from a pool of
+    // worker threads. Engines must not share hidden state: eight engines
+    // running simultaneously on different OS threads must each produce the
+    // same report as a lone serial run of the same scenario.
+    let scenario = |k: u64| {
+        let mut eng = Engine::new();
+        for i in 0..8u64 {
+            eng.spawn(format!("p{i}"), move |ctx| {
+                for step in 0..50u64 {
+                    ctx.advance(SimTime::from_nanos(1 + (i * 7 + step * 13 + k) % 997));
+                }
+            });
+        }
+        eng.run().unwrap()
+    };
+    let serial: Vec<_> = (0..8).map(scenario).collect();
+    let concurrent: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8).map(|k| s.spawn(move || scenario(k))).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (a, b) in serial.iter().zip(&concurrent) {
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.processes, b.processes);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

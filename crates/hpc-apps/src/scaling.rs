@@ -57,8 +57,24 @@ fn elapsed_for(app: AppId, spec: JobSpec, nodes: u32) -> (f64, f64) {
     }
 }
 
-/// Run one application's Fig 6 series on `machine` over `node_counts`.
-pub fn scaling_series(machine: &Machine, app: AppId, node_counts: &[u32]) -> ScalingSeries {
+/// One raw Fig 6 measurement: a single (application, node-count) simulation.
+/// This is the unit the parallel sweep executor schedules — every cell is an
+/// independent DES run, so cells can execute on any worker thread and the
+/// series is reassembled afterwards by [`series_from_measurements`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ScalingMeasurement {
+    /// Node count of this cell.
+    pub nodes: u32,
+    /// Elapsed virtual seconds.
+    pub seconds: f64,
+    /// HPL sustained-over-peak efficiency (0.0 for the strong-scaling apps).
+    pub hpl_efficiency: f64,
+}
+
+/// The node counts an application actually runs at, applying the paper's
+/// minimum-input-footprint convention: counts below `min_nodes` are dropped,
+/// and if nothing survives the anchor point alone is run.
+pub fn runnable_nodes(app: AppId, node_counts: &[u32]) -> Vec<u32> {
     let spec_row = table3().into_iter().find(|a| a.id == app).expect("unknown app");
     let mut counts: Vec<u32> =
         node_counts.iter().copied().filter(|&n| n >= spec_row.min_nodes).collect();
@@ -68,20 +84,32 @@ pub fn scaling_series(machine: &Machine, app: AppId, node_counts: &[u32]) -> Sca
         // point only.
         counts.push(spec_row.min_nodes);
     }
+    counts
+}
 
-    let mut points = Vec::with_capacity(counts.len());
-    let mut hpl_effs = Vec::with_capacity(counts.len());
-    for &n in &counts {
-        let (seconds, eff) = elapsed_for(app, machine.job(n), n);
-        points.push(ScalingPoint { nodes: n, seconds, speedup: 0.0 });
-        hpl_effs.push(eff);
-    }
+/// Run one (application, node-count) cell on `machine`.
+pub fn measure_scaling_cell(machine: &Machine, app: AppId, nodes: u32) -> ScalingMeasurement {
+    let (seconds, hpl_efficiency) = elapsed_for(app, machine.job(nodes), nodes);
+    ScalingMeasurement { nodes, seconds, hpl_efficiency }
+}
+
+/// Assemble a Fig 6 series from per-cell measurements (in ascending node
+/// order, as produced by [`runnable_nodes`]). The speed-up normalisation is
+/// inherently a merge step: strong scaling needs the smallest runnable point
+/// as its linear anchor, weak scaling needs each cell's own efficiency.
+pub fn series_from_measurements(app: AppId, cells: &[ScalingMeasurement]) -> ScalingSeries {
+    let spec_row = table3().into_iter().find(|a| a.id == app).expect("unknown app");
+    assert!(!cells.is_empty(), "series needs at least one measurement");
+    let mut points: Vec<ScalingPoint> = cells
+        .iter()
+        .map(|c| ScalingPoint { nodes: c.nodes, seconds: c.seconds, speedup: 0.0 })
+        .collect();
     if spec_row.weak_scaling {
         // Weak scaling (HPL): the figure's y-value is the sustained
         // performance expressed in ideal-node equivalents — `n × efficiency`
         // (96 × 51% ≈ 49 at the paper's endpoint).
-        for (p, eff) in points.iter_mut().zip(&hpl_effs) {
-            p.speedup = p.nodes as f64 * eff;
+        for (p, c) in points.iter_mut().zip(cells) {
+            p.speedup = p.nodes as f64 * c.hpl_efficiency;
         }
     } else {
         // Strong scaling, with the paper's convention: "we calculated the
@@ -93,6 +121,16 @@ pub fn scaling_series(machine: &Machine, app: AppId, node_counts: &[u32]) -> Sca
         }
     }
     ScalingSeries { app: spec_row.name, weak: spec_row.weak_scaling, points }
+}
+
+/// Run one application's Fig 6 series on `machine` over `node_counts` — the
+/// serial composition of [`runnable_nodes`] → [`measure_scaling_cell`] →
+/// [`series_from_measurements`].
+pub fn scaling_series(machine: &Machine, app: AppId, node_counts: &[u32]) -> ScalingSeries {
+    let counts = runnable_nodes(app, node_counts);
+    let cells: Vec<ScalingMeasurement> =
+        counts.iter().map(|&n| measure_scaling_cell(machine, app, n)).collect();
+    series_from_measurements(app, &cells)
 }
 
 /// Run the complete Fig 6 (all five applications).

@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 use des::{Context, Engine, SimTime};
 use parking_lot::Mutex;
-use soc_arch::{kernel_time, WorkProfile};
+use soc_arch::WorkProfile;
 
 use crate::error::MpiFault;
 use crate::payload::Msg;
@@ -172,7 +172,15 @@ impl Rank<'_> {
     /// (advances virtual time by the roofline estimate).
     pub fn compute(&mut self, work: &WorkProfile) {
         let spec = &self.world.spec;
-        let t = kernel_time(&spec.platform.soc, spec.freq_ghz, spec.cores_per_rank(), work);
+        // Memoized: identical work profiles recur across ranks, iterations,
+        // and (in the sweep harness) across scenario cells of the same job.
+        let t = soc_arch::cached_kernel_time_fp(
+            self.world.soc_fp,
+            &spec.platform.soc,
+            spec.freq_ghz,
+            spec.cores_per_rank(),
+            work,
+        );
         self.compute_secs(t.total_s);
     }
 

@@ -271,12 +271,16 @@ pub(crate) struct WorldState {
 pub struct World {
     pub(crate) spec: JobSpec,
     pub(crate) ep: EndpointModel,
+    /// Timing-cache fingerprint of the job's SoC, computed once so the hot
+    /// per-rank `compute` path avoids re-fingerprinting the platform model.
+    pub(crate) soc_fp: u64,
     pub(crate) state: Mutex<WorldState>,
 }
 
 impl World {
     pub(crate) fn new(spec: JobSpec) -> World {
         spec.validate().expect("invalid job spec");
+        let soc_fp = soc_arch::soc_fingerprint(&spec.platform.soc);
         let ep = EndpointModel::for_platform(&spec.platform, spec.freq_ghz);
         let link_bw = spec.platform.eth_mbit.max(1000) as f64 / 8.0 * 1e6; // cluster NICs are 1GbE
         let mut net = Network::new(spec.topology, link_bw, SimTime::from_micros_f64(1.25));
@@ -301,6 +305,7 @@ impl World {
         World {
             spec,
             ep,
+            soc_fp,
             state: Mutex::new(WorldState {
                 net,
                 ranks,

@@ -28,6 +28,7 @@ mod memory;
 mod platform;
 mod roofline;
 mod timing;
+mod timing_cache;
 mod uarch;
 mod work;
 
@@ -35,5 +36,8 @@ pub use memory::{CacheModel, DramKind, MemoryModel};
 pub use platform::{NicAttach, Platform, Soc};
 pub use roofline::{roofline, Roofline};
 pub use timing::{attained_bw, dgemm_rate, kernel_time, suite_speedup, suite_time, TimeBreakdown};
+pub use timing_cache::{
+    cache_counters, cached_kernel_time, cached_kernel_time_fp, soc_fingerprint, CacheCounters,
+};
 pub use uarch::{CoreModel, Microarch};
 pub use work::{AccessPattern, WorkProfile};

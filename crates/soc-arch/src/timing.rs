@@ -100,8 +100,14 @@ pub fn attained_bw(soc: &Soc, f_ghz: f64, cores: u32, work: &WorkProfile) -> f64
 
 /// Convenience: total modelled time for a whole suite of profiles run back
 /// to back (one "iteration" of the paper's §3.1 measurement loop).
+/// Evaluations go through the memoizing timing cache, so repeated suite
+/// sweeps (Fig 3 vs Fig 4, repeated baselines) are computed once.
 pub fn suite_time(soc: &Soc, f_ghz: f64, threads: u32, suite: &[WorkProfile]) -> f64 {
-    suite.iter().map(|w| kernel_time(soc, f_ghz, threads, w).total_s).sum()
+    let fp = crate::timing_cache::soc_fingerprint(soc);
+    suite
+        .iter()
+        .map(|w| crate::timing_cache::cached_kernel_time_fp(fp, soc, f_ghz, threads, w).total_s)
+        .sum()
 }
 
 /// Geometric-mean speedup of `soc` over a `(baseline, f_base)` configuration
@@ -117,11 +123,20 @@ pub fn suite_speedup(
     suite: &[WorkProfile],
 ) -> f64 {
     assert!(!suite.is_empty(), "empty suite");
+    let fp = crate::timing_cache::soc_fingerprint(soc);
+    let fp_base = crate::timing_cache::soc_fingerprint(baseline);
     let log_sum: f64 = suite
         .iter()
         .map(|w| {
-            let t = kernel_time(soc, f_ghz, threads, w).total_s;
-            let tb = kernel_time(baseline, f_base, base_threads, w).total_s;
+            let t = crate::timing_cache::cached_kernel_time_fp(fp, soc, f_ghz, threads, w).total_s;
+            let tb = crate::timing_cache::cached_kernel_time_fp(
+                fp_base,
+                baseline,
+                f_base,
+                base_threads,
+                w,
+            )
+            .total_s;
             (tb / t).ln()
         })
         .sum();

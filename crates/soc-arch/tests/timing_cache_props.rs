@@ -1,0 +1,62 @@
+//! Property tests for the memoizing timing cache: over arbitrary
+//! (platform, work profile, frequency, threads) triples, the cached path
+//! must return bit-for-bit what the uncached model computes — hits and
+//! misses alike — and fingerprints must key strictly on model inputs.
+
+use proptest::prelude::*;
+use soc_arch::{
+    cached_kernel_time, kernel_time, soc_fingerprint, AccessPattern, Platform, WorkProfile,
+};
+
+fn arb_pattern(i: usize) -> AccessPattern {
+    // Index into the model's closed pattern set.
+    AccessPattern::ALL[i % AccessPattern::ALL.len()]
+}
+
+fn platform(i: usize) -> Platform {
+    let all = Platform::table1();
+    all[i % all.len()].clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache is transparent: for any modelled scenario, cached and
+    /// uncached evaluations agree exactly, on first sight (miss) and on
+    /// repeat (hit).
+    #[test]
+    fn cached_equals_uncached_over_arbitrary_cells(
+        plat_i in 0usize..4,
+        pat_i in 0usize..8,
+        flops in 1e6f64..1e12,
+        bytes in 0.0f64..1e12,
+        par in 0.5f64..1.0,
+        imb in 0.0f64..0.5,
+        freq in 0.3f64..3.5,
+        threads in 1u32..8,
+    ) {
+        let p = platform(plat_i);
+        let work = WorkProfile::new("prop", flops, bytes, arb_pattern(pat_i))
+            .with_parallel_fraction(par)
+            .with_imbalance(imb);
+        let direct = kernel_time(&p.soc, freq, threads, &work);
+        let first = cached_kernel_time(&p.soc, freq, threads, &work);  // miss or hit
+        let second = cached_kernel_time(&p.soc, freq, threads, &work); // guaranteed hit
+        prop_assert_eq!(&direct, &first);
+        prop_assert_eq!(&direct, &second);
+        prop_assert!(direct.total_s.is_finite() && direct.total_s > 0.0);
+    }
+
+    /// Distinct platforms never share a fingerprint, and a platform's
+    /// fingerprint is stable across recomputation (the cache key contract).
+    #[test]
+    fn fingerprints_are_stable_and_platform_unique(a in 0usize..4, b in 0usize..4) {
+        let pa = platform(a);
+        let pb = platform(b);
+        let fa = soc_fingerprint(&pa.soc);
+        prop_assert_eq!(fa, soc_fingerprint(&pa.soc));
+        if a % 4 != b % 4 {
+            prop_assert!(fa != soc_fingerprint(&pb.soc), "platforms alias in the cache");
+        }
+    }
+}

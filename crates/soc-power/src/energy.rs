@@ -4,7 +4,7 @@
 //! for the parallel region of the application").
 
 use serde::{Deserialize, Serialize};
-use soc_arch::{kernel_time, Soc, WorkProfile};
+use soc_arch::{cached_kernel_time, Soc, WorkProfile};
 
 use crate::model::PowerModel;
 
@@ -30,7 +30,9 @@ pub fn kernel_energy(
     threads: u32,
     work: &WorkProfile,
 ) -> EnergyBreakdown {
-    let t = kernel_time(soc, f_ghz, threads, work);
+    // Memoized: Figs 3/4 evaluate the same (platform, kernel, freq) cells
+    // for both the speedup and the energy panels.
+    let t = cached_kernel_time(soc, f_ghz, threads, work);
     let active_cores = threads.min(soc.cores).max(1);
     let watts = pm.platform_power_w(f_ghz, active_cores, t.attained_bw_gbs, false);
     EnergyBreakdown { name: work.name, seconds: t.total_s, watts, joules: watts * t.total_s }

@@ -18,7 +18,9 @@
 //! * [`mpi`] — the simulated MPI runtime;
 //! * [`cluster`] — machine models (Tibidabo) and job energy accounting;
 //! * [`apps`] — HPL, PEPC, HYDRO, GROMACS-like MD, SPECFEM3D-like SEM;
-//! * [`trends`] — the Fig 1/2 historical datasets and regressions.
+//! * [`trends`] — the Fig 1/2 historical datasets and regressions;
+//! * [`harness`] — the artefact generators and the parallel deterministic
+//!   sweep executor behind the `repro` binary.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub use ::bench as harness;
 pub use cluster;
 pub use des;
 pub use hpc_apps as apps;

@@ -1,0 +1,49 @@
+//! The tentpole invariant, proved end-to-end: a full golden-scale run of
+//! every artefact on 1 worker and on 8 workers produces byte-identical
+//! rendered text and byte-identical JSON. Plus the timing-cache property
+//! that makes the parallel sweep cheap: figure cells share model
+//! evaluations, so a two-figure run must hit the cache.
+
+use socready::harness::{run_plan, RunPlan, RunScales, SweepConfig};
+
+fn items(keys: &[&str]) -> Vec<String> {
+    keys.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn jobs_1_and_jobs_8_are_byte_identical_across_all_artefacts() {
+    let mk = || RunPlan::from_items(&items(&["all"]), &RunScales::golden());
+    let (serial, stats1) = run_plan(mk(), &SweepConfig::with_jobs(1));
+    let (parallel, stats8) = run_plan(mk(), &SweepConfig::with_jobs(8));
+
+    assert_eq!(stats1.cells, stats8.cells, "plans enumerated different cell counts");
+    assert_eq!(stats8.jobs, 8);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.key, b.key, "artefact order diverged");
+        assert_eq!(a.blocks, b.blocks, "{}: rendered text diverged between 1 and 8 workers", a.key);
+        match (&a.json, &b.json) {
+            (Some((sa, ja)), Some((sb, jb))) => {
+                assert_eq!(sa, sb, "{}: JSON stem diverged", a.key);
+                assert_eq!(ja, jb, "{}: JSON bytes diverged between 1 and 8 workers", a.key);
+            }
+            (None, None) => {}
+            _ => panic!("{}: JSON presence diverged", a.key),
+        }
+    }
+}
+
+#[test]
+fn two_figure_run_reuses_timing_cache() {
+    // Fig 3 and Fig 4 sweep the same platforms over the same DVFS points and
+    // kernels (threads differ, but the shared Tegra2@1GHz baseline and the
+    // serial Tegra2 series coincide), so the second figure must score hits.
+    let plan = RunPlan::from_items(&items(&["fig3", "fig4"]), &RunScales::golden());
+    let (_, stats) = run_plan(plan, &SweepConfig::with_jobs(2));
+    assert!(
+        stats.timing_cache.hits > 0,
+        "expected timing-cache hits on a fig3+fig4 run, got {:?}",
+        stats.timing_cache
+    );
+    assert!(stats.timing_cache.hit_rate() > 0.0);
+}

@@ -72,6 +72,211 @@ impl<I: Iterator> ParIter<I> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Real thread pool: `ThreadPoolBuilder` / `ThreadPool` / `scope`
+// ---------------------------------------------------------------------------
+//
+// Unlike the sequential `ParIter` adaptors above (which keep kernel
+// checksums bit-identical to their std-iterator forms), the scope API below
+// provides *genuine* parallelism for embarrassingly-parallel fan-out such as
+// the `bench` sweep executor. Spawned tasks go into a shared injector queue;
+// every worker (plus the calling thread, once the scope body returns) pops
+// the next unclaimed task — idle workers therefore steal whatever work is
+// left, giving dynamic load balance without per-worker deques.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+type Task<'env> = Box<dyn for<'x> FnOnce(&Scope<'x, 'env>) + Send + 'env>;
+
+struct QueueState<'env> {
+    tasks: VecDeque<Task<'env>>,
+    running: usize,
+    /// Set when the scope body has returned: no more top-level spawns will
+    /// arrive (running tasks may still spawn nested work).
+    sealed: bool,
+}
+
+struct TaskQueue<'env> {
+    state: Mutex<QueueState<'env>>,
+    cv: Condvar,
+}
+
+impl<'env> TaskQueue<'env> {
+    fn new() -> Self {
+        TaskQueue {
+            state: Mutex::new(QueueState { tasks: VecDeque::new(), running: 0, sealed: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, t: Task<'env>) {
+        self.state.lock().unwrap().tasks.push_back(t);
+        self.cv.notify_one();
+    }
+
+    fn seal(&self) {
+        self.state.lock().unwrap().sealed = true;
+        self.cv.notify_all();
+    }
+
+    /// Claim the next task, blocking while more work may still arrive.
+    /// Returns `None` once the scope is sealed and every task has finished.
+    fn pop(&self) -> Option<Task<'env>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(t) = st.tasks.pop_front() {
+                st.running += 1;
+                return Some(t);
+            }
+            if st.sealed && st.running == 0 {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn task_done(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.running -= 1;
+        if st.tasks.is_empty() && st.running == 0 {
+            // Termination condition may now hold: release everyone blocked
+            // in `pop` so they can observe it.
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Decrements the running count even if the task panics, so sibling workers
+/// never deadlock waiting for a task that will not report completion.
+struct DoneGuard<'a, 'env>(&'a TaskQueue<'env>);
+
+impl Drop for DoneGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.task_done();
+    }
+}
+
+fn worker_loop<'env>(queue: &TaskQueue<'env>) {
+    while let Some(task) = queue.pop() {
+        let guard = DoneGuard(queue);
+        task(&Scope { queue });
+        drop(guard);
+    }
+}
+
+fn run_scope<'env, F, R>(extra_workers: usize, f: F) -> R
+where
+    F: for<'x> FnOnce(&Scope<'x, 'env>) -> R,
+{
+    let queue = TaskQueue::new();
+    std::thread::scope(|s| {
+        for _ in 0..extra_workers {
+            s.spawn(|| worker_loop(&queue));
+        }
+        let r = f(&Scope { queue: &queue });
+        queue.seal();
+        // The calling thread joins the pool until the queue drains. With
+        // zero extra workers this degenerates to sequential execution in
+        // exact spawn order — the deterministic `--jobs 1` path.
+        worker_loop(&queue);
+        r
+    })
+}
+
+/// A spawn handle scoped to a [`ThreadPool::scope`] / [`scope`] invocation.
+/// Tasks may borrow from the enclosing environment (`'env`) and may spawn
+/// nested tasks through the scope reference they receive.
+pub struct Scope<'x, 'env> {
+    queue: &'x TaskQueue<'env>,
+}
+
+impl<'x, 'env> Scope<'x, 'env> {
+    /// Queue `f` for execution by the pool before the scope ends.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'y> FnOnce(&Scope<'y, 'env>) + Send + 'env,
+    {
+        self.queue.push(Box::new(f));
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never produced by
+/// this stand-in, but part of the rayon-shaped API).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with an explicit worker count.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool (default: host parallelism).
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Set the number of worker threads (0 = host parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible here; `Result` keeps the rayon shape.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { current_num_threads() } else { self.num_threads };
+        Ok(ThreadPool { threads: n.max(1) })
+    }
+}
+
+/// A pool of `threads` workers. Workers are spawned per [`ThreadPool::scope`]
+/// call (scoped threads, so tasks may borrow the caller's stack) rather than
+/// kept persistent — the scheduling semantics match rayon's.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The number of threads this pool runs tasks on (including the caller,
+    /// which participates while a scope drains).
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f`, executing everything it spawns on this pool; returns once
+    /// all spawned tasks (including nested spawns) have completed.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'x> FnOnce(&Scope<'x, 'env>) -> R,
+    {
+        run_scope(self.threads.saturating_sub(1), f)
+    }
+
+    /// Run `op` "inside" the pool. The stand-in has no thread-local registry,
+    /// so this simply invokes the closure.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
+
+/// Scope on an implicit global-sized pool (host parallelism).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'x> FnOnce(&Scope<'x, 'env>) -> R,
+{
+    run_scope(current_num_threads().saturating_sub(1), f)
+}
+
 /// The traits that give slices, ranges and collections their `par_*` methods.
 pub mod prelude {
     pub use super::ParIter;
@@ -159,5 +364,75 @@ mod tests {
     fn join_returns_both() {
         let (a, b) = super::join(|| 1, || "x");
         assert_eq!((a, b), (1, "x"));
+    }
+
+    #[test]
+    fn pool_scope_runs_every_task_with_borrowed_state() {
+        use std::sync::Mutex;
+        let slots: Vec<Mutex<u64>> = (0..64).map(|_| Mutex::new(0)).collect();
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.scope(|s| {
+            for (i, slot) in slots.iter().enumerate() {
+                s.spawn(move |_| *slot.lock().unwrap() = i as u64 + 1);
+            }
+        });
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(*slot.lock().unwrap(), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn single_thread_scope_runs_in_spawn_order() {
+        use std::sync::Mutex;
+        let order = Mutex::new(Vec::new());
+        let pool = super::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.scope(|s| {
+            for i in 0..16 {
+                let order = &order;
+                s.spawn(move |_| order.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_scope_returns() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let count = &count;
+                s.spawn(move |inner| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    inner.spawn(move |_| {
+                        count.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn free_scope_uses_host_parallelism() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..10 {
+                let count = &count;
+                s.spawn(move |_| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let pool = super::ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+        assert_eq!(pool.install(|| 7), 7);
     }
 }

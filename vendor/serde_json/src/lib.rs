@@ -5,13 +5,19 @@
 //! struct field order is preserved, pretty output uses two-space indent,
 //! and non-finite floats render as `null`.
 
-use serde::{Serialize, Value};
+use serde::Serialize;
 use std::fmt;
 
-/// Serialization error (the stand-in never actually fails; this exists so
-/// call sites can keep `serde_json::to_string_pretty(..).unwrap()`).
+mod parse;
+
+pub use parse::from_str;
+// Real serde_json has its own `Value`; the stand-in reuses the vendored
+// serde's tree so the serializer and parser share one representation.
+pub use serde::Value;
+
+/// Serialization or parse error.
 #[derive(Debug)]
-pub struct Error(String);
+pub struct Error(pub(crate) String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
