@@ -46,6 +46,37 @@ if [[ $quick -eq 0 ]]; then
   echo "smoke OK: $(wc -c <"$out/resilience.json") bytes of resilience.json"
   rm -rf "$out"
 
+  step "scale smoke: event-driven process model under time/RSS budget"
+  # The 1024-process thread-vs-event ring plus the 4096-rank ping-ring must
+  # finish inside a fixed wall-clock budget, stay inside a fixed RSS budget
+  # (no thread-per-rank stacks), and show the event-driven model is at least
+  # 10x the legacy model in events/sec.
+  scale_dir=$(mktemp -d)
+  scale_json="$scale_dir/BENCH_scale.json"
+  if [[ -x /usr/bin/time ]]; then
+    /usr/bin/time -v -o "$scale_dir/time.log" \
+      timeout 180 target/release/scale_bench "$scale_json"
+    rss_kb=$(awk '/Maximum resident set size/ {print $NF}' "$scale_dir/time.log")
+    if [[ -n "$rss_kb" && "$rss_kb" -gt $((4 * 1024 * 1024)) ]]; then
+      echo "error: scale smoke used ${rss_kb} kB RSS (budget 4 GiB)" >&2
+      exit 1
+    fi
+    echo "scale smoke RSS: ${rss_kb:-?} kB"
+  else
+    timeout 180 target/release/scale_bench "$scale_json"
+  fi
+  grep -q '"peak_ranks": 4096' "$scale_json" || {
+    echo "error: BENCH_scale.json missing the 4096-rank datum" >&2
+    exit 1
+  }
+  speedup=$(grep -o '"speedup": [0-9.]*' "$scale_json" | awk '{print $2}')
+  awk -v s="$speedup" 'BEGIN { exit !(s >= 10.0) }' || {
+    echo "error: event-driven model only ${speedup}x the legacy model (need >= 10x)" >&2
+    exit 1
+  }
+  echo "scale smoke OK: event-driven is ${speedup}x the legacy model"
+  rm -rf "$scale_dir"
+
   step "sweep executor: serial vs parallel byte-identity (binary level)"
   # Full --golden artefact run twice: the reference serial schedule and a
   # many-worker schedule. Any divergence in stdout or in any JSON artefact

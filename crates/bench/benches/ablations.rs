@@ -21,12 +21,12 @@ fn ablation_bcast(c: &mut Criterion) {
     for (name, pipelined) in [("binomial_tree", false), ("pipelined_ring", true)] {
         g.bench_function(format!("hpl_panel_12MiB_24ranks_{name}"), |b| {
             b.iter(|| {
-                let run = run_mpi(JobSpec::new(Platform::tegra2(), 24), move |r| {
+                let run = run_mpi(JobSpec::new(Platform::tegra2(), 24), move |mut r| async move {
                     let msg = (r.rank() == 0).then(|| Msg::size_only(total));
                     if pipelined {
-                        r.bcast_pipelined(0, msg, total, 256 * 1024);
+                        r.bcast_pipelined(0, msg, total, 256 * 1024).await;
                     } else {
-                        r.bcast(0, msg);
+                        r.bcast(0, msg).await;
                     }
                     r.now().as_secs_f64()
                 })

@@ -1,0 +1,175 @@
+//! Scale benchmark for the event-driven process model: writes
+//! `BENCH_scale.json` (events/sec for the legacy thread-backed model vs the
+//! event-driven model on the same DES workload, plus a 4096-rank simmpi
+//! ping-ring as the peak-ranks datum).
+//!
+//! ```text
+//! cargo run --release -p bench --bin scale_bench -- [out.json]
+//! ```
+//!
+//! The workload is a token ring at the `des` level — each process parks
+//! until the token arrives, advances virtual time one microsecond, and
+//! wakes its successor — because that is the communication skeleton both
+//! process kinds can run verbatim (`simmpi` itself is event-driven only).
+//! Events/sec is scheduler events dispatched over wall-clock seconds.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use des::{Engine, Pid, SimTime};
+use serde::Serialize;
+use simmpi::{run_mpi, JobSpec, Msg};
+use soc_arch::Platform;
+
+/// One process model's measurement on the DES token ring.
+#[derive(Serialize)]
+struct RingResult {
+    model: &'static str,
+    processes: u32,
+    laps: u32,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+}
+
+/// The artefact: the perf trajectory entry this PR starts.
+#[derive(Serialize)]
+struct ScaleBench {
+    /// DES token ring at 1024 processes, both process kinds.
+    ring_1024: Vec<RingResult>,
+    /// events/sec(event-driven) / events/sec(thread-backed).
+    speedup: f64,
+    /// The largest simmpi job exercised (ranks in one engine).
+    peak_ranks: u32,
+    /// Wall seconds of the peak-rank ping-ring.
+    peak_wall_secs: f64,
+    /// Messages delivered by the peak-rank ping-ring.
+    peak_messages: u64,
+}
+
+/// Token ring on event-driven processes: `procs` coroutines, `laps` full
+/// circulations of the token.
+fn ring_event(procs: u32, laps: u32) -> RingResult {
+    let mut engine = Engine::new();
+    let pids: Arc<Mutex<Vec<Pid>>> = Arc::new(Mutex::new(Vec::with_capacity(procs as usize)));
+    for i in 0..procs {
+        let ring = Arc::clone(&pids);
+        let pid = engine.spawn_process(format!("ring{i}"), move |ctx| async move {
+            for lap in 0..laps {
+                if !(lap == 0 && i == 0) {
+                    ctx.park().await;
+                }
+                ctx.advance(SimTime::from_micros(1)).await;
+                if !(lap == laps - 1 && i == procs - 1) {
+                    let next = ring.lock().unwrap()[((i + 1) % procs) as usize];
+                    ctx.wake_at(next, ctx.now());
+                }
+            }
+        });
+        pids.lock().unwrap().push(pid);
+    }
+    let t0 = Instant::now();
+    let report = engine.run().expect("event ring must complete");
+    let wall = t0.elapsed().as_secs_f64();
+    RingResult {
+        model: "event",
+        processes: procs,
+        laps,
+        events: report.events,
+        wall_secs: wall,
+        events_per_sec: report.events as f64 / wall,
+    }
+}
+
+/// The identical ring on legacy thread-backed processes (one OS thread per
+/// process — the model every rank used before this PR).
+fn ring_thread(procs: u32, laps: u32) -> RingResult {
+    let mut engine = Engine::new();
+    let pids: Arc<Mutex<Vec<Pid>>> = Arc::new(Mutex::new(Vec::with_capacity(procs as usize)));
+    for i in 0..procs {
+        let ring = Arc::clone(&pids);
+        let pid = engine
+            .spawn(format!("ring{i}"), move |ctx| {
+                for lap in 0..laps {
+                    if !(lap == 0 && i == 0) {
+                        ctx.park();
+                    }
+                    ctx.advance(SimTime::from_micros(1));
+                    if !(lap == laps - 1 && i == procs - 1) {
+                        let next = ring.lock().unwrap()[((i + 1) % procs) as usize];
+                        ctx.wake_at(next, ctx.now());
+                    }
+                }
+            })
+            .expect("thread spawn failed (OS thread limit?)");
+        pids.lock().unwrap().push(pid);
+    }
+    let t0 = Instant::now();
+    let report = engine.run().expect("thread ring must complete");
+    let wall = t0.elapsed().as_secs_f64();
+    RingResult {
+        model: "thread",
+        processes: procs,
+        laps,
+        events: report.events,
+        wall_secs: wall,
+        events_per_sec: report.events as f64 / wall,
+    }
+}
+
+/// 4096-rank simmpi ping-ring: the job the legacy model could not host.
+fn peak_ring(ranks: u32) -> (f64, u64) {
+    let spec = JobSpec::new(Platform::tegra2(), ranks);
+    let t0 = Instant::now();
+    let run = run_mpi(spec, |mut r| async move {
+        let p = r.size();
+        if r.rank() == 0 {
+            r.send(1, 0, Msg::from_u64s(&[1])).await;
+            r.recv(p - 1, 0).await.to_u64s()[0]
+        } else {
+            let hops = r.recv(r.rank() - 1, 0).await.to_u64s()[0];
+            r.send((r.rank() + 1) % p, 0, Msg::from_u64s(&[hops + 1])).await;
+            hops
+        }
+    })
+    .expect("peak ping-ring failed");
+    assert_eq!(run.results[0], ranks as u64);
+    (t0.elapsed().as_secs_f64(), run.net.messages)
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_scale.json".into());
+    let procs = 1024;
+
+    // The thread ring pays two context switches per hop, so keep its lap
+    // count modest; events/sec normalises the comparison.
+    eprintln!("ring: {procs} thread-backed processes ...");
+    let thread = ring_thread(procs, 4);
+    eprintln!(
+        "  {:>9.0} events/s ({} events in {:.2}s)",
+        thread.events_per_sec, thread.events, thread.wall_secs
+    );
+    eprintln!("ring: {procs} event-driven processes ...");
+    let event = ring_event(procs, 64);
+    eprintln!(
+        "  {:>9.0} events/s ({} events in {:.2}s)",
+        event.events_per_sec, event.events, event.wall_secs
+    );
+    let speedup = event.events_per_sec / thread.events_per_sec;
+    eprintln!("  event-driven is {speedup:.1}x the legacy model");
+
+    let peak_ranks = 4096;
+    eprintln!("simmpi: {peak_ranks}-rank ping-ring ...");
+    let (peak_wall_secs, peak_messages) = peak_ring(peak_ranks);
+    eprintln!("  {peak_messages} messages in {peak_wall_secs:.2}s wall");
+
+    let bench = ScaleBench {
+        ring_1024: vec![thread, event],
+        speedup,
+        peak_ranks,
+        peak_wall_secs,
+        peak_messages,
+    };
+    std::fs::write(&out, serde_json::to_string_pretty(&bench).unwrap()).expect("write artefact");
+    eprintln!("wrote {out}");
+}

@@ -218,9 +218,9 @@ pub fn hpl_headline(nodes: u32) -> HplHeadline {
     let m = Machine::tibidabo();
     let cfg = HplConfig::tibidabo_weak(nodes);
     let spec = m.job(nodes);
-    let run = simmpi::run_mpi(spec, move |r| {
+    let run = simmpi::run_mpi(spec, move |mut r| async move {
         let s = r.now();
-        hpc_apps::hpl::hpl_rank(r, &cfg);
+        hpc_apps::hpl::hpl_rank(&mut r, &cfg).await;
         (r.now() - s).as_secs_f64()
     })
     .expect("HPL headline run failed");

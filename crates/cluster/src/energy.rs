@@ -73,15 +73,15 @@ mod tests {
     #[test]
     fn busy_jobs_cost_more_than_idle_jobs() {
         let m = Machine::tibidabo();
-        let busy = run_mpi(m.job(4), |r| r.compute_secs(1.0)).unwrap();
-        let idle = run_mpi(m.job(4), |r| {
+        let busy = run_mpi(m.job(4), |mut r| async move { r.compute_secs(1.0).await }).unwrap();
+        let idle = run_mpi(m.job(4), |mut r| async move {
             if r.rank() == 0 {
-                r.compute_secs(1.0);
+                r.compute_secs(1.0).await;
                 for d in 1..r.size() {
-                    r.send(d, 0, Msg::empty());
+                    r.send(d, 0, Msg::empty()).await;
                 }
             } else {
-                r.recv(0, 0);
+                r.recv(0, 0).await;
             }
         })
         .unwrap();
@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn energy_is_power_times_time() {
         let m = Machine::tibidabo();
-        let run = run_mpi(m.job(8), |r| r.compute_secs(0.5)).unwrap();
+        let run = run_mpi(m.job(8), |mut r| async move { r.compute_secs(0.5).await }).unwrap();
         let e = job_energy(&m, &run, 8, 1.0);
         assert!((e.energy_j - e.avg_power_w * e.elapsed_s).abs() < 1e-6);
         assert_eq!(e.nodes, 8);
@@ -103,7 +103,7 @@ mod tests {
     fn per_node_power_is_in_the_tibidabo_range() {
         // ~808 W for 96 HPL nodes => ~8.4 W/node including switch share.
         let m = Machine::tibidabo();
-        let run = run_mpi(m.job(96), |r| r.compute_secs(2.0)).unwrap();
+        let run = run_mpi(m.job(96), |mut r| async move { r.compute_secs(2.0).await }).unwrap();
         let e = job_energy(&m, &run, 96, 1.0);
         let per_node = e.avg_power_w / 96.0;
         assert!((6.0..11.0).contains(&per_node), "{per_node} W/node");
@@ -112,7 +112,7 @@ mod tests {
     #[test]
     fn green500_metric_flows_through() {
         let m = Machine::tibidabo();
-        let run = run_mpi(m.job(2), |r| r.compute_secs(1.0)).unwrap();
+        let run = run_mpi(m.job(2), |mut r| async move { r.compute_secs(1.0).await }).unwrap();
         let rep = green500(&m, &run, 2, 1.0, 2.0);
         assert!(rep.mflops_per_watt > 0.0);
         assert_eq!(rep.gflops, 2.0);

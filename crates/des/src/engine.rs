@@ -2,34 +2,57 @@
 //!
 //! # Execution model
 //!
-//! Simulated actors ("processes") are ordinary OS threads, but **exactly one
-//! thread — either the engine or a single process — runs at any instant**.
-//! Control is handed over through rendezvous channels:
+//! Simulated actors ("processes") come in two kinds behind the same
+//! [`Pid`]/event-queue surface:
 //!
-//! * the engine pops the earliest `(time, seq)` event, resumes the process it
-//!   targets, and blocks until that process *yields*;
-//! * a process yields by finishing, by [`Context::advance`]-ing virtual time,
-//!   or by [`Context::park`]-ing to wait for another process.
+//! * **Event-driven processes** ([`Engine::spawn_process`]) are stackless
+//!   coroutines: `async` blocks whose only suspension points are the engine's
+//!   own leaf primitives ([`ProcCtx::advance`], [`ProcCtx::park`],
+//!   [`ProcCtx::park_until`]). The engine polls the process's future inline —
+//!   on the engine's own thread — whenever an event for it dispatches, so a
+//!   4096-rank cluster runs in **one** OS thread with no context switches.
+//! * **Thread-backed processes** ([`Engine::spawn`]) are the original
+//!   compatibility path: ordinary OS threads, with control handed over through
+//!   rendezvous channels. Exactly one thread — either the engine or a single
+//!   process — runs at any instant. They remain useful for actors that must
+//!   block inside foreign code, and as the legacy baseline for benchmarks.
 //!
-//! Because the event queue is ordered by `(time, insertion sequence)` and only
-//! one process executes at a time, simulations are **bit-deterministic**: the
-//! same program produces the same event trace on every run, regardless of OS
-//! scheduling.
+//! Both kinds share one event queue ordered by `(time, insertion sequence)`,
+//! and only one process executes at a time, so simulations are
+//! **bit-deterministic**: the same program produces the same event trace on
+//! every run, regardless of OS scheduling — and regardless of which process
+//! kind each actor uses, as long as it performs the same primitive calls in
+//! the same order.
 //!
-//! Cross-process signalling is intentionally minimal: [`Context::wake_at`]
-//! schedules a wake-up for a *parked* process. Higher-level abstractions
-//! (mailboxes, MPI-style matching, network links) are built on top of this in
-//! the `simmpi` and `netsim` crates.
+//! Event-driven processes must suspend **only** through the engine's leaf
+//! futures; awaiting a foreign future that returns `Pending` without
+//! scheduling a des event would strand the process (debug builds assert on
+//! this).
+//!
+//! Cross-process signalling is intentionally minimal: [`ProcCtx::wake_at`] /
+//! [`Context::wake_at`] schedule a wake-up for a *parked* process.
+//! Higher-level abstractions (mailboxes, MPI-style matching, network links)
+//! are built on top of this in the `simmpi` and `netsim` crates.
 
 use std::collections::BinaryHeap;
+use std::future::Future;
 use std::panic::{self, AssertUnwindSafe};
+use std::pin::Pin;
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::Arc;
+use std::task::{Context as TaskContext, Poll, Waker};
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
 use crate::time::SimTime;
+
+/// Stack size for thread-backed compatibility processes. Simulated actors
+/// carry little real stack (the deep work lives in heap-allocated model
+/// state), so this is deliberately small — the 8 MiB platform default made
+/// thread-per-rank runs exhaust address space long before the scheduler
+/// became the bottleneck.
+const COMPAT_STACK_SIZE: usize = 512 << 10;
 
 /// Identifier of a simulated process, assigned in spawn order.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -61,6 +84,15 @@ pub enum SimError {
         /// Best-effort stringified panic payload.
         message: String,
     },
+    /// The OS refused to create a thread for a thread-backed process (for
+    /// example when the process/thread limit is hit). Event-driven processes
+    /// never hit this — they allocate no OS resources.
+    SpawnFailed {
+        /// Name of the process that could not be spawned.
+        process: String,
+        /// Stringified OS error.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -71,6 +103,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::ProcessPanic { process, message } => {
                 write!(f, "process '{process}' panicked: {message}")
+            }
+            SimError::SpawnFailed { process, reason } => {
+                write!(f, "failed to spawn thread for process '{process}': {reason}")
             }
         }
     }
@@ -131,12 +166,22 @@ impl Ord for Event {
     }
 }
 
+/// How a process is executed when its event dispatches.
+enum ProcKind {
+    /// OS thread; the engine resumes it over this channel and waits for the
+    /// yield handshake.
+    Thread { resume_tx: SyncSender<()> },
+    /// Stackless coroutine; the engine polls its future (stored in
+    /// [`Engine::tasks`]) inline.
+    Event,
+}
+
 struct ProcSlot {
     name: String,
     status: Status,
     /// Bumped every time the process resumes; used to invalidate stale events.
     gen: u64,
-    resume_tx: SyncSender<()>,
+    kind: ProcKind,
     panic_message: Option<String>,
 }
 
@@ -162,18 +207,21 @@ struct Shared {
     yield_tx: Sender<()>,
 }
 
+type ProcFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
 /// A deterministic discrete-event simulation.
 ///
-/// Spawn processes with [`Engine::spawn`], then drive them to completion with
-/// [`Engine::run`]. See the module docs for the execution model.
+/// Spawn event-driven processes with [`Engine::spawn_process`] (preferred) or
+/// thread-backed ones with [`Engine::spawn`], then drive them to completion
+/// with [`Engine::run`]. See the module docs for the execution model.
 ///
 /// ```
 /// use des::{Engine, SimTime};
 ///
 /// let mut eng = Engine::new();
-/// eng.spawn("ticker", |ctx| {
+/// eng.spawn_process("ticker", |ctx| async move {
 ///     for _ in 0..3 {
-///         ctx.advance(SimTime::from_micros(10));
+///         ctx.advance(SimTime::from_micros(10)).await;
 ///     }
 /// });
 /// let report = eng.run().unwrap();
@@ -183,6 +231,9 @@ pub struct Engine {
     shared: Arc<Shared>,
     yield_rx: Receiver<()>,
     threads: Vec<JoinHandle<()>>,
+    /// Futures of event-driven processes, indexed by pid; `None` for
+    /// thread-backed pids and for finished event processes.
+    tasks: Vec<Option<ProcFuture>>,
 }
 
 // The sweep harness constructs one engine per scenario cell and drives it on
@@ -194,6 +245,7 @@ const _: fn() = || {
     assert_send::<Engine>();
     assert_send::<RunReport>();
     assert_send::<SimError>();
+    assert_send::<ProcCtx>();
 };
 
 impl Default for Engine {
@@ -220,39 +272,68 @@ impl Engine {
             }),
             yield_rx,
             threads: Vec::new(),
+            tasks: Vec::new(),
         }
     }
 
-    /// Spawn a process that becomes runnable at time zero.
+    /// Register a new process slot and its time-zero start event.
+    fn register(&mut self, name: String, kind: ProcKind) -> Pid {
+        let mut st = self.shared.state.lock();
+        let pid = Pid(st.procs.len() as u32);
+        st.procs.push(ProcSlot { name, status: Status::Ready, gen: 0, kind, panic_message: None });
+        st.live += 1;
+        let at = st.now;
+        st.push_event(at, pid, 0);
+        pid
+    }
+
+    /// Spawn an **event-driven** process that becomes runnable at time zero.
+    ///
+    /// `f` is called immediately with the process's [`ProcCtx`] and must
+    /// return the future that *is* the process — typically an `async move`
+    /// block. The future is polled inline by the engine; it may only suspend
+    /// through `ctx`'s leaf primitives (`advance` / `park` / `park_until`).
+    /// No OS resources are allocated, so spawning cannot fail and tens of
+    /// thousands of processes are cheap.
+    ///
+    /// Processes spawned before [`Engine::run`] start in spawn order,
+    /// regardless of kind.
+    pub fn spawn_process<F, Fut>(&mut self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(ProcCtx) -> Fut,
+        Fut: Future<Output = ()> + Send + 'static,
+    {
+        let pid = self.register(name.into(), ProcKind::Event);
+        let ctx = ProcCtx { pid, shared: Arc::clone(&self.shared) };
+        let fut = f(ctx);
+        if self.tasks.len() <= pid.index() {
+            self.tasks.resize_with(pid.index() + 1, || None);
+        }
+        self.tasks[pid.index()] = Some(Box::pin(fut));
+        pid
+    }
+
+    /// Spawn a **thread-backed** process that becomes runnable at time zero
+    /// (compatibility path; prefer [`Engine::spawn_process`]).
     ///
     /// The closure receives a [`Context`] for interacting with virtual time.
     /// Processes spawned before [`Engine::run`] start in spawn order.
-    pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> Pid
+    ///
+    /// Returns [`SimError::SpawnFailed`] if the OS refuses to create the
+    /// backing thread (e.g. the process's thread limit is hit); the engine
+    /// stays usable and already-spawned processes are unaffected.
+    pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> Result<Pid, SimError>
     where
         F: FnOnce(&Context) + Send + 'static,
     {
         let name = name.into();
         let (resume_tx, resume_rx) = mpsc::sync_channel(1);
-        let pid;
-        {
-            let mut st = self.shared.state.lock();
-            pid = Pid(st.procs.len() as u32);
-            st.procs.push(ProcSlot {
-                name: name.clone(),
-                status: Status::Ready,
-                gen: 0,
-                resume_tx,
-                panic_message: None,
-            });
-            st.live += 1;
-            let at = st.now;
-            st.push_event(at, pid, 0);
-        }
+        let pid = self.register(name.clone(), ProcKind::Thread { resume_tx });
         let ctx = Context { pid, shared: Arc::clone(&self.shared), resume_rx };
         let shared = Arc::clone(&self.shared);
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("des-{name}"))
-            .stack_size(8 << 20)
+            .stack_size(COMPAT_STACK_SIZE)
             .spawn(move || {
                 // Wait for the first resume before touching any state.
                 if ctx.resume_rx.recv().is_err() {
@@ -270,10 +351,22 @@ impl Engine {
                 st.live -= 1;
                 drop(st);
                 let _ = shared.yield_tx.send(());
-            })
-            .expect("failed to spawn des process thread");
-        self.threads.push(handle);
-        pid
+            });
+        match spawned {
+            Ok(handle) => {
+                self.threads.push(handle);
+                Ok(pid)
+            }
+            Err(err) => {
+                // Retire the slot we just registered: mark it finished so its
+                // time-zero event dispatches as stale and `run` doesn't wait
+                // on a process that never existed.
+                let mut st = self.shared.state.lock();
+                st.procs[pid.index()].status = Status::Finished;
+                st.live -= 1;
+                Err(SimError::SpawnFailed { process: name, reason: err.to_string() })
+            }
+        }
     }
 
     /// Run the simulation until every process finishes.
@@ -288,10 +381,14 @@ impl Engine {
             // resume sender drops the old one, so the thread's `recv` fails,
             // it unwinds quietly (see `yield_and_wait`), the unwind is caught
             // by the process wrapper, and the thread exits cleanly.
+            // (Event-driven processes need no teardown: their futures are
+            // simply dropped with the engine.)
             let mut st = self.shared.state.lock();
             for slot in &mut st.procs {
                 if slot.status != Status::Finished {
-                    slot.resume_tx = mpsc::sync_channel(1).0;
+                    if let ProcKind::Thread { resume_tx } = &mut slot.kind {
+                        *resume_tx = mpsc::sync_channel(1).0;
+                    }
                 }
             }
         }
@@ -302,8 +399,12 @@ impl Engine {
     }
 
     fn drive(&mut self) -> Result<RunReport, SimError> {
+        enum Resume {
+            Thread(SyncSender<()>, Pid),
+            Event(Pid),
+        }
         loop {
-            let (resume_tx, event_pid) = {
+            let resume = {
                 let mut st = self.shared.state.lock();
                 if st.live == 0 {
                     return Ok(RunReport {
@@ -341,19 +442,68 @@ impl Engine {
                 let slot = &mut st.procs[ev.pid.index()];
                 slot.status = Status::Running;
                 slot.gen += 1;
-                (slot.resume_tx.clone(), ev.pid)
+                match &slot.kind {
+                    ProcKind::Thread { resume_tx } => Resume::Thread(resume_tx.clone(), ev.pid),
+                    ProcKind::Event => Resume::Event(ev.pid),
+                }
             };
-            resume_tx.send(()).expect("des process thread died outside the engine protocol");
-            // Block until the resumed process yields back.
-            self.yield_rx.recv().expect("all des process threads disappeared");
-            // If the process panicked, surface it immediately.
-            let st = self.shared.state.lock();
-            let slot = &st.procs[event_pid.index()];
-            if let Some(msg) = &slot.panic_message {
-                return Err(SimError::ProcessPanic {
-                    process: slot.name.clone(),
-                    message: msg.clone(),
-                });
+            match resume {
+                Resume::Thread(resume_tx, pid) => {
+                    resume_tx
+                        .send(())
+                        .expect("des process thread died outside the engine protocol");
+                    // Block until the resumed process yields back.
+                    self.yield_rx.recv().expect("all des process threads disappeared");
+                    // If the process panicked, surface it immediately.
+                    let st = self.shared.state.lock();
+                    let slot = &st.procs[pid.index()];
+                    if let Some(msg) = &slot.panic_message {
+                        return Err(SimError::ProcessPanic {
+                            process: slot.name.clone(),
+                            message: msg.clone(),
+                        });
+                    }
+                }
+                Resume::Event(pid) => {
+                    let mut fut = self.tasks[pid.index()]
+                        .take()
+                        .expect("event process resumed without a stored future");
+                    // The engine is the only scheduler: nothing ever needs to
+                    // wake a task from outside, so a no-op waker suffices.
+                    let mut cx = TaskContext::from_waker(Waker::noop());
+                    let polled =
+                        panic::catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+                    match polled {
+                        Ok(Poll::Pending) => {
+                            // The leaf primitive already recorded the new
+                            // status (Sleeping/Parked) and scheduled whatever
+                            // event will resume us.
+                            debug_assert!(
+                                self.shared.state.lock().procs[pid.index()].status
+                                    != Status::Running,
+                                "event process returned Pending without blocking on a des primitive"
+                            );
+                            self.tasks[pid.index()] = Some(fut);
+                        }
+                        Ok(Poll::Ready(())) => {
+                            let mut st = self.shared.state.lock();
+                            st.procs[pid.index()].status = Status::Finished;
+                            st.live -= 1;
+                        }
+                        Err(payload) => {
+                            let message = panic_payload_to_string(&*payload);
+                            let mut st = self.shared.state.lock();
+                            st.live -= 1;
+                            let slot = &mut st.procs[pid.index()];
+                            slot.status = Status::Finished;
+                            slot.panic_message = Some(message.clone());
+                            return Err(SimError::ProcessPanic {
+                                process: slot.name.clone(),
+                                message,
+                            });
+                        }
+                    }
+                }
             }
         }
     }
@@ -369,8 +519,184 @@ fn panic_payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A process's handle to the simulation: virtual-time queries, time advance,
-/// parking, and waking peers.
+/// An event-driven process's handle to the simulation: virtual-time queries,
+/// time advance, parking, and waking peers.
+///
+/// Unlike the thread-backed [`Context`], a `ProcCtx` is owned, cheap to
+/// clone, and `'static`, so it can be moved into the `async` block that
+/// implements the process. The async methods ([`ProcCtx::advance`],
+/// [`ProcCtx::park`], [`ProcCtx::park_until`]) are the process's only legal
+/// suspension points.
+#[derive(Clone)]
+pub struct ProcCtx {
+    pid: Pid,
+    shared: Arc<Shared>,
+}
+
+impl ProcCtx {
+    /// This process's id.
+    #[inline]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.state.lock().now
+    }
+
+    /// Advance this process's virtual time by `dt` (models computation or a
+    /// fixed delay). Other processes may run in the interim. A zero `dt`
+    /// completes immediately without yielding.
+    pub fn advance(&self, dt: SimTime) -> Advance<'_> {
+        Advance { ctx: self, dt, suspended: false }
+    }
+
+    /// Advance to an absolute virtual time (no-op if already past it).
+    pub async fn advance_to(&self, at: SimTime) {
+        let now = self.now();
+        if at > now {
+            self.advance(at - now).await;
+        }
+    }
+
+    /// Suspend until another process calls `wake_at` targeting this process.
+    /// Virtual time does not advance on this process's account while parked;
+    /// it resumes at whatever time the waker chose.
+    pub fn park(&self) -> Park<'_> {
+        Park { ctx: self, suspended: false }
+    }
+
+    /// Park with a timeout: suspend until another process wakes this one, or
+    /// until virtual time `deadline` — whichever comes first.
+    ///
+    /// Resolves to `true` if a peer's wake resumed the process **strictly
+    /// before** `deadline`, `false` on timeout. A wake landing exactly at
+    /// `deadline` counts as a timeout (the self-scheduled timeout event was
+    /// enqueued first and wins the tie), which gives retry loops a crisp
+    /// "no answer by t" semantic. A `deadline` at or before the current time
+    /// resumes immediately with `false`.
+    pub fn park_until(&self, deadline: SimTime) -> ParkUntil<'_> {
+        ParkUntil { ctx: self, deadline, suspended: false }
+    }
+
+    /// Schedule a wake-up for `target` at absolute time `at` (must be `>=`
+    /// now). The target must currently be **parked**; waking a running,
+    /// sleeping, or finished process is a protocol violation and panics.
+    ///
+    /// Multiple wakes may target the same parked process; the earliest one
+    /// resumes it and the rest are discarded as stale.
+    pub fn wake_at(&self, target: Pid, at: SimTime) {
+        wake_at_impl(&self.shared, target, at);
+    }
+
+    /// Whether `target` is currently parked (usable for mailbox-style
+    /// "wake only if waiting" protocols).
+    pub fn is_parked(&self, target: Pid) -> bool {
+        self.shared.state.lock().procs[target.index()].status == Status::Parked
+    }
+}
+
+fn wake_at_impl(shared: &Shared, target: Pid, at: SimTime) {
+    let mut st = shared.state.lock();
+    assert!(at >= st.now, "wake_at into the past ({} < {})", at, st.now);
+    let gen = {
+        let slot = &st.procs[target.index()];
+        assert!(
+            slot.status == Status::Parked,
+            "wake_at target '{}' is {:?}, not Parked",
+            slot.name,
+            slot.status
+        );
+        slot.gen
+    };
+    st.push_event(at, target, gen);
+}
+
+/// Future of [`ProcCtx::advance`].
+///
+/// First poll: schedules the timer event (identically to the thread-backed
+/// `Context::advance`) and suspends. Second poll (when that event
+/// dispatches): resolves.
+#[must_use = "futures do nothing unless awaited"]
+pub struct Advance<'a> {
+    ctx: &'a ProcCtx,
+    dt: SimTime,
+    suspended: bool,
+}
+
+impl Future for Advance<'_> {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut TaskContext<'_>) -> Poll<()> {
+        if self.suspended || self.dt == SimTime::ZERO {
+            return Poll::Ready(());
+        }
+        self.suspended = true;
+        let ctx = self.ctx;
+        let mut st = ctx.shared.state.lock();
+        let at = st.now + self.dt;
+        let slot_gen = {
+            let slot = &mut st.procs[ctx.pid.index()];
+            slot.status = Status::Sleeping;
+            slot.gen
+        };
+        st.push_event(at, ctx.pid, slot_gen);
+        Poll::Pending
+    }
+}
+
+/// Future of [`ProcCtx::park`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct Park<'a> {
+    ctx: &'a ProcCtx,
+    suspended: bool,
+}
+
+impl Future for Park<'_> {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut TaskContext<'_>) -> Poll<()> {
+        if self.suspended {
+            return Poll::Ready(());
+        }
+        self.suspended = true;
+        let ctx = self.ctx;
+        let mut st = ctx.shared.state.lock();
+        st.procs[ctx.pid.index()].status = Status::Parked;
+        Poll::Pending
+    }
+}
+
+/// Future of [`ProcCtx::park_until`]; resolves to whether a peer's wake
+/// arrived strictly before the deadline.
+#[must_use = "futures do nothing unless awaited"]
+pub struct ParkUntil<'a> {
+    ctx: &'a ProcCtx,
+    deadline: SimTime,
+    suspended: bool,
+}
+
+impl Future for ParkUntil<'_> {
+    type Output = bool;
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut TaskContext<'_>) -> Poll<bool> {
+        let ctx = self.ctx;
+        if self.suspended {
+            return Poll::Ready(ctx.now() < self.deadline);
+        }
+        self.suspended = true;
+        let mut st = ctx.shared.state.lock();
+        let at = self.deadline.max(st.now);
+        let slot_gen = {
+            let slot = &mut st.procs[ctx.pid.index()];
+            slot.status = Status::Parked;
+            slot.gen
+        };
+        st.push_event(at, ctx.pid, slot_gen);
+        Poll::Pending
+    }
+}
+
+/// A thread-backed process's handle to the simulation: virtual-time queries,
+/// time advance, parking, and waking peers.
 ///
 /// A `Context` is only usable from within the process closure it was created
 /// for; it is handed to the closure by [`Engine::spawn`].
@@ -461,19 +787,7 @@ impl Context {
     /// Multiple wakes may target the same parked process; the earliest one
     /// resumes it and the rest are discarded as stale.
     pub fn wake_at(&self, target: Pid, at: SimTime) {
-        let mut st = self.shared.state.lock();
-        assert!(at >= st.now, "wake_at into the past ({} < {})", at, st.now);
-        let gen = {
-            let slot = &st.procs[target.index()];
-            assert!(
-                slot.status == Status::Parked,
-                "wake_at target '{}' is {:?}, not Parked",
-                slot.name,
-                slot.status
-            );
-            slot.gen
-        };
-        st.push_event(at, target, gen);
+        wake_at_impl(&self.shared, target, at);
     }
 
     /// Whether `target` is currently parked (usable for mailbox-style
@@ -508,6 +822,22 @@ mod tests {
             assert_eq!(ctx.now(), SimTime::from_micros(5));
             ctx.advance(SimTime::from_micros(7));
             assert_eq!(ctx.now(), SimTime::from_micros(12));
+        })
+        .unwrap();
+        let rep = eng.run().unwrap();
+        assert_eq!(rep.end_time, SimTime::from_micros(12));
+        assert_eq!(rep.processes, 1);
+    }
+
+    #[test]
+    fn single_event_process_advances_time() {
+        let mut eng = Engine::new();
+        eng.spawn_process("p", |ctx| async move {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.advance(SimTime::from_micros(5)).await;
+            assert_eq!(ctx.now(), SimTime::from_micros(5));
+            ctx.advance(SimTime::from_micros(7)).await;
+            assert_eq!(ctx.now(), SimTime::from_micros(12));
         });
         let rep = eng.run().unwrap();
         assert_eq!(rep.end_time, SimTime::from_micros(12));
@@ -517,8 +847,11 @@ mod tests {
     #[test]
     fn end_time_is_latest_finisher() {
         let mut eng = Engine::new();
-        eng.spawn("short", |ctx| ctx.advance(SimTime::from_micros(1)));
-        eng.spawn("long", |ctx| ctx.advance(SimTime::from_micros(100)));
+        eng.spawn_process("short", |ctx| async move { ctx.advance(SimTime::from_micros(1)).await });
+        eng.spawn_process(
+            "long",
+            |ctx| async move { ctx.advance(SimTime::from_micros(100)).await },
+        );
         let rep = eng.run().unwrap();
         assert_eq!(rep.end_time, SimTime::from_micros(100));
     }
@@ -529,9 +862,9 @@ mod tests {
         let mut eng = Engine::new();
         for (name, step) in [("a", 3u64), ("b", 5u64)] {
             let trace = Arc::clone(&trace);
-            eng.spawn(name, move |ctx| {
+            eng.spawn_process(name, move |ctx| async move {
                 for i in 0..4u64 {
-                    ctx.advance(SimTime::from_micros(step));
+                    ctx.advance(SimTime::from_micros(step)).await;
                     trace.lock().push((name, step * (i + 1)));
                 }
             });
@@ -554,15 +887,55 @@ mod tests {
         );
     }
 
+    /// The two process kinds must produce the *same* event trace for the same
+    /// program — that equivalence is what makes the event-driven port of the
+    /// MPI stack behaviour-preserving.
+    #[test]
+    fn thread_and_event_processes_interleave_identically() {
+        fn run(kind: &str) -> Vec<(&'static str, u64)> {
+            let trace = Arc::new(PMutex::new(Vec::new()));
+            let mut eng = Engine::new();
+            for (name, step) in [("a", 3u64), ("b", 5u64)] {
+                let trace = Arc::clone(&trace);
+                match kind {
+                    "thread" => {
+                        eng.spawn(name, move |ctx| {
+                            for i in 0..4u64 {
+                                ctx.advance(SimTime::from_micros(step));
+                                trace.lock().push((name, step * (i + 1)));
+                            }
+                        })
+                        .unwrap();
+                    }
+                    _ => {
+                        eng.spawn_process(name, move |ctx| async move {
+                            for i in 0..4u64 {
+                                ctx.advance(SimTime::from_micros(step)).await;
+                                trace.lock().push((name, step * (i + 1)));
+                            }
+                        });
+                    }
+                }
+            }
+            let rep = eng.run().unwrap();
+            // Both kinds must push identical event sequences: 2 start events
+            // plus 8 advances.
+            assert_eq!(rep.events, 10);
+            let got = trace.lock().clone();
+            got
+        }
+        assert_eq!(run("thread"), run("event"));
+    }
+
     #[test]
     fn park_and_wake_handshake() {
         let mut eng = Engine::new();
-        let waiter = eng.spawn("waiter", |ctx| {
-            ctx.park();
+        let waiter = eng.spawn_process("waiter", |ctx| async move {
+            ctx.park().await;
             assert_eq!(ctx.now(), SimTime::from_micros(42));
         });
-        eng.spawn("waker", move |ctx| {
-            ctx.advance(SimTime::from_micros(10));
+        eng.spawn_process("waker", move |ctx| async move {
+            ctx.advance(SimTime::from_micros(10)).await;
             ctx.wake_at(waiter, SimTime::from_micros(42));
         });
         let rep = eng.run().unwrap();
@@ -570,18 +943,46 @@ mod tests {
     }
 
     #[test]
+    fn mixed_kind_park_and_wake() {
+        // A thread-backed process wakes an event-driven one and vice versa.
+        let mut eng = Engine::new();
+        let ev_waiter = eng.spawn_process("ev-waiter", |ctx| async move {
+            ctx.park().await;
+            assert_eq!(ctx.now(), SimTime::from_micros(7));
+        });
+        let th_waiter = eng
+            .spawn("th-waiter", |ctx| {
+                ctx.park();
+                assert_eq!(ctx.now(), SimTime::from_micros(9));
+            })
+            .unwrap();
+        eng.spawn_process("ev-waker", move |ctx| async move {
+            ctx.advance(SimTime::from_micros(5)).await;
+            ctx.wake_at(th_waiter, SimTime::from_micros(9));
+        });
+        eng.spawn("th-waker", move |ctx| {
+            ctx.advance(SimTime::from_micros(3));
+            ctx.wake_at(ev_waiter, SimTime::from_micros(7));
+        })
+        .unwrap();
+        let rep = eng.run().unwrap();
+        assert_eq!(rep.end_time, SimTime::from_micros(9));
+        assert_eq!(rep.processes, 4);
+    }
+
+    #[test]
     fn duplicate_wakes_are_stale_not_fatal() {
         let mut eng = Engine::new();
-        let waiter = eng.spawn("waiter", |ctx| {
-            ctx.park();
+        let waiter = eng.spawn_process("waiter", |ctx| async move {
+            ctx.park().await;
             // Resumed once, at the earliest wake.
             assert_eq!(ctx.now(), SimTime::from_micros(5));
-            ctx.advance(SimTime::from_micros(100));
+            ctx.advance(SimTime::from_micros(100)).await;
         });
-        eng.spawn("w1", move |ctx| {
+        eng.spawn_process("w1", move |ctx| async move {
             ctx.wake_at(waiter, SimTime::from_micros(5));
         });
-        eng.spawn("w2", move |ctx| {
+        eng.spawn_process("w2", move |ctx| async move {
             ctx.wake_at(waiter, SimTime::from_micros(9));
         });
         let rep = eng.run().unwrap();
@@ -594,7 +995,8 @@ mod tests {
         eng.spawn("stuck", |ctx| {
             ctx.advance(SimTime::from_micros(3));
             ctx.park(); // nobody will wake us
-        });
+        })
+        .unwrap();
         match eng.run() {
             Err(SimError::Deadlock { at, parked }) => {
                 assert_eq!(at, SimTime::from_micros(3));
@@ -605,9 +1007,48 @@ mod tests {
     }
 
     #[test]
+    fn deadlock_names_event_driven_processes() {
+        let mut eng = Engine::new();
+        eng.spawn_process("ev-stuck-a", |ctx| async move {
+            ctx.advance(SimTime::from_micros(3)).await;
+            ctx.park().await; // nobody will wake us
+        });
+        eng.spawn_process("ev-stuck-b", |ctx| async move {
+            ctx.park().await;
+        });
+        match eng.run() {
+            Err(SimError::Deadlock { at, parked }) => {
+                assert_eq!(at, SimTime::from_micros(3));
+                assert_eq!(parked, vec!["ev-stuck-a".to_string(), "ev-stuck-b".to_string()]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn process_panic_is_reported() {
         let mut eng = Engine::new();
-        eng.spawn("boom", |_ctx| panic!("kaboom"));
+        eng.spawn("boom", |_ctx| panic!("kaboom")).unwrap();
+        match eng.run() {
+            Err(SimError::ProcessPanic { process, message }) => {
+                assert_eq!(process, "boom");
+                assert!(message.contains("kaboom"));
+            }
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_process_panic_is_reported() {
+        let mut eng = Engine::new();
+        eng.spawn_process("boom", |ctx| async move {
+            ctx.advance(SimTime::from_micros(1)).await;
+            panic!("kaboom");
+        });
+        // A bystander that would keep running; the run must still abort.
+        eng.spawn_process("bystander", |ctx| async move {
+            ctx.advance(SimTime::from_secs(10)).await;
+        });
         match eng.run() {
             Err(SimError::ProcessPanic { process, message }) => {
                 assert_eq!(process, "boom");
@@ -620,8 +1061,8 @@ mod tests {
     #[test]
     fn zero_advance_is_noop() {
         let mut eng = Engine::new();
-        eng.spawn("p", |ctx| {
-            ctx.advance(SimTime::ZERO);
+        eng.spawn_process("p", |ctx| async move {
+            ctx.advance(SimTime::ZERO).await;
             assert_eq!(ctx.now(), SimTime::ZERO);
         });
         assert!(eng.run().is_ok());
@@ -630,11 +1071,11 @@ mod tests {
     #[test]
     fn advance_to_absolute() {
         let mut eng = Engine::new();
-        eng.spawn("p", |ctx| {
-            ctx.advance_to(SimTime::from_micros(9));
+        eng.spawn_process("p", |ctx| async move {
+            ctx.advance_to(SimTime::from_micros(9)).await;
             assert_eq!(ctx.now(), SimTime::from_micros(9));
             // Already past: no-op.
-            ctx.advance_to(SimTime::from_micros(4));
+            ctx.advance_to(SimTime::from_micros(4)).await;
             assert_eq!(ctx.now(), SimTime::from_micros(9));
         });
         assert!(eng.run().is_ok());
@@ -651,7 +1092,8 @@ mod tests {
                     ctx.advance(SimTime::from_nanos(100 + i));
                 }
                 *counter.lock() += 1;
-            });
+            })
+            .unwrap();
         }
         let rep = eng.run().unwrap();
         assert_eq!(*counter.lock(), 64);
@@ -659,10 +1101,28 @@ mod tests {
     }
 
     #[test]
+    fn many_event_processes_scale_without_threads() {
+        let counter = Arc::new(PMutex::new(0u64));
+        let mut eng = Engine::new();
+        for i in 0..4096u64 {
+            let counter = Arc::clone(&counter);
+            eng.spawn_process(format!("p{i}"), move |ctx| async move {
+                for _ in 0..4 {
+                    ctx.advance(SimTime::from_nanos(100 + i)).await;
+                }
+                *counter.lock() += 1;
+            });
+        }
+        let rep = eng.run().unwrap();
+        assert_eq!(*counter.lock(), 4096);
+        assert_eq!(rep.processes, 4096);
+    }
+
+    #[test]
     fn park_until_times_out_without_waker() {
         let mut eng = Engine::new();
-        eng.spawn("waiter", |ctx| {
-            let woken = ctx.park_until(SimTime::from_micros(30));
+        eng.spawn_process("waiter", |ctx| async move {
+            let woken = ctx.park_until(SimTime::from_micros(30)).await;
             assert!(!woken, "nobody woke us; must report timeout");
             assert_eq!(ctx.now(), SimTime::from_micros(30));
         });
@@ -673,13 +1133,13 @@ mod tests {
     #[test]
     fn park_until_woken_early_reports_wake() {
         let mut eng = Engine::new();
-        let waiter = eng.spawn("waiter", |ctx| {
-            let woken = ctx.park_until(SimTime::from_micros(100));
+        let waiter = eng.spawn_process("waiter", |ctx| async move {
+            let woken = ctx.park_until(SimTime::from_micros(100)).await;
             assert!(woken);
             assert_eq!(ctx.now(), SimTime::from_micros(20));
         });
-        eng.spawn("waker", move |ctx| {
-            ctx.advance(SimTime::from_micros(5));
+        eng.spawn_process("waker", move |ctx| async move {
+            ctx.advance(SimTime::from_micros(5)).await;
             ctx.wake_at(waiter, SimTime::from_micros(20));
         });
         let rep = eng.run().unwrap();
@@ -689,9 +1149,9 @@ mod tests {
     #[test]
     fn park_until_past_deadline_resumes_immediately() {
         let mut eng = Engine::new();
-        eng.spawn("late", |ctx| {
-            ctx.advance(SimTime::from_micros(50));
-            assert!(!ctx.park_until(SimTime::from_micros(10)));
+        eng.spawn_process("late", |ctx| async move {
+            ctx.advance(SimTime::from_micros(50)).await;
+            assert!(!ctx.park_until(SimTime::from_micros(10)).await);
             assert_eq!(ctx.now(), SimTime::from_micros(50));
         });
         assert!(eng.run().is_ok());
@@ -703,12 +1163,33 @@ mod tests {
         let mut eng = Engine::new();
         for name in ["first", "second", "third"] {
             let trace = Arc::clone(&trace);
-            eng.spawn(name, move |ctx| {
-                ctx.advance(SimTime::from_micros(1));
+            eng.spawn_process(name, move |ctx| async move {
+                ctx.advance(SimTime::from_micros(1)).await;
                 trace.lock().push(name);
             });
         }
         eng.run().unwrap();
         assert_eq!(*trace.lock(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn mixed_spawn_order_is_start_order() {
+        let trace = Arc::new(PMutex::new(Vec::new()));
+        let mut eng = Engine::new();
+        for (i, kind) in ["ev", "th", "ev", "th"].iter().enumerate() {
+            let trace = Arc::clone(&trace);
+            if *kind == "ev" {
+                eng.spawn_process(format!("p{i}"), move |_ctx| async move {
+                    trace.lock().push(i);
+                });
+            } else {
+                eng.spawn(format!("p{i}"), move |_ctx| {
+                    trace.lock().push(i);
+                })
+                .unwrap();
+            }
+        }
+        eng.run().unwrap();
+        assert_eq!(*trace.lock(), vec![0, 1, 2, 3]);
     }
 }

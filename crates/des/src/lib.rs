@@ -8,11 +8,16 @@
 //!
 //! 1. **Virtual time is integer nanoseconds** ([`SimTime`]), so event order is
 //!    exact and never depends on floating-point rounding.
-//! 2. **Processes are OS threads, but only one runs at a time.** The engine
-//!    resumes the process owning the earliest event and blocks until it
-//!    yields. Simulations are therefore bit-deterministic while still letting
-//!    simulated actors be written as straight-line Rust (real loops, real
-//!    data, real control flow) instead of state machines.
+//! 2. **Processes are stackless coroutines polled inline by the engine, and
+//!    only one runs at a time.** The engine resumes the process owning the
+//!    earliest event and polls it until it suspends again. Simulations are
+//!    therefore bit-deterministic while still letting simulated actors be
+//!    written as straight-line Rust (real loops, real data, real control
+//!    flow, `async`/`.await` at the timing points) instead of hand-rolled
+//!    state machines — and thousands of ranks fit in a single OS thread.
+//!    A thread-backed compatibility path ([`Engine::spawn`]) keeps the old
+//!    one-OS-thread-per-process model available behind the same [`Pid`]
+//!    surface.
 //!
 //! ## Example: two actors exchanging a timed signal
 //!
@@ -20,12 +25,12 @@
 //! use des::{Engine, SimTime};
 //!
 //! let mut eng = Engine::new();
-//! let consumer = eng.spawn("consumer", |ctx| {
-//!     ctx.park(); // wait for the producer
+//! let consumer = eng.spawn_process("consumer", |ctx| async move {
+//!     ctx.park().await; // wait for the producer
 //!     assert_eq!(ctx.now(), SimTime::from_micros(65)); // network delivery time
 //! });
-//! eng.spawn("producer", move |ctx| {
-//!     ctx.advance(SimTime::from_micros(15)); // compute something
+//! eng.spawn_process("producer", move |ctx| async move {
+//!     ctx.advance(SimTime::from_micros(15)).await; // compute something
 //!     // Model a 50us transfer, then hand over.
 //!     ctx.wake_at(consumer, ctx.now() + SimTime::from_micros(50));
 //! });
@@ -38,6 +43,6 @@ mod engine;
 mod faults;
 mod time;
 
-pub use engine::{Context, Engine, Pid, RunReport, SimError};
+pub use engine::{Advance, Context, Engine, Park, ParkUntil, Pid, ProcCtx, RunReport, SimError};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates, SimRng};
 pub use time::SimTime;

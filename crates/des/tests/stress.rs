@@ -15,12 +15,12 @@ fn two_hundred_processes_with_chained_wakes() {
     let order = Arc::new(Mutex::new(Vec::new()));
     for i in 0..n {
         let order = Arc::clone(&order);
-        pids.push(eng.spawn(format!("relay{i}"), move |ctx| {
+        pids.push(eng.spawn_process(format!("relay{i}"), move |ctx| async move {
             if i > 0 {
-                ctx.park();
+                ctx.park().await;
             }
             order.lock().push(i);
-            ctx.advance(SimTime::from_micros(1));
+            ctx.advance(SimTime::from_micros(1)).await;
         }));
     }
     // Re-spawn wiring: process i wakes i+1. We need the pids inside the
@@ -34,7 +34,8 @@ fn two_hundred_processes_with_chained_wakes() {
             let _ = i;
             ctx.wake_at(pid, ctx.now() + SimTime::from_micros(1));
         }
-    });
+    })
+    .unwrap();
     let report = eng.run().unwrap();
     assert_eq!(report.processes, n + 1);
     let got = order.lock().clone();
@@ -53,7 +54,8 @@ fn heavy_event_volume_completes() {
             for _ in 0..2000 {
                 ctx.advance(SimTime::from_nanos(100 + i));
             }
-        });
+        })
+        .unwrap();
     }
     let report = eng.run().unwrap();
     assert!(report.events >= 32 * 2000);
@@ -68,9 +70,9 @@ fn concurrent_engines_are_independent_and_deterministic() {
     let scenario = |k: u64| {
         let mut eng = Engine::new();
         for i in 0..8u64 {
-            eng.spawn(format!("p{i}"), move |ctx| {
+            eng.spawn_process(format!("p{i}"), move |ctx| async move {
                 for step in 0..50u64 {
-                    ctx.advance(SimTime::from_nanos(1 + (i * 7 + step * 13 + k) % 997));
+                    ctx.advance(SimTime::from_nanos(1 + (i * 7 + step * 13 + k) % 997)).await;
                 }
             });
         }
@@ -101,9 +103,9 @@ proptest! {
             let mut eng = Engine::new();
             for (i, ds) in durations.iter().enumerate() {
                 let ds = ds.clone();
-                eng.spawn(format!("p{i}"), move |ctx| {
+                eng.spawn_process(format!("p{i}"), move |ctx| async move {
                     for &d in &ds {
-                        ctx.advance(SimTime::from_nanos(d));
+                        ctx.advance(SimTime::from_nanos(d)).await;
                     }
                 });
             }
@@ -130,9 +132,9 @@ proptest! {
         let mut eng = Engine::new();
         for (i, ds) in per_proc.into_iter().enumerate() {
             let trace = Arc::clone(&trace);
-            eng.spawn(format!("p{i}"), move |ctx| {
+            eng.spawn_process(format!("p{i}"), move |ctx| async move {
                 for d in ds {
-                    ctx.advance(SimTime::from_nanos(d));
+                    ctx.advance(SimTime::from_nanos(d)).await;
                     trace.lock().push(ctx.now());
                 }
             });

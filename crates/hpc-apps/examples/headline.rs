@@ -8,9 +8,9 @@ fn main() {
         let cfg = HplConfig::tibidabo_weak(nodes);
         let spec = m.job(nodes);
         let t0 = std::time::Instant::now();
-        let run = simmpi::run_mpi(spec, move |r| {
+        let run = simmpi::run_mpi(spec, move |mut r| async move {
             let s = r.now();
-            hpc_apps::hpl::hpl_rank(r, &cfg);
+            hpc_apps::hpl::hpl_rank(&mut r, &cfg).await;
             (r.now() - s).as_secs_f64()
         })
         .unwrap();

@@ -95,15 +95,19 @@ fn b_entry(row: usize) -> f64 {
 
 /// The per-rank HPL program. Returns the scaled residual on rank 0 in
 /// Execute mode, `None` elsewhere.
-pub fn hpl_rank(r: &mut Rank<'_>, cfg: &HplConfig) -> Option<f64> {
-    hpl_rank_ckpt(r, cfg, None)
+pub async fn hpl_rank(r: &mut Rank, cfg: &HplConfig) -> Option<f64> {
+    hpl_rank_ckpt(r, cfg, None).await
 }
 
 /// [`hpl_rank`] with optional coordinated-checkpoint hooks: resume from a
 /// stored snapshot, write new snapshots every `hooks.every` panels, and
 /// (Execute mode) apply scheduled DRAM bit-flips to live data. Used by
 /// [`run_hpl_resilient`](crate::resilience::run_hpl_resilient).
-pub fn hpl_rank_ckpt(r: &mut Rank<'_>, cfg: &HplConfig, hooks: Option<&CkptHooks>) -> Option<f64> {
+pub async fn hpl_rank_ckpt(
+    r: &mut Rank,
+    cfg: &HplConfig,
+    hooks: Option<&CkptHooks>,
+) -> Option<f64> {
     let p = r.size() as usize;
     let me = r.rank() as usize;
     let n = cfg.n;
@@ -157,13 +161,13 @@ pub fn hpl_rank_ckpt(r: &mut Rank<'_>, cfg: &HplConfig, hooks: Option<&CkptHooks
         // node-local storage bandwidth, snapshot to stable storage.
         if let Some(h) = hooks {
             if h.every > 0 && k > start_k && k % h.every == 0 {
-                r.barrier();
+                r.barrier().await;
                 let local_bytes = if cfg.mode.carries_data() {
                     blocks.iter().map(|b| b.len() * 8).sum::<usize>() as f64
                 } else {
                     (block_global.len() * n * nb * 8) as f64
                 };
-                r.compute_secs(local_bytes / h.write_bw_bytes);
+                r.compute_secs(local_bytes / h.write_bw_bytes).await;
                 h.store.lock().unwrap().save(
                     k,
                     me,
@@ -234,7 +238,7 @@ pub fn hpl_rank_ckpt(r: &mut Rank<'_>, cfg: &HplConfig, hooks: Option<&CkptHooks
                     AccessPattern::Streaming,
                 )
                 .with_parallel_fraction(0.9);
-                r.compute(&work);
+                r.compute(&work).await;
             }
             (piv, panel_data)
         } else {
@@ -255,7 +259,7 @@ pub fn hpl_rank_ckpt(r: &mut Rank<'_>, cfg: &HplConfig, hooks: Option<&CkptHooks
         } else {
             None
         };
-        let received = r.bcast_pipelined(owner, msg, panel_bytes, 256 * 1024);
+        let received = r.bcast_pipelined(owner, msg, panel_bytes, 256 * 1024).await;
 
         let (piv, panel_packed): (Vec<u64>, Vec<f64>) = if cfg.mode.carries_data() {
             let v = received.to_f64s();
@@ -323,7 +327,7 @@ pub fn hpl_rank_ckpt(r: &mut Rank<'_>, cfg: &HplConfig, hooks: Option<&CkptHooks
                 let bytes = 4.0 * 8.0 * (m2 as f64 * cols as f64);
                 let work =
                     WorkProfile::new("hpl-update", flops, bytes, AccessPattern::LocalityRich);
-                r.compute(&work);
+                r.compute(&work).await;
             }
         }
 
@@ -340,13 +344,13 @@ pub fn hpl_rank_ckpt(r: &mut Rank<'_>, cfg: &HplConfig, hooks: Option<&CkptHooks
 
     // Synchronise before stopping the clock (every rank reports the same
     // factorisation span).
-    r.barrier();
+    r.barrier().await;
     let elapsed = (r.now() - t0).as_secs_f64();
     let _ = elapsed;
 
     // --- Verification (Execute mode): gather to rank 0 and solve ---------
     if cfg.mode.carries_data() {
-        verify(r, cfg, &blocks, &block_global, &pivot_log)
+        verify(r, cfg, &blocks, &block_global, &pivot_log).await
     } else {
         None
     }
@@ -354,8 +358,8 @@ pub fn hpl_rank_ckpt(r: &mut Rank<'_>, cfg: &HplConfig, hooks: Option<&CkptHooks
 
 /// Gather the factored matrix on rank 0, solve, and compute the scaled HPL
 /// residual `||Ax-b||_inf / (eps * (||A||_inf ||x||_inf + ||b||_inf) * n)`.
-fn verify(
-    r: &mut Rank<'_>,
+async fn verify(
+    r: &mut Rank,
     cfg: &HplConfig,
     blocks: &[Vec<f64>],
     block_global: &[usize],
@@ -369,7 +373,7 @@ fn verify(
         flat.push(j as f64);
         flat.extend_from_slice(&blocks[li]);
     }
-    let gathered = r.gather(0, Msg::from_f64s(&flat));
+    let gathered = r.gather(0, Msg::from_f64s(&flat)).await;
     if r.rank() != 0 {
         return None;
     }
@@ -441,12 +445,12 @@ fn verify(
 /// Run HPL on a job spec; returns the aggregate result.
 pub fn run_hpl(spec: JobSpec, cfg: HplConfig) -> HplResult {
     let cfg_c = cfg;
-    let run = simmpi::run_mpi(spec, move |r| {
+    let run = simmpi::run_mpi(spec, move |mut r| async move {
         let t0 = r.now();
-        let residual = hpl_rank(r, &cfg_c);
+        let residual = hpl_rank(&mut r, &cfg_c).await;
         let dt = (r.now() - t0).as_secs_f64();
         // Propagate the factorisation time (max over ranks).
-        let tmax = r.allreduce(ReduceOp::Max, vec![dt]);
+        let tmax = r.allreduce(ReduceOp::Max, vec![dt]).await;
         (tmax[0], residual)
     })
     .expect("HPL run failed");

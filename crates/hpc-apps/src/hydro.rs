@@ -168,7 +168,7 @@ const TAG_DOWN: u32 = 2;
 
 /// The per-rank HYDRO program; returns the local strip mass after the run
 /// (Execute mode) or 0.0 (Model mode).
-pub fn hydro_rank(r: &mut Rank<'_>, cfg: &HydroConfig) -> f64 {
+pub async fn hydro_rank(r: &mut Rank, cfg: &HydroConfig) -> f64 {
     let p = r.size() as usize;
     let me = r.rank() as usize;
     // Row distribution: near-equal strips.
@@ -194,30 +194,25 @@ pub fn hydro_rank(r: &mut Rank<'_>, cfg: &HydroConfig) -> f64 {
                 (down, TAG_DOWN, TAG_DOWN, rows, 0)
             };
             let partner_for_recv = if phase == 0 { down } else { up };
-            // Even ranks send first; odd ranks receive first.
-            let send_part = |r: &mut Rank<'_>, s: &mut Option<Strip>| {
-                if let Some(t) = target {
-                    let msg = match s {
-                        Some(strip) => pack_row(strip, my_edge_row),
-                        None => Msg::size_only(halo_bytes),
-                    };
-                    r.send(t, tag_out, msg);
-                }
-            };
-            let recv_part = |r: &mut Rank<'_>, s: &mut Option<Strip>| {
-                if let Some(src) = partner_for_recv {
-                    let m = r.recv(src, tag_in);
-                    if let Some(strip) = s {
+            // Even ranks send first; odd ranks receive first. The two
+            // halves run in rank-parity order to keep the pairwise
+            // exchange deadlock-free.
+            for half in 0..2 {
+                let sending = (half == 0) == me.is_multiple_of(2);
+                if sending {
+                    if let Some(t) = target {
+                        let msg = match &strip {
+                            Some(strip) => pack_row(strip, my_edge_row),
+                            None => Msg::size_only(halo_bytes),
+                        };
+                        r.send(t, tag_out, msg).await;
+                    }
+                } else if let Some(src) = partner_for_recv {
+                    let m = r.recv(src, tag_in).await;
+                    if let Some(strip) = &mut strip {
                         unpack_row(strip, halo_row, &m);
                     }
                 }
-            };
-            if me.is_multiple_of(2) {
-                send_part(r, &mut strip);
-                recv_part(r, &mut strip);
-            } else {
-                recv_part(r, &mut strip);
-                send_part(r, &mut strip);
             }
         }
         // Physical boundaries: mirror rows at the global top/bottom.
@@ -233,7 +228,7 @@ pub fn hydro_rank(r: &mut Rank<'_>, cfg: &HydroConfig) -> f64 {
         // --- Step ----------------------------------------------------------
         match &mut strip {
             Some(s) => lf_step(s, cfg.dt, cfg.dx),
-            None => r.compute(&profile),
+            None => r.compute(&profile).await,
         }
     }
     strip.map_or(0.0, |s| s.total_mass())
@@ -241,12 +236,12 @@ pub fn hydro_rank(r: &mut Rank<'_>, cfg: &HydroConfig) -> f64 {
 
 /// Run HYDRO; returns `(elapsed_seconds, total_mass)`.
 pub fn run_hydro(spec: JobSpec, cfg: HydroConfig) -> (f64, f64) {
-    let run = simmpi::run_mpi(spec, move |r| {
+    let run = simmpi::run_mpi(spec, move |mut r| async move {
         let t0 = r.now();
-        let mass = hydro_rank(r, &cfg);
-        r.barrier();
+        let mass = hydro_rank(&mut r, &cfg).await;
+        r.barrier().await;
         let dt = (r.now() - t0).as_secs_f64();
-        let total = r.allreduce(ReduceOp::Sum, vec![mass]);
+        let total = r.allreduce(ReduceOp::Sum, vec![mass]).await;
         (dt, total[0])
     })
     .expect("HYDRO run failed");
@@ -284,7 +279,7 @@ mod tests {
         // After steps, some fluid must have moved: max height drops below
         // the initial 2.0 but stays above the ambient 1.0.
         let cfg = HydroConfig { steps: 30, ..HydroConfig::small() };
-        let run = simmpi::run_mpi(spec(1), move |r| {
+        let run = simmpi::run_mpi(spec(1), move |r| async move {
             let p = cfg;
             let mut s = Strip::init(&p, 0, p.ny);
             for _ in 0..p.steps {

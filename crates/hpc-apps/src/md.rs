@@ -177,7 +177,7 @@ const TAG_GHOST: u32 = 11;
 /// exchange ships the full neighbouring partitions (an upper bound on the
 /// slab surface; documented simplification: PEPC-style halo trimming is a
 /// refinement, the comm-scaling term is what matters for Fig 6).
-pub fn md_rank(r: &mut Rank<'_>, cfg: &MdConfig) -> (f64, f64) {
+pub async fn md_rank(r: &mut Rank, cfg: &MdConfig) -> (f64, f64) {
     let p = r.size() as usize;
     let me = r.rank() as usize;
     let n = cfg.n;
@@ -204,7 +204,7 @@ pub fn md_rank(r: &mut Rank<'_>, cfg: &MdConfig) -> (f64, f64) {
                 v.extend_from_slice(&a.pos);
                 v.extend_from_slice(&a.vel);
             }
-            let gathered = r.allgather(Msg::from_f64s(&v));
+            let gathered = r.allgather(Msg::from_f64s(&v)).await;
             let mut all = Vec::with_capacity(n);
             for m in &gathered {
                 for c in m.to_f64s().chunks_exact(6) {
@@ -222,15 +222,17 @@ pub fn md_rank(r: &mut Rank<'_>, cfg: &MdConfig) -> (f64, f64) {
             if p > 1 {
                 let next = ((me + 1) % p) as u32;
                 let prev = ((me + p - 1) % p) as u32;
-                r.sendrecv(next, TAG_GHOST, Msg::size_only(ghost_bytes_model), prev, TAG_GHOST);
+                r.sendrecv(next, TAG_GHOST, Msg::size_only(ghost_bytes_model), prev, TAG_GHOST)
+                    .await;
                 r.sendrecv(
                     prev,
                     TAG_GHOST + 1,
                     Msg::size_only(ghost_bytes_model),
                     next,
                     TAG_GHOST + 1,
-                );
-                let _ = r.allreduce(ReduceOp::Sum, vec![0.0; 256]);
+                )
+                .await;
+                let _ = r.allreduce(ReduceOp::Sum, vec![0.0; 256]).await;
             }
             Vec::new()
         };
@@ -258,7 +260,7 @@ pub fn md_rank(r: &mut Rank<'_>, cfg: &MdConfig) -> (f64, f64) {
                     AccessPattern::Irregular,
                 )
                 .with_imbalance(0.08);
-                r.compute(&work);
+                r.compute(&work).await;
             }
         }
     }
@@ -270,12 +272,12 @@ pub fn md_rank(r: &mut Rank<'_>, cfg: &MdConfig) -> (f64, f64) {
 
 /// Run MD; returns `(elapsed_seconds, total_kinetic, total_potential)`.
 pub fn run_md(spec: JobSpec, cfg: MdConfig) -> (f64, f64, f64) {
-    let run = simmpi::run_mpi(spec, move |r| {
+    let run = simmpi::run_mpi(spec, move |mut r| async move {
         let t0 = r.now();
-        let (ke, pe) = md_rank(r, &cfg);
-        r.barrier();
+        let (ke, pe) = md_rank(&mut r, &cfg).await;
+        r.barrier().await;
         let dt = (r.now() - t0).as_secs_f64();
-        let tot = r.allreduce(ReduceOp::Sum, vec![ke, pe]);
+        let tot = r.allreduce(ReduceOp::Sum, vec![ke, pe]).await;
         (dt, tot[0], tot[1])
     })
     .expect("MD run failed");
@@ -341,7 +343,7 @@ mod tests {
     #[test]
     fn momentum_is_conserved_in_serial_run() {
         let cfg = MdConfig::small();
-        let run = simmpi::run_mpi(spec(1), move |r| {
+        let run = simmpi::run_mpi(spec(1), move |r| async move {
             let atoms0 = make_atoms(&cfg);
             let p0: [f64; 3] = atoms0.iter().fold([0.0; 3], |mut acc, a| {
                 for k in 0..3 {

@@ -236,11 +236,11 @@ pub fn run_hpl_resilient(
     // Fault-free baseline for the inflation number.
     let clean_secs = {
         let spec = base.clone().with_fault_plan(FaultPlan::none());
-        let run = run_mpi(spec, move |r| {
+        let run = run_mpi(spec, move |mut r| async move {
             let t0 = r.now();
-            hpl_rank_ckpt(r, &cfg, None);
+            hpl_rank_ckpt(&mut r, &cfg, None).await;
             let dt = (r.now() - t0).as_secs_f64();
-            r.allreduce(ReduceOp::Max, vec![dt])[0]
+            r.allreduce(ReduceOp::Max, vec![dt]).await[0]
         })
         .expect("fault-free baseline must complete");
         run.results[0]
@@ -278,11 +278,14 @@ pub fn run_hpl_resilient(
             apply_bit_flips: rc.apply_bit_flips,
         });
         let spec = base.clone().with_fault_plan(plan.clone()).with_node_map(map.clone());
-        let run = run_mpi(spec, move |r| {
-            let t0 = r.now();
-            let residual = hpl_rank_ckpt(r, &cfg, hooks.as_ref());
-            let dt = (r.now() - t0).as_secs_f64();
-            (r.allreduce(ReduceOp::Max, vec![dt])[0], residual)
+        let run = run_mpi(spec, move |mut r| {
+            let hooks = hooks.clone();
+            async move {
+                let t0 = r.now();
+                let residual = hpl_rank_ckpt(&mut r, &cfg, hooks.as_ref()).await;
+                let dt = (r.now() - t0).as_secs_f64();
+                (r.allreduce(ReduceOp::Max, vec![dt]).await[0], residual)
+            }
         });
         match run {
             Ok(done) => {

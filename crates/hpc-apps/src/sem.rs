@@ -247,7 +247,7 @@ const TAG_MASS: u32 = 22;
 
 /// The per-rank SEM program; returns the final (local) energy in Execute
 /// mode, 0.0 in Model mode.
-pub fn sem_rank(r: &mut Rank<'_>, cfg: &SemConfig) -> f64 {
+pub async fn sem_rank(r: &mut Rank, cfg: &SemConfig) -> f64 {
     let p = r.size() as usize;
     let me = r.rank() as usize;
     let el0 = me * cfg.elements / p;
@@ -262,19 +262,19 @@ pub fn sem_rank(r: &mut Rank<'_>, cfg: &SemConfig) -> f64 {
     if let Some(d) = &mut dom {
         let last = d.mass.len() - 1;
         if let Some(rr) = right {
-            let got = r.sendrecv(rr, TAG_MASS, Msg::from_f64s(&[d.mass[last]]), rr, TAG_MASS);
+            let got = r.sendrecv(rr, TAG_MASS, Msg::from_f64s(&[d.mass[last]]), rr, TAG_MASS).await;
             d.mass[last] += got.to_f64s()[0];
         }
         if let Some(ll) = left {
-            let got = r.sendrecv(ll, TAG_MASS, Msg::from_f64s(&[d.mass[0]]), ll, TAG_MASS);
+            let got = r.sendrecv(ll, TAG_MASS, Msg::from_f64s(&[d.mass[0]]), ll, TAG_MASS).await;
             d.mass[0] += got.to_f64s()[0];
         }
     } else if p > 1 {
         if let Some(rr) = right {
-            r.sendrecv(rr, TAG_MASS, Msg::size_only(8), rr, TAG_MASS);
+            r.sendrecv(rr, TAG_MASS, Msg::size_only(8), rr, TAG_MASS).await;
         }
         if let Some(ll) = left {
-            r.sendrecv(ll, TAG_MASS, Msg::size_only(8), ll, TAG_MASS);
+            r.sendrecv(ll, TAG_MASS, Msg::size_only(8), ll, TAG_MASS).await;
         }
     }
 
@@ -294,11 +294,13 @@ pub fn sem_rank(r: &mut Rank<'_>, cfg: &SemConfig) -> f64 {
                 let last = f.len() - 1;
                 // Assemble boundary forces with the neighbours.
                 if let Some(rr) = right {
-                    let got = r.sendrecv(rr, TAG_FORCE, Msg::from_f64s(&[f[last]]), rr, TAG_FORCE);
+                    let got =
+                        r.sendrecv(rr, TAG_FORCE, Msg::from_f64s(&[f[last]]), rr, TAG_FORCE).await;
                     f[last] += got.to_f64s()[0];
                 }
                 if let Some(ll) = left {
-                    let got = r.sendrecv(ll, TAG_FORCE, Msg::from_f64s(&[f[0]]), ll, TAG_FORCE);
+                    let got =
+                        r.sendrecv(ll, TAG_FORCE, Msg::from_f64s(&[f[0]]), ll, TAG_FORCE).await;
                     f[0] += got.to_f64s()[0];
                 }
                 // Central difference update.
@@ -311,12 +313,14 @@ pub fn sem_rank(r: &mut Rank<'_>, cfg: &SemConfig) -> f64 {
             }
             None => {
                 if let Some(rr) = right {
-                    r.sendrecv(rr, TAG_FORCE, Msg::size_only(cfg.model_halo_bytes), rr, TAG_FORCE);
+                    r.sendrecv(rr, TAG_FORCE, Msg::size_only(cfg.model_halo_bytes), rr, TAG_FORCE)
+                        .await;
                 }
                 if let Some(ll) = left {
-                    r.sendrecv(ll, TAG_FORCE, Msg::size_only(cfg.model_halo_bytes), ll, TAG_FORCE);
+                    r.sendrecv(ll, TAG_FORCE, Msg::size_only(cfg.model_halo_bytes), ll, TAG_FORCE)
+                        .await;
                 }
-                r.compute(&step_profile);
+                r.compute(&step_profile).await;
             }
         }
     }
@@ -325,12 +329,12 @@ pub fn sem_rank(r: &mut Rank<'_>, cfg: &SemConfig) -> f64 {
 
 /// Run the SEM code; returns `(elapsed_seconds, global_energy)`.
 pub fn run_sem(spec: JobSpec, cfg: SemConfig) -> (f64, f64) {
-    let run = simmpi::run_mpi(spec, move |r| {
+    let run = simmpi::run_mpi(spec, move |mut r| async move {
         let t0 = r.now();
-        let e = sem_rank(r, &cfg);
-        r.barrier();
+        let e = sem_rank(&mut r, &cfg).await;
+        r.barrier().await;
         let dt = (r.now() - t0).as_secs_f64();
-        let tot = r.allreduce(ReduceOp::Sum, vec![e]);
+        let tot = r.allreduce(ReduceOp::Sum, vec![e]).await;
         (dt, tot[0])
     })
     .expect("SEM run failed");
@@ -391,7 +395,7 @@ mod tests {
         // Track the right-going pulse peak: after T steps it should sit near
         // centre + c*T*dt.
         let cfg = SemConfig { steps: 200, ..SemConfig::small() };
-        let run = simmpi::run_mpi(spec(1), move |r| {
+        let run = simmpi::run_mpi(spec(1), move |r| async move {
             let _ = r;
             let mut d = SemDomain::init(&cfg, 0, cfg.elements);
             for _ in 0..cfg.steps {

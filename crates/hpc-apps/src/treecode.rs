@@ -237,7 +237,7 @@ pub fn direct_field(i: usize, bodies: &[Particle], eps2: f64) -> [f64; 3] {
 
 /// The per-rank tree-code program; returns the sum of |field| over local
 /// bodies (Execute) or 0.0 (Model).
-pub fn treecode_rank(r: &mut Rank<'_>, cfg: &TreeConfig) -> f64 {
+pub async fn treecode_rank(r: &mut Rank, cfg: &TreeConfig) -> f64 {
     let p = r.size() as usize;
     let me = r.rank() as usize;
     let n = cfg.n;
@@ -261,7 +261,7 @@ pub fn treecode_rank(r: &mut Rank<'_>, cfg: &TreeConfig) -> f64 {
             }
             None => Msg::size_only((nlocal * 32) as u64),
         };
-        let gathered = r.allgather(my_msg);
+        let gathered = r.allgather(my_msg).await;
 
         match &all {
             Some(_) => {
@@ -300,8 +300,8 @@ pub fn treecode_rank(r: &mut Rank<'_>, cfg: &TreeConfig) -> f64 {
                     AccessPattern::Irregular,
                 )
                 .with_imbalance(0.1);
-                r.compute(&build);
-                r.compute(&eval);
+                r.compute(&build).await;
+                r.compute(&eval).await;
             }
         }
     }
@@ -310,12 +310,12 @@ pub fn treecode_rank(r: &mut Rank<'_>, cfg: &TreeConfig) -> f64 {
 
 /// Run the tree code; returns `(elapsed_seconds, global_field_sum)`.
 pub fn run_treecode(spec: JobSpec, cfg: TreeConfig) -> (f64, f64) {
-    let run = simmpi::run_mpi(spec, move |r| {
+    let run = simmpi::run_mpi(spec, move |mut r| async move {
         let t0 = r.now();
-        let f = treecode_rank(r, &cfg);
-        r.barrier();
+        let f = treecode_rank(&mut r, &cfg).await;
+        r.barrier().await;
         let dt = (r.now() - t0).as_secs_f64();
-        let total = r.allreduce(ReduceOp::Sum, vec![f]);
+        let total = r.allreduce(ReduceOp::Sum, vec![f]).await;
         (dt, total[0])
     })
     .expect("treecode run failed");

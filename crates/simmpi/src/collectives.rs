@@ -43,9 +43,9 @@ impl ReduceOp {
     }
 }
 
-impl Rank<'_> {
+impl Rank {
     /// Dissemination barrier: `ceil(log2 P)` rounds of pairwise signals.
-    pub fn barrier(&mut self) {
+    pub async fn barrier(&mut self) {
         let p = self.size();
         if p == 1 {
             return;
@@ -59,15 +59,15 @@ impl Rank<'_> {
             let tag = TAG_BARRIER + round;
             // Everyone sends then receives; 0-byte eager messages cannot
             // block, so this is deadlock-free.
-            self.send(to, tag, Msg::empty());
-            self.recv(from, tag);
+            self.send(to, tag, Msg::empty()).await;
+            self.recv(from, tag).await;
             dist <<= 1;
             round += 1;
         }
     }
 
     /// Binomial-tree broadcast from `root`. Every rank returns the message.
-    pub fn bcast(&mut self, root: u32, msg: Option<Msg>) -> Msg {
+    pub async fn bcast(&mut self, root: u32, msg: Option<Msg>) -> Msg {
         let p = self.size();
         if p == 1 {
             return msg.expect("root must supply the broadcast payload");
@@ -87,7 +87,7 @@ impl Rank<'_> {
             let lowbit = vrank & vrank.wrapping_neg();
             let vsrc = vrank - lowbit;
             let src = (vsrc + root) % p;
-            have = Some(self.recv(src, TAG_BCAST).clone());
+            have = Some(self.recv(src, TAG_BCAST).await.clone());
         }
         // Send phase: forward to virtual ranks vrank + m for each m below our
         // low bit (root: below mask).
@@ -98,7 +98,7 @@ impl Rank<'_> {
             if vdst < p {
                 let dst = (vdst + root) % p;
                 let m = have.as_ref().expect("no payload to forward").clone();
-                self.send(dst, TAG_BCAST, m);
+                self.send(dst, TAG_BCAST, m).await;
             }
             mask >>= 1;
         }
@@ -116,7 +116,7 @@ impl Rank<'_> {
     /// payload data; earlier segments are wire filler of the right size, so
     /// the *timing* is exactly the segmented stream and the *data* is
     /// complete precisely when the last segment lands.
-    pub fn bcast_pipelined(
+    pub async fn bcast_pipelined(
         &mut self,
         root: u32,
         msg: Option<Msg>,
@@ -130,7 +130,7 @@ impl Rank<'_> {
         }
         let nseg = total_bytes.div_ceil(segment).max(1);
         if nseg == 1 || p == 2 {
-            return self.bcast(root, msg);
+            return self.bcast(root, msg).await;
         }
         let me = self.rank();
         let vrank = (me + p - root) % p;
@@ -146,17 +146,17 @@ impl Rank<'_> {
                 } else {
                     Msg::size_only(segment)
                 };
-                self.send(next, TAG_BCAST + (s % 0xE0) as u32, m);
+                self.send(next, TAG_BCAST + (s % 0xE0) as u32, m).await;
             }
             full
         } else {
             let mut data = None;
             for s in 0..nseg {
-                let m = self.recv(prev, TAG_BCAST + (s % 0xE0) as u32);
+                let m = self.recv(prev, TAG_BCAST + (s % 0xE0) as u32).await;
                 let is_last = s + 1 == nseg;
                 // Forward unless we are the tail of the ring.
                 if vrank + 1 < p {
-                    self.send(next, TAG_BCAST + (s % 0xE0) as u32, m.clone());
+                    self.send(next, TAG_BCAST + (s % 0xE0) as u32, m.clone()).await;
                 }
                 if is_last {
                     data = Some(m);
@@ -169,7 +169,12 @@ impl Rank<'_> {
 
     /// Binomial-tree reduction of an `f64` vector to `root`; returns the
     /// reduced vector on the root and `None` elsewhere.
-    pub fn reduce(&mut self, root: u32, op: ReduceOp, mut values: Vec<f64>) -> Option<Vec<f64>> {
+    pub async fn reduce(
+        &mut self,
+        root: u32,
+        op: ReduceOp,
+        mut values: Vec<f64>,
+    ) -> Option<Vec<f64>> {
         let p = self.size();
         if p == 1 {
             return Some(values);
@@ -182,13 +187,13 @@ impl Rank<'_> {
                 // Send our partial to the partner below and exit.
                 let vdst = vrank & !mask;
                 let dst = (vdst + root) % p;
-                self.send(dst, TAG_REDUCE, Msg::from_f64s(&values));
+                self.send(dst, TAG_REDUCE, Msg::from_f64s(&values)).await;
                 return None;
             }
             let vsrc = vrank | mask;
             if vsrc < p {
                 let src = (vsrc + root) % p;
-                let m = self.recv(src, TAG_REDUCE);
+                let m = self.recv(src, TAG_REDUCE).await;
                 op.apply(&mut values, &m.to_f64s());
             }
             mask <<= 1;
@@ -197,34 +202,34 @@ impl Rank<'_> {
     }
 
     /// Allreduce = reduce to rank 0 + broadcast.
-    pub fn allreduce(&mut self, op: ReduceOp, values: Vec<f64>) -> Vec<f64> {
-        let reduced = self.reduce(0, op, values);
+    pub async fn allreduce(&mut self, op: ReduceOp, values: Vec<f64>) -> Vec<f64> {
+        let reduced = self.reduce(0, op, values).await;
         let msg = reduced.map(|v| Msg::from_f64s(&v));
-        self.bcast(0, msg).to_f64s()
+        self.bcast(0, msg).await.to_f64s()
     }
 
     /// Gather every rank's message to `root`; returns all messages in rank order
     /// on the root, `None` elsewhere.
-    pub fn gather(&mut self, root: u32, msg: Msg) -> Option<Vec<Msg>> {
+    pub async fn gather(&mut self, root: u32, msg: Msg) -> Option<Vec<Msg>> {
         let p = self.size();
         let me = self.rank();
         if me == root {
             let mut out: Vec<Option<Msg>> = (0..p).map(|_| None).collect();
             out[me as usize] = Some(msg);
             for _ in 0..p - 1 {
-                let (src, _, m) = self.recv_filtered(None, Some(TAG_GATHER));
+                let (src, _, m) = self.recv_filtered(None, Some(TAG_GATHER)).await;
                 out[src as usize] = Some(m);
             }
             Some(out.into_iter().map(|m| m.unwrap()).collect())
         } else {
-            self.send(root, TAG_GATHER, msg);
+            self.send(root, TAG_GATHER, msg).await;
             None
         }
     }
 
     /// Ring allgather: every rank contributes a message and receives all `P`
     /// contributions in rank order. Bandwidth-optimal `P-1` ring steps.
-    pub fn allgather(&mut self, msg: Msg) -> Vec<Msg> {
+    pub async fn allgather(&mut self, msg: Msg) -> Vec<Msg> {
         let p = self.size();
         let me = self.rank();
         let mut slots: Vec<Option<Msg>> = (0..p).map(|_| None).collect();
@@ -238,7 +243,7 @@ impl Rank<'_> {
         let mut carry = slots[me as usize].clone().unwrap();
         for s in 0..p - 1 {
             let incoming_origin = (me + p - 1 - s) % p;
-            let m = self.sendrecv(next, TAG_ALLGATHER + s, carry, prev, TAG_ALLGATHER + s);
+            let m = self.sendrecv(next, TAG_ALLGATHER + s, carry, prev, TAG_ALLGATHER + s).await;
             slots[incoming_origin as usize] = Some(m.clone());
             carry = m;
         }
@@ -247,7 +252,7 @@ impl Rank<'_> {
 
     /// Scatter from `root`: the root supplies one message per rank; every
     /// rank returns its own.
-    pub fn scatter(&mut self, root: u32, msgs: Option<Vec<Msg>>) -> Msg {
+    pub async fn scatter(&mut self, root: u32, msgs: Option<Vec<Msg>>) -> Msg {
         let p = self.size();
         let me = self.rank();
         if me == root {
@@ -258,12 +263,12 @@ impl Rank<'_> {
                 if dst as u32 == me {
                     mine = Some(m);
                 } else {
-                    self.send(dst as u32, TAG_SCATTER, m);
+                    self.send(dst as u32, TAG_SCATTER, m).await;
                 }
             }
             mine.unwrap()
         } else {
-            self.recv(root, TAG_SCATTER)
+            self.recv(root, TAG_SCATTER).await
         }
     }
 
@@ -274,7 +279,7 @@ impl Rank<'_> {
     /// of `P`) pairs every two ranks exactly once and every exchange is a
     /// true pairwise `sendrecv`, so it is deadlock-free even with rendezvous
     /// messages; off-range steps are idle rounds for that rank.
-    pub fn alltoall(&mut self, msgs: Vec<Msg>) -> Vec<Msg> {
+    pub async fn alltoall(&mut self, msgs: Vec<Msg>) -> Vec<Msg> {
         let p = self.size();
         let me = self.rank();
         assert_eq!(msgs.len(), p as usize, "alltoall needs one message per rank");
@@ -288,7 +293,8 @@ impl Rank<'_> {
                 continue;
             }
             let m = msgs[partner as usize].take().unwrap();
-            let got = self.sendrecv(partner, TAG_ALLTOALL + step, m, partner, TAG_ALLTOALL + step);
+            let got =
+                self.sendrecv(partner, TAG_ALLTOALL + step, m, partner, TAG_ALLTOALL + step).await;
             out[partner as usize] = Some(got);
         }
         out.into_iter().map(|m| m.unwrap()).collect()
@@ -308,11 +314,11 @@ mod tests {
 
     #[test]
     fn barrier_synchronises_all_ranks() {
-        let run = run_mpi(spec(7), |r| {
+        let run = run_mpi(spec(7), |mut r| async move {
             if r.rank() == 3 {
-                r.compute_secs(0.2); // straggler
+                r.compute_secs(0.2).await; // straggler
             }
-            r.barrier();
+            r.barrier().await;
             r.now().as_secs_f64()
         })
         .unwrap();
@@ -325,9 +331,9 @@ mod tests {
     #[test]
     fn bcast_delivers_to_all_from_any_root() {
         for root in [0u32, 2, 4] {
-            let run = run_mpi(spec(5), move |r| {
+            let run = run_mpi(spec(5), move |mut r| async move {
                 let msg = (r.rank() == root).then(|| Msg::from_f64s(&[42.0, root as f64]));
-                r.bcast(root, msg).to_f64s()
+                r.bcast(root, msg).await.to_f64s()
             })
             .unwrap();
             for v in run.results {
@@ -338,9 +344,9 @@ mod tests {
 
     #[test]
     fn reduce_sums_over_all_ranks() {
-        let run = run_mpi(spec(6), |r| {
+        let run = run_mpi(spec(6), |mut r| async move {
             let mine = vec![r.rank() as f64, 1.0];
-            r.reduce(0, ReduceOp::Sum, mine)
+            r.reduce(0, ReduceOp::Sum, mine).await
         })
         .unwrap();
         assert_eq!(run.results[0], Some(vec![15.0, 6.0])); // 0+1+..+5, count
@@ -351,10 +357,10 @@ mod tests {
 
     #[test]
     fn reduce_max_and_min() {
-        let run = run_mpi(spec(4), |r| {
+        let run = run_mpi(spec(4), |mut r| async move {
             let mine = vec![r.rank() as f64];
-            let mx = r.allreduce(ReduceOp::Max, mine.clone());
-            let mn = r.allreduce(ReduceOp::Min, mine);
+            let mx = r.allreduce(ReduceOp::Max, mine.clone()).await;
+            let mn = r.allreduce(ReduceOp::Min, mine).await;
             (mx[0], mn[0])
         })
         .unwrap();
@@ -365,8 +371,10 @@ mod tests {
 
     #[test]
     fn allreduce_gives_same_answer_everywhere() {
-        let run =
-            run_mpi(spec(9), |r| r.allreduce(ReduceOp::Sum, vec![1.0, r.rank() as f64])).unwrap();
+        let run = run_mpi(spec(9), |mut r| async move {
+            r.allreduce(ReduceOp::Sum, vec![1.0, r.rank() as f64]).await
+        })
+        .unwrap();
         for v in run.results {
             assert_eq!(v, vec![9.0, 36.0]);
         }
@@ -374,8 +382,8 @@ mod tests {
 
     #[test]
     fn gather_collects_in_rank_order() {
-        let run = run_mpi(spec(5), |r| {
-            let out = r.gather(2, Msg::from_u64s(&[r.rank() as u64 * 10]));
+        let run = run_mpi(spec(5), |mut r| async move {
+            let out = r.gather(2, Msg::from_u64s(&[r.rank() as u64 * 10])).await;
             out.map(|msgs| msgs.iter().map(|m| m.to_u64s()[0]).collect::<Vec<_>>())
         })
         .unwrap();
@@ -384,8 +392,8 @@ mod tests {
 
     #[test]
     fn allgather_everyone_gets_everything() {
-        let run = run_mpi(spec(4), |r| {
-            let got = r.allgather(Msg::from_u64s(&[r.rank() as u64 + 100]));
+        let run = run_mpi(spec(4), |mut r| async move {
+            let got = r.allgather(Msg::from_u64s(&[r.rank() as u64 + 100])).await;
             got.iter().map(|m| m.to_u64s()[0]).collect::<Vec<_>>()
         })
         .unwrap();
@@ -396,10 +404,10 @@ mod tests {
 
     #[test]
     fn scatter_distributes_root_payloads() {
-        let run = run_mpi(spec(4), |r| {
+        let run = run_mpi(spec(4), |mut r| async move {
             let payload = (r.rank() == 1)
                 .then(|| (0..4).map(|i| Msg::from_u64s(&[i as u64 * 7])).collect::<Vec<_>>());
-            r.scatter(1, payload).to_u64s()[0]
+            r.scatter(1, payload).await.to_u64s()[0]
         })
         .unwrap();
         assert_eq!(run.results, vec![0, 7, 14, 21]);
@@ -407,10 +415,10 @@ mod tests {
 
     #[test]
     fn alltoall_transposes_power_of_two() {
-        let run = run_mpi(spec(4), |r| {
+        let run = run_mpi(spec(4), |mut r| async move {
             let me = r.rank() as u64;
             let msgs = (0..4).map(|j| Msg::from_u64s(&[me * 10 + j as u64])).collect();
-            r.alltoall(msgs).iter().map(|m| m.to_u64s()[0]).collect::<Vec<_>>()
+            r.alltoall(msgs).await.iter().map(|m| m.to_u64s()[0]).collect::<Vec<_>>()
         })
         .unwrap();
         // Rank i receives j*10 + i from every j.
@@ -422,10 +430,10 @@ mod tests {
 
     #[test]
     fn alltoall_transposes_non_power_of_two() {
-        let run = run_mpi(spec(5), |r| {
+        let run = run_mpi(spec(5), |mut r| async move {
             let me = r.rank() as u64;
             let msgs = (0..5).map(|j| Msg::from_u64s(&[me * 10 + j as u64])).collect();
-            r.alltoall(msgs).iter().map(|m| m.to_u64s()[0]).collect::<Vec<_>>()
+            r.alltoall(msgs).await.iter().map(|m| m.to_u64s()[0]).collect::<Vec<_>>()
         })
         .unwrap();
         for (i, v) in run.results.iter().enumerate() {
@@ -436,11 +444,11 @@ mod tests {
 
     #[test]
     fn single_rank_collectives_are_noops() {
-        let run = run_mpi(spec(1), |r| {
-            r.barrier();
-            let b = r.bcast(0, Some(Msg::from_f64s(&[5.0])));
-            let red = r.reduce(0, ReduceOp::Sum, vec![3.0]);
-            let ag = r.allgather(Msg::from_u64s(&[9]));
+        let run = run_mpi(spec(1), |mut r| async move {
+            r.barrier().await;
+            let b = r.bcast(0, Some(Msg::from_f64s(&[5.0]))).await;
+            let red = r.reduce(0, ReduceOp::Sum, vec![3.0]).await;
+            let ag = r.allgather(Msg::from_u64s(&[9])).await;
             (b.to_f64s()[0], red.unwrap()[0], ag.len())
         })
         .unwrap();
@@ -450,11 +458,11 @@ mod tests {
     #[test]
     fn pipelined_bcast_delivers_payload_from_any_root() {
         for root in [0u32, 3] {
-            let run = run_mpi(spec(6), move |r| {
+            let run = run_mpi(spec(6), move |mut r| async move {
                 let payload: Vec<f64> = (0..10_000).map(|i| i as f64 + root as f64).collect();
                 let total = (payload.len() * 8) as u64;
                 let msg = (r.rank() == root).then(|| Msg::from_f64s(&payload));
-                let got = r.bcast_pipelined(root, msg, total, 16 * 1024);
+                let got = r.bcast_pipelined(root, msg, total, 16 * 1024).await;
                 let v = got.to_f64s();
                 (v.len(), v[777])
             })
@@ -469,15 +477,15 @@ mod tests {
     #[test]
     fn pipelined_bcast_beats_tree_for_large_messages() {
         let total: u64 = 8 << 20; // 8 MiB
-        let tree = run_mpi(spec(12), move |r| {
+        let tree = run_mpi(spec(12), move |mut r| async move {
             let msg = (r.rank() == 0).then(|| Msg::size_only(total));
-            r.bcast(0, msg);
+            r.bcast(0, msg).await;
             r.now().as_secs_f64()
         })
         .unwrap();
-        let ring = run_mpi(spec(12), move |r| {
+        let ring = run_mpi(spec(12), move |mut r| async move {
             let msg = (r.rank() == 0).then(|| Msg::size_only(total));
-            r.bcast_pipelined(0, msg, total, 256 * 1024);
+            r.bcast_pipelined(0, msg, total, 256 * 1024).await;
             r.now().as_secs_f64()
         })
         .unwrap();
@@ -488,9 +496,9 @@ mod tests {
 
     #[test]
     fn pipelined_bcast_small_message_falls_back_to_tree() {
-        let run = run_mpi(spec(5), |r| {
+        let run = run_mpi(spec(5), |mut r| async move {
             let msg = (r.rank() == 2).then(|| Msg::from_u64s(&[99]));
-            r.bcast_pipelined(2, msg, 8, 64 * 1024).to_u64s()[0]
+            r.bcast_pipelined(2, msg, 8, 64 * 1024).await.to_u64s()[0]
         })
         .unwrap();
         assert!(run.results.iter().all(|&v| v == 99));
@@ -499,15 +507,15 @@ mod tests {
     #[test]
     fn bcast_scales_logarithmically() {
         // Broadcast on 16 ranks must take far less than 15 sequential sends.
-        let one_hop = run_mpi(spec(2), |r| {
+        let one_hop = run_mpi(spec(2), |mut r| async move {
             let msg = (r.rank() == 0).then(|| Msg::size_only(64));
-            r.bcast(0, msg);
+            r.bcast(0, msg).await;
             r.now().as_micros_f64()
         })
         .unwrap();
-        let sixteen = run_mpi(spec(16), |r| {
+        let sixteen = run_mpi(spec(16), |mut r| async move {
             let msg = (r.rank() == 0).then(|| Msg::size_only(64));
-            r.bcast(0, msg);
+            r.bcast(0, msg).await;
             r.now().as_micros_f64()
         })
         .unwrap();

@@ -52,29 +52,29 @@ impl ImbOp {
 pub fn imb_collective(spec: JobSpec, op: ImbOp, bytes: u64, reps: u32) -> ImbPoint {
     assert!(reps >= 1);
     let ranks = spec.ranks;
-    let run = run_mpi(spec, move |r| {
+    let run = run_mpi(spec, move |mut r| async move {
         let n_f64 = (bytes as usize / 8).max(1);
-        r.barrier();
+        r.barrier().await;
         let t0 = r.now();
         for rep in 0..reps {
             match op {
                 ImbOp::Allreduce => {
                     let v = vec![rep as f64; n_f64];
-                    let _ = r.allreduce(ReduceOp::Sum, v);
+                    let _ = r.allreduce(ReduceOp::Sum, v).await;
                 }
                 ImbOp::Bcast => {
                     let msg = (r.rank() == 0).then(|| Msg::size_only(bytes));
-                    let _ = r.bcast(0, msg);
+                    let _ = r.bcast(0, msg).await;
                 }
-                ImbOp::Barrier => r.barrier(),
+                ImbOp::Barrier => r.barrier().await,
                 ImbOp::Exchange => {
                     let p = r.size();
                     if p > 1 {
                         let next = (r.rank() + 1) % p;
                         let prev = (r.rank() + p - 1) % p;
                         let tag = 0x7000 + rep;
-                        r.sendrecv(next, tag, Msg::size_only(bytes), prev, tag);
-                        r.sendrecv(prev, tag + 1, Msg::size_only(bytes), next, tag + 1);
+                        r.sendrecv(next, tag, Msg::size_only(bytes), prev, tag).await;
+                        r.sendrecv(prev, tag + 1, Msg::size_only(bytes), next, tag + 1).await;
                     }
                 }
             }

@@ -6,17 +6,19 @@
 //! runtime where **communication time** comes from the calibrated `netsim`
 //! models and **compute time** from the `soc-arch` roofline — while the
 //! application code, message matching, collectives and payload data are all
-//! real and run to completion.
+//! real and run to completion. Each rank is an event-driven `des` process (a
+//! stackless coroutine polled inline by the engine), so jobs with thousands
+//! of ranks run in a single OS thread.
 //!
-//! Applications are ordinary closures over [`Rank`]:
+//! Applications are `async` closures over [`Rank`]:
 //!
 //! ```
 //! use simmpi::{run_mpi, JobSpec, Msg, ReduceOp};
 //! use soc_arch::Platform;
 //!
 //! let spec = JobSpec::new(Platform::tegra2(), 4);
-//! let run = run_mpi(spec, |rank| {
-//!     let sum = rank.allreduce(ReduceOp::Sum, vec![rank.rank() as f64]);
+//! let run = run_mpi(spec, |mut rank| async move {
+//!     let sum = rank.allreduce(ReduceOp::Sum, vec![rank.rank() as f64]).await;
 //!     sum[0]
 //! })
 //! .unwrap();

@@ -26,25 +26,28 @@ pub fn pingpong(spec: JobSpec, sizes: &[u64], reps: u32) -> Vec<PingPongPoint> {
     assert!(spec.ranks == 2, "ping-pong needs exactly two ranks");
     assert!(reps >= 1);
     let sizes_owned: Vec<u64> = sizes.to_vec();
-    let run = run_mpi(spec, move |r| {
-        let mut times_us = Vec::with_capacity(sizes_owned.len());
-        for (i, &bytes) in sizes_owned.iter().enumerate() {
-            let tag = i as u32;
-            r.barrier();
-            let t0 = r.now();
-            for _ in 0..reps {
-                if r.rank() == 0 {
-                    r.send(1, tag, Msg::size_only(bytes));
-                    r.recv(1, tag);
-                } else {
-                    r.recv(0, tag);
-                    r.send(0, tag, Msg::size_only(bytes));
+    let run = run_mpi(spec, move |mut r| {
+        let sizes = sizes_owned.clone();
+        async move {
+            let mut times_us = Vec::with_capacity(sizes.len());
+            for (i, &bytes) in sizes.iter().enumerate() {
+                let tag = i as u32;
+                r.barrier().await;
+                let t0 = r.now();
+                for _ in 0..reps {
+                    if r.rank() == 0 {
+                        r.send(1, tag, Msg::size_only(bytes)).await;
+                        r.recv(1, tag).await;
+                    } else {
+                        r.recv(0, tag).await;
+                        r.send(0, tag, Msg::size_only(bytes)).await;
+                    }
                 }
+                let rtt = (r.now() - t0).as_micros_f64() / reps as f64;
+                times_us.push(rtt / 2.0);
             }
-            let rtt = (r.now() - t0).as_micros_f64() / reps as f64;
-            times_us.push(rtt / 2.0);
+            times_us
         }
-        times_us
     })
     .expect("ping-pong simulation failed");
 

@@ -1,6 +1,15 @@
 //! The per-rank API: point-to-point messaging, modelled compute, and the job
 //! runner.
 //!
+//! ## Execution model
+//!
+//! Every rank is an **event-driven des process**: the rank body is an `async`
+//! future polled inline by the engine, so a 4096-rank job runs in a single
+//! OS thread. All blocking primitives (`send`, `recv`, collectives, modelled
+//! compute) are `async fn`s whose only suspension points are the engine's
+//! deterministic leaf futures — the event order, and therefore every virtual
+//! time and RNG draw, is identical to the historical thread-per-rank model.
+//!
 //! ## Fault semantics
 //!
 //! Faults come from the job's [`FaultPlan`](des::FaultPlan) and surface as a
@@ -27,9 +36,10 @@
 //! The first fault to strike wins; the engine aborts the run at that virtual
 //! instant and `run_mpi` reports it.
 
+use std::future::Future;
 use std::sync::Arc;
 
-use des::{Context, Engine, SimTime};
+use des::{Engine, ProcCtx, SimTime};
 use parking_lot::Mutex;
 use soc_arch::WorkProfile;
 
@@ -37,10 +47,10 @@ use crate::error::MpiFault;
 use crate::payload::Msg;
 use crate::world::{matches, Delivery, InMsg, JobSpec, NetStats, World};
 
-/// A rank's handle to the simulated job. Passed to the rank body closure by
-/// [`run_mpi`].
-pub struct Rank<'a> {
-    ctx: &'a Context,
+/// A rank's handle to the simulated job. Passed by value to the rank body
+/// closure by [`run_mpi`]; the body moves it into its `async` block.
+pub struct Rank {
+    ctx: ProcCtx,
     rank: u32,
     world: Arc<World>,
     /// Physical node hosting this rank.
@@ -81,6 +91,17 @@ impl<R> MpiRun<R> {
 
 /// Run an MPI job: every rank executes `body` on its own simulated process.
 ///
+/// `body` is called once per rank with that rank's [`Rank`] handle and must
+/// return the future that *is* the rank program — typically an
+/// `async move` block:
+///
+/// ```ignore
+/// run_mpi(spec, |mut r| async move { r.barrier().await; r.rank() })
+/// ```
+///
+/// Ranks are event-driven des processes: the whole job, at any rank count,
+/// executes on the calling thread.
+///
 /// Communication costs come from the job's protocol/topology models; compute
 /// costs from [`Rank::compute`]. The run is bit-deterministic, including
 /// under fault injection: identical `(spec, fault_plan)` pairs produce
@@ -95,32 +116,34 @@ impl<R> MpiRun<R> {
 ///   or a receive timed out under the retry policy.
 /// * [`MpiFault::Engine`] — simulator-level failure (deadlock, rank panic)
 ///   unrelated to injected faults.
-pub fn run_mpi<R, F>(spec: JobSpec, body: F) -> Result<MpiRun<R>, MpiFault>
+pub fn run_mpi<R, F, Fut>(spec: JobSpec, body: F) -> Result<MpiRun<R>, MpiFault>
 where
     R: Send + 'static,
-    F: Fn(&mut Rank<'_>) -> R + Send + Sync + 'static,
+    F: Fn(Rank) -> Fut,
+    Fut: Future<Output = R> + Send + 'static,
 {
     spec.validate().map_err(MpiFault::InvalidSpec)?;
     let world = Arc::new(World::new(spec));
     let nranks = world.spec.ranks;
-    let body = Arc::new(body);
     let results: Arc<Mutex<Vec<Option<R>>>> =
         Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
 
     let mut engine = Engine::new();
     for r in 0..nranks {
-        let world_for_rank = Arc::clone(&world);
-        let body = Arc::clone(&body);
-        let results = Arc::clone(&results);
-        let pid = engine.spawn(format!("rank{r}"), move |ctx| {
+        let pid = engine.spawn_process(format!("rank{r}"), |ctx| {
+            let world_for_rank = Arc::clone(&world);
+            let results = Arc::clone(&results);
             let node = world_for_rank.spec.node_of(r);
             let plan = &world_for_rank.spec.fault_plan;
             let crash_at = plan.crash_time(node);
             let flips: Vec<SimTime> = plan.bit_flips(node).collect();
-            let mut rank =
+            let rank =
                 Rank { ctx, rank: r, world: world_for_rank, node, crash_at, flips, flips_seen: 0 };
-            let out = body(&mut rank);
-            results.lock()[r as usize] = Some(out);
+            let fut = body(rank);
+            async move {
+                let out = fut.await;
+                results.lock()[r as usize] = Some(out);
+            }
         });
         world.state.lock().ranks[r as usize].pid = Some(pid);
     }
@@ -147,7 +170,7 @@ where
     Ok(MpiRun { elapsed: report.end_time, results, compute_busy, comm_busy, net })
 }
 
-impl Rank<'_> {
+impl Rank {
     /// This rank's id.
     pub fn rank(&self) -> u32 {
         self.rank
@@ -170,7 +193,7 @@ impl Rank<'_> {
 
     /// Model the execution of `work` on this rank's share of the node
     /// (advances virtual time by the roofline estimate).
-    pub fn compute(&mut self, work: &WorkProfile) {
+    pub async fn compute(&mut self, work: &WorkProfile) {
         let spec = &self.world.spec;
         // Memoized: identical work profiles recur across ranks, iterations,
         // and (in the sweep harness) across scenario cells of the same job.
@@ -181,23 +204,23 @@ impl Rank<'_> {
             spec.cores_per_rank(),
             work,
         );
-        self.compute_secs(t.total_s);
+        self.compute_secs(t.total_s).await;
     }
 
     /// Model `seconds` of computation. If the node crashes mid-computation,
     /// the rank dies at exactly the crash instant.
-    pub fn compute_secs(&mut self, seconds: f64) {
+    pub async fn compute_secs(&mut self, seconds: f64) {
         let dt = SimTime::from_secs_f64(seconds);
         let end = self.ctx.now() + dt;
         if let Some(crash) = self.crash_at {
             if crash <= end {
                 let done = crash - self.ctx.now();
-                self.ctx.advance_to(crash);
+                self.ctx.advance_to(crash).await;
                 self.world.state.lock().ranks[self.rank as usize].compute_busy += done;
                 self.die_crashed();
             }
         }
-        self.ctx.advance(dt);
+        self.ctx.advance(dt).await;
         self.world.state.lock().ranks[self.rank as usize].compute_busy += dt;
     }
 
@@ -230,7 +253,8 @@ impl Rank<'_> {
             }
         }
         // resume_unwind skips the panic hook: the failure is reported
-        // through MpiFault, not stderr.
+        // through MpiFault, not stderr. The unwind crosses the rank's
+        // future's `poll` and is caught by the engine.
         std::panic::resume_unwind(Box::new("simmpi rank fault (see MpiFault)"));
     }
 
@@ -247,27 +271,27 @@ impl Rank<'_> {
     }
 
     /// Advance to `at`, dying at the crash instant if it lands first.
-    fn advance_to_or_die(&self, at: SimTime) {
+    async fn advance_to_or_die(&self, at: SimTime) {
         match self.crash_at {
             Some(crash) if crash <= at => {
-                self.ctx.advance_to(crash);
+                self.ctx.advance_to(crash).await;
                 self.die_crashed();
             }
-            _ => self.ctx.advance_to(at),
+            _ => self.ctx.advance_to(at).await,
         }
     }
 
     /// Advance by `dt` of protocol CPU time, dying at the crash instant if
     /// it lands inside the interval.
-    fn advance_comm_or_die(&self, dt: SimTime) {
+    async fn advance_comm_or_die(&self, dt: SimTime) {
         let end = self.ctx.now() + dt;
         match self.crash_at {
             Some(crash) if crash <= end => {
-                self.ctx.advance_to(crash);
+                self.ctx.advance_to(crash).await;
                 self.die_crashed();
             }
             _ => {
-                self.ctx.advance(dt);
+                self.ctx.advance(dt).await;
                 self.tally_comm(dt);
             }
         }
@@ -276,17 +300,17 @@ impl Rank<'_> {
     /// Park awaiting a peer, bounded by the crash instant and an optional
     /// absolute timeout. On timeout the rank dies with the appropriate
     /// fault; on a peer wake it simply returns.
-    fn park_or_die(&self, timeout_at: Option<SimTime>, peer: Option<u32>) {
+    async fn park_or_die(&self, timeout_at: Option<SimTime>, peer: Option<u32>) {
         let deadline = match (self.crash_at, timeout_at) {
             (None, None) => {
-                self.ctx.park();
+                self.ctx.park().await;
                 return;
             }
             (Some(c), None) => c,
             (None, Some(t)) => t,
             (Some(c), Some(t)) => c.min(t),
         };
-        if !self.ctx.park_until(deadline) {
+        if !self.ctx.park_until(deadline).await {
             self.check_crashed();
             self.die(MpiFault::Timeout { rank: self.rank, peer, at: self.ctx.now(), attempts: 0 });
         }
@@ -302,14 +326,14 @@ impl Rank<'_> {
     /// Eager messages return once the payload has been injected; rendezvous
     /// messages (Open-MX above 32 KiB) block until the receiver has cleared
     /// the transfer, like `MPI_Send` beyond the eager threshold.
-    pub fn send(&mut self, dst: u32, tag: u32, msg: Msg) {
+    pub async fn send(&mut self, dst: u32, tag: u32, msg: Msg) {
         assert!(dst < self.size(), "send to invalid rank {dst}");
         assert!(dst != self.rank, "self-sends are not supported; restructure the algorithm");
         self.check_crashed();
         let world = Arc::clone(&self.world);
         let proto = world.spec.proto;
         let o_s = proto.send_overhead(&world.ep);
-        self.advance_comm_or_die(o_s);
+        self.advance_comm_or_die(o_s).await;
 
         let bytes = msg.bytes;
         let src_node = world.spec.node_of(self.rank);
@@ -317,7 +341,7 @@ impl Rank<'_> {
 
         if proto.needs_rendezvous(bytes) {
             // RTS: a minimal frame to the receiver.
-            let (rts_arrival, my_pid) = {
+            let wake = {
                 let mut st = world.state.lock();
                 let depart = self.ctx.now();
                 let rts_arrival = st.net.transmit(depart, src_node, dst_node, 128);
@@ -331,26 +355,20 @@ impl Rank<'_> {
                     msg,
                     delivery: Delivery::Rendezvous { sender_pid: my_pid, rts_arrival },
                 });
-                if let Some(f) = dst_state.pending {
-                    if matches(&f, self.rank, tag) {
+                match dst_state.pending {
+                    Some(f) if matches(&f, self.rank, tag) => {
                         dst_state.pending = None;
-                        let pid = dst_state.pid.unwrap();
-                        let at = self.ctx.now().max(rts_arrival);
-                        drop(st);
-                        self.ctx.wake_at(pid, at);
-                        // Park below.
-                        (rts_arrival, my_pid)
-                    } else {
-                        (rts_arrival, my_pid)
+                        Some((dst_state.pid.unwrap(), self.ctx.now().max(rts_arrival)))
                     }
-                } else {
-                    (rts_arrival, my_pid)
+                    _ => None,
                 }
             };
-            let _ = (rts_arrival, my_pid);
+            if let Some((pid, at)) = wake {
+                self.ctx.wake_at(pid, at);
+            }
             // Wait until the receiver completes the transfer and wakes us
             // (bounded by our own crash and the per-message timeout).
-            self.park_or_die(self.recv_deadline(), Some(dst));
+            self.park_or_die(self.recv_deadline(), Some(dst)).await;
             return;
         }
 
@@ -382,7 +400,7 @@ impl Rank<'_> {
                     attempts,
                 });
             }
-            self.advance_comm_or_die(backoff(retry.retrans_base, attempts));
+            self.advance_comm_or_die(backoff(retry.retrans_base, attempts)).await;
         }
 
         let injection;
@@ -419,23 +437,23 @@ impl Rank<'_> {
             injection = SimTime::from_secs_f64(bytes as f64 / world.cpu_stage_rate());
         }
         // The sender's CPU is busy injecting the payload.
-        self.ctx.advance(injection);
+        self.ctx.advance(injection).await;
         self.tally_comm(injection);
     }
 
     /// Blocking receive matching exactly `(src, tag)`.
-    pub fn recv(&mut self, src: u32, tag: u32) -> Msg {
-        self.recv_filtered(Some(src), Some(tag)).2
+    pub async fn recv(&mut self, src: u32, tag: u32) -> Msg {
+        self.recv_filtered(Some(src), Some(tag)).await.2
     }
 
     /// Blocking receive from any source with a given tag. Returns
     /// `(src, tag, msg)`.
-    pub fn recv_any(&mut self, tag: u32) -> (u32, u32, Msg) {
-        self.recv_filtered(None, Some(tag))
+    pub async fn recv_any(&mut self, tag: u32) -> (u32, u32, Msg) {
+        self.recv_filtered(None, Some(tag)).await
     }
 
     /// Blocking receive with optional source/tag filters.
-    pub fn recv_filtered(&mut self, src: Option<u32>, tag: Option<u32>) -> (u32, u32, Msg) {
+    pub async fn recv_filtered(&mut self, src: Option<u32>, tag: Option<u32>) -> (u32, u32, Msg) {
         self.check_crashed();
         let world = Arc::clone(&self.world);
         let proto = world.spec.proto;
@@ -443,6 +461,13 @@ impl Rank<'_> {
         // The timeout (when the retry policy sets one) is absolute from the
         // moment the receive was posted, not re-armed per park.
         let timeout_at = self.recv_deadline();
+        // Outcome of one mailbox scan; the world lock is released before any
+        // of the (awaiting) follow-ups run.
+        enum Scan {
+            Deliver(InMsg),
+            WaitWire(SimTime),
+            Park,
+        }
         loop {
             let found = {
                 let mut st = world.state.lock();
@@ -452,46 +477,37 @@ impl Rank<'_> {
                     Some(idx) => {
                         let now = self.ctx.now();
                         match me.mailbox[idx].delivery {
-                            Delivery::Eager { available_at } => {
-                                if available_at <= now {
-                                    Some(me.mailbox.remove(idx).unwrap())
-                                } else {
-                                    // Wait for the wire, then re-scan.
-                                    drop(st);
-                                    self.advance_to_or_die(available_at);
-                                    continue;
-                                }
+                            Delivery::Eager { available_at } if available_at > now => {
+                                // Wait for the wire, then re-scan.
+                                Scan::WaitWire(available_at)
                             }
-                            Delivery::Rendezvous { .. } => Some(me.mailbox.remove(idx).unwrap()),
+                            _ => Scan::Deliver(me.mailbox.remove(idx).unwrap()),
                         }
                     }
                     None => {
                         me.pending = Some(filter);
-                        None
+                        Scan::Park
                     }
                 }
             };
             match found {
-                Some(m) => match m.delivery {
+                Scan::Deliver(m) => match m.delivery {
                     Delivery::Eager { .. } => {
                         let o_r = proto.recv_overhead(&world.ep);
-                        self.advance_comm_or_die(o_r);
+                        self.advance_comm_or_die(o_r).await;
                         return (m.src, m.tag, m.msg);
                     }
                     Delivery::Rendezvous { sender_pid, rts_arrival } => {
-                        return self.complete_rendezvous(
-                            m.src,
-                            m.tag,
-                            m.msg,
-                            sender_pid,
-                            rts_arrival,
-                        );
+                        return self
+                            .complete_rendezvous(m.src, m.tag, m.msg, sender_pid, rts_arrival)
+                            .await;
                     }
                 },
-                None => {
+                Scan::WaitWire(at) => self.advance_to_or_die(at).await,
+                Scan::Park => {
                     // Park until a sender delivers a matching message, our
                     // node crashes, or the receive times out.
-                    self.park_or_die(timeout_at, src);
+                    self.park_or_die(timeout_at, src).await;
                 }
             }
         }
@@ -499,7 +515,7 @@ impl Rank<'_> {
 
     /// Receiver side of the rendezvous protocol: process the RTS, return a
     /// CTS, clear the bulk transfer, wake the sender.
-    fn complete_rendezvous(
+    async fn complete_rendezvous(
         &mut self,
         src: u32,
         tag: u32,
@@ -511,9 +527,9 @@ impl Rank<'_> {
         let proto = world.spec.proto;
         let retry = world.spec.retry;
         // Process the RTS once it has arrived.
-        self.advance_to_or_die(rts_arrival);
+        self.advance_to_or_die(rts_arrival).await;
         let o_r = proto.recv_overhead(&world.ep);
-        self.advance_comm_or_die(o_r);
+        self.advance_comm_or_die(o_r).await;
 
         let src_node = world.spec.node_of(src);
         let dst_node = world.spec.node_of(self.rank);
@@ -557,9 +573,9 @@ impl Rank<'_> {
             (data_arrival, sender_done)
         };
         self.ctx.wake_at(sender_pid, sender_done);
-        self.advance_to_or_die(data_arrival);
+        self.advance_to_or_die(data_arrival).await;
         let o_r2 = proto.recv_overhead(&world.ep);
-        self.advance_comm_or_die(o_r2);
+        self.advance_comm_or_die(o_r2).await;
         (src, tag, msg)
     }
 
@@ -570,14 +586,21 @@ impl Rank<'_> {
     /// fully parallel. A rendezvous-sized send *does* block until the
     /// receiver clears it, so there the lower rank sends first and the
     /// higher rank receives first (a chain that always resolves).
-    pub fn sendrecv(&mut self, dst: u32, send_tag: u32, msg: Msg, from: u32, recv_tag: u32) -> Msg {
+    pub async fn sendrecv(
+        &mut self,
+        dst: u32,
+        send_tag: u32,
+        msg: Msg,
+        from: u32,
+        recv_tag: u32,
+    ) -> Msg {
         let rendezvous = self.world.spec.proto.needs_rendezvous(msg.bytes);
         if !rendezvous || self.rank < from {
-            self.send(dst, send_tag, msg);
-            self.recv(from, recv_tag)
+            self.send(dst, send_tag, msg).await;
+            self.recv(from, recv_tag).await
         } else {
-            let m = self.recv(from, recv_tag);
-            self.send(dst, send_tag, msg);
+            let m = self.recv(from, recv_tag).await;
+            self.send(dst, send_tag, msg).await;
             m
         }
     }
@@ -601,12 +624,12 @@ mod tests {
 
     #[test]
     fn two_ranks_exchange_a_message() {
-        let run = run_mpi(spec(2), |r| {
+        let run = run_mpi(spec(2), |mut r| async move {
             if r.rank() == 0 {
-                r.send(1, 7, Msg::from_f64s(&[1.0, 2.0, 3.0]));
+                r.send(1, 7, Msg::from_f64s(&[1.0, 2.0, 3.0])).await;
                 0.0
             } else {
-                let m = r.recv(0, 7);
+                let m = r.recv(0, 7).await;
                 m.to_f64s().iter().sum::<f64>()
             }
         })
@@ -620,11 +643,11 @@ mod tests {
     #[test]
     fn small_message_latency_matches_protocol_model() {
         // One-way 0-byte message on Tegra 2 + TCP should land near 100 µs.
-        let run = run_mpi(spec(2), |r| {
+        let run = run_mpi(spec(2), |mut r| async move {
             if r.rank() == 0 {
-                r.send(1, 0, Msg::empty());
+                r.send(1, 0, Msg::empty()).await;
             } else {
-                r.recv(0, 0);
+                r.recv(0, 0).await;
             }
             r.now().as_micros_f64()
         })
@@ -636,13 +659,13 @@ mod tests {
     #[test]
     fn recv_posted_before_send_works() {
         // Receiver arrives first and parks.
-        let run = run_mpi(spec(2), |r| {
+        let run = run_mpi(spec(2), |mut r| async move {
             if r.rank() == 1 {
-                let m = r.recv(0, 3);
+                let m = r.recv(0, 3).await;
                 m.bytes
             } else {
-                r.compute_secs(0.01); // make the receiver wait
-                r.send(1, 3, Msg::size_only(1024));
+                r.compute_secs(0.01).await; // make the receiver wait
+                r.send(1, 3, Msg::size_only(1024)).await;
                 0
             }
         })
@@ -652,14 +675,18 @@ mod tests {
 
     #[test]
     fn messages_from_same_sender_arrive_in_order() {
-        let run = run_mpi(spec(2), |r| {
+        let run = run_mpi(spec(2), |mut r| async move {
             if r.rank() == 0 {
                 for i in 0..5u64 {
-                    r.send(1, 9, Msg::from_u64s(&[i]));
+                    r.send(1, 9, Msg::from_u64s(&[i])).await;
                 }
                 Vec::new()
             } else {
-                (0..5).map(|_| r.recv(0, 9).to_u64s()[0]).collect::<Vec<u64>>()
+                let mut got = Vec::new();
+                for _ in 0..5 {
+                    got.push(r.recv(0, 9).await.to_u64s()[0]);
+                }
+                got
             }
         })
         .unwrap();
@@ -668,15 +695,15 @@ mod tests {
 
     #[test]
     fn tag_matching_selects_correct_message() {
-        let run = run_mpi(spec(2), |r| {
+        let run = run_mpi(spec(2), |mut r| async move {
             if r.rank() == 0 {
-                r.send(1, 1, Msg::from_u64s(&[111]));
-                r.send(1, 2, Msg::from_u64s(&[222]));
+                r.send(1, 1, Msg::from_u64s(&[111])).await;
+                r.send(1, 2, Msg::from_u64s(&[222])).await;
                 0
             } else {
                 // Receive tag 2 first even though tag 1 arrived first.
-                let b = r.recv(0, 2).to_u64s()[0];
-                let a = r.recv(0, 1).to_u64s()[0];
+                let b = r.recv(0, 2).await.to_u64s()[0];
+                let a = r.recv(0, 1).await.to_u64s()[0];
                 assert_eq!((a, b), (111, 222));
                 1
             }
@@ -687,13 +714,13 @@ mod tests {
 
     #[test]
     fn recv_any_reports_source() {
-        let run = run_mpi(spec(3), |r| {
+        let run = run_mpi(spec(3), |mut r| async move {
             if r.rank() == 0 {
-                let (s1, _, _) = r.recv_any(5);
-                let (s2, _, _) = r.recv_any(5);
+                let (s1, _, _) = r.recv_any(5).await;
+                let (s2, _, _) = r.recv_any(5).await;
                 (s1 + s2) as u64
             } else {
-                r.send(0, 5, Msg::empty());
+                r.send(0, 5, Msg::empty()).await;
                 0
             }
         })
@@ -706,12 +733,15 @@ mod tests {
         let spec = JobSpec::new(Platform::tegra2(), 2).with_proto(netsim::ProtocolModel::open_mx());
         let payload: Vec<f64> = (0..10_000).map(|i| i as f64).collect(); // 80 KB > 32 KiB threshold
         let expect_sum: f64 = payload.iter().sum();
-        let run = run_mpi(spec, move |r| {
-            if r.rank() == 0 {
-                r.send(1, 0, Msg::from_f64s(&payload));
-                0.0
-            } else {
-                r.recv(0, 0).to_f64s().iter().sum::<f64>()
+        let run = run_mpi(spec, move |mut r| {
+            let payload = payload.clone();
+            async move {
+                if r.rank() == 0 {
+                    r.send(1, 0, Msg::from_f64s(&payload)).await;
+                    0.0
+                } else {
+                    r.recv(0, 0).await.to_f64s().iter().sum::<f64>()
+                }
             }
         })
         .unwrap();
@@ -721,13 +751,13 @@ mod tests {
     #[test]
     fn rendezvous_blocks_sender_until_receiver_posts() {
         let spec = JobSpec::new(Platform::tegra2(), 2).with_proto(netsim::ProtocolModel::open_mx());
-        let run = run_mpi(spec, |r| {
+        let run = run_mpi(spec, |mut r| async move {
             if r.rank() == 0 {
-                r.send(1, 0, Msg::size_only(1 << 20));
+                r.send(1, 0, Msg::size_only(1 << 20)).await;
                 r.now().as_secs_f64()
             } else {
-                r.compute_secs(0.5); // receiver is late
-                r.recv(0, 0);
+                r.compute_secs(0.5).await; // receiver is late
+                r.recv(0, 0).await;
                 r.now().as_secs_f64()
             }
         })
@@ -738,13 +768,13 @@ mod tests {
 
     #[test]
     fn eager_send_does_not_block_on_receiver() {
-        let run = run_mpi(spec(2), |r| {
+        let run = run_mpi(spec(2), |mut r| async move {
             if r.rank() == 0 {
-                r.send(1, 0, Msg::size_only(512));
+                r.send(1, 0, Msg::size_only(512)).await;
                 r.now().as_secs_f64()
             } else {
-                r.compute_secs(1.0);
-                r.recv(0, 0);
+                r.compute_secs(1.0).await;
+                r.recv(0, 0).await;
                 0.0
             }
         })
@@ -754,9 +784,9 @@ mod tests {
 
     #[test]
     fn sendrecv_exchanges_without_deadlock() {
-        let run = run_mpi(spec(2), |r| {
+        let run = run_mpi(spec(2), |mut r| async move {
             let partner = 1 - r.rank();
-            let m = r.sendrecv(partner, 4, Msg::from_u64s(&[r.rank() as u64]), partner, 4);
+            let m = r.sendrecv(partner, 4, Msg::from_u64s(&[r.rank() as u64]), partner, 4).await;
             m.to_u64s()[0]
         })
         .unwrap();
@@ -765,8 +795,8 @@ mod tests {
 
     #[test]
     fn compute_accumulates_busy_time() {
-        let run = run_mpi(spec(2), |r| {
-            r.compute_secs(0.25);
+        let run = run_mpi(spec(2), |mut r| async move {
+            r.compute_secs(0.25).await;
             r.rank()
         })
         .unwrap();
@@ -778,9 +808,9 @@ mod tests {
 
     #[test]
     fn unmatched_recv_deadlocks_with_diagnostic() {
-        let err = run_mpi(spec(2), |r| {
+        let err = run_mpi(spec(2), |mut r| async move {
             if r.rank() == 1 {
-                r.recv(0, 99); // never sent
+                r.recv(0, 99).await; // never sent
             }
         })
         .unwrap_err();
@@ -807,7 +837,7 @@ mod tests {
     fn invalid_spec_is_a_typed_error() {
         let mut bad = spec(8);
         bad.topology = netsim::TopologySpec::Star { nodes: 4 };
-        match run_mpi(bad, |_| ()) {
+        match run_mpi(bad, |_| async {}) {
             Err(MpiFault::InvalidSpec(crate::JobSpecError::TooManyNodes {
                 needed: 8,
                 available: 4,
@@ -820,8 +850,8 @@ mod tests {
     fn crash_mid_compute_returns_rank_died_at_crash_time() {
         let crash = SimTime::from_millis(3);
         let s = spec(2).with_fault_plan(crash_plan(1, crash));
-        let err = run_mpi(s, |r| {
-            r.compute_secs(0.010); // rank 1 dies 3ms in
+        let err = run_mpi(s, |mut r| async move {
+            r.compute_secs(0.010).await; // rank 1 dies 3ms in
             r.rank()
         })
         .unwrap_err();
@@ -835,12 +865,12 @@ mod tests {
         // deadlock diagnostic.
         let crash = SimTime::from_millis(1);
         let s = spec(2).with_fault_plan(crash_plan(1, crash));
-        let err = run_mpi(s, |r| {
+        let err = run_mpi(s, |mut r| async move {
             if r.rank() == 0 {
-                r.recv(1, 0);
+                r.recv(1, 0).await;
             } else {
-                r.compute_secs(0.005); // never gets there
-                r.send(0, 0, Msg::empty());
+                r.compute_secs(0.005).await; // never gets there
+                r.send(0, 0, Msg::empty()).await;
             }
         })
         .unwrap_err();
@@ -851,9 +881,9 @@ mod tests {
     fn recv_timeout_turns_missing_message_into_timeout() {
         let mut s = spec(2);
         s.retry.recv_timeout = Some(SimTime::from_millis(2));
-        let err = run_mpi(s, |r| {
+        let err = run_mpi(s, |mut r| async move {
             if r.rank() == 1 {
-                r.recv(0, 99); // never sent
+                r.recv(0, 99).await; // never sent
             }
         })
         .unwrap_err();
@@ -868,14 +898,18 @@ mod tests {
     #[test]
     fn lossy_link_delivers_with_retransmits() {
         let s = spec(2).with_fault_plan(degrade_plan(1, 0.5, SimTime::from_secs(100)));
-        let run = run_mpi(s, |r| {
+        let run = run_mpi(s, |mut r| async move {
             if r.rank() == 0 {
                 for i in 0..8u64 {
-                    r.send(1, 1, Msg::from_u64s(&[i]));
+                    r.send(1, 1, Msg::from_u64s(&[i])).await;
                 }
                 0
             } else {
-                (0..8).map(|_| r.recv(0, 1).to_u64s()[0]).sum::<u64>()
+                let mut sum = 0u64;
+                for _ in 0..8 {
+                    sum += r.recv(0, 1).await.to_u64s()[0];
+                }
+                sum
             }
         })
         .unwrap();
@@ -888,11 +922,11 @@ mod tests {
         let s = spec(2)
             .with_fault_plan(degrade_plan(1, 0.99, SimTime::from_secs(100)))
             .with_retry(RetryPolicy { max_retries: 2, ..RetryPolicy::default() });
-        let err = run_mpi(s, |r| {
+        let err = run_mpi(s, |mut r| async move {
             if r.rank() == 0 {
-                r.send(1, 0, Msg::empty());
+                r.send(1, 0, Msg::empty()).await;
             } else {
-                r.recv(0, 0);
+                r.recv(0, 0).await;
             }
         })
         .unwrap_err();
@@ -911,12 +945,15 @@ mod tests {
         ));
         let payload: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
         let expect: f64 = payload.iter().sum();
-        let run = run_mpi(s, move |r| {
-            if r.rank() == 0 {
-                r.send(1, 0, Msg::from_f64s(&payload));
-                0.0
-            } else {
-                r.recv(0, 0).to_f64s().iter().sum::<f64>()
+        let run = run_mpi(s, move |mut r| {
+            let payload = payload.clone();
+            async move {
+                if r.rank() == 0 {
+                    r.send(1, 0, Msg::from_f64s(&payload)).await;
+                    0.0
+                } else {
+                    r.recv(0, 0).await.to_f64s().iter().sum::<f64>()
+                }
             }
         })
         .unwrap();
@@ -930,13 +967,13 @@ mod tests {
             FaultEvent { at: SimTime::from_millis(1), kind: FaultKind::BitFlip { node: 0 } },
             FaultEvent { at: SimTime::from_millis(2), kind: FaultKind::BitFlip { node: 0 } },
         ]);
-        let run = run_mpi(spec(1).with_fault_plan(plan), |r| {
+        let run = run_mpi(spec(1).with_fault_plan(plan), |mut r| async move {
             assert_eq!(r.poll_bit_flip(), None); // nothing struck yet
-            r.compute_secs(0.0015);
+            r.compute_secs(0.0015).await;
             let first = r.poll_bit_flip();
             assert_eq!(first, Some(SimTime::from_millis(1)));
             assert_eq!(r.poll_bit_flip(), None); // second flip still pending
-            r.compute_secs(0.0010);
+            r.compute_secs(0.0010).await;
             let second = r.poll_bit_flip();
             assert_eq!(second, Some(SimTime::from_millis(2)));
             (first.is_some() as u32) + (second.is_some() as u32)
@@ -959,11 +996,11 @@ mod tests {
                     ..des::FaultRates::none()
                 },
             );
-            run_mpi(spec(4).with_fault_plan(plan), |r| {
+            run_mpi(spec(4).with_fault_plan(plan), |mut r| async move {
                 let next = (r.rank() + 1) % r.size();
                 let prev = (r.rank() + r.size() - 1) % r.size();
                 for _ in 0..4 {
-                    r.sendrecv(next, 1, Msg::size_only(4096), prev, 1);
+                    r.sendrecv(next, 1, Msg::size_only(4096), prev, 1).await;
                 }
                 r.now().as_nanos()
             })
@@ -984,14 +1021,14 @@ mod tests {
         let crash = crash_plan(3, SimTime::from_millis(1));
         let base =
             spec(2).with_topology(netsim::TopologySpec::Star { nodes: 4 }).with_fault_plan(crash);
-        let ok = run_mpi(base.clone(), |r| {
-            r.compute_secs(0.01);
+        let ok = run_mpi(base.clone(), |mut r| async move {
+            r.compute_secs(0.01).await;
             r.rank()
         })
         .unwrap();
         assert_eq!(ok.results, vec![0, 1]);
-        let err = run_mpi(base.with_node_map(vec![0, 3]), |r| {
-            r.compute_secs(0.01);
+        let err = run_mpi(base.with_node_map(vec![0, 3]), |mut r| async move {
+            r.compute_secs(0.01).await;
             r.rank()
         })
         .unwrap_err();
@@ -1001,10 +1038,10 @@ mod tests {
     #[test]
     fn determinism_same_run_same_times() {
         let go = || {
-            run_mpi(spec(4), |r| {
+            run_mpi(spec(4), |mut r| async move {
                 let next = (r.rank() + 1) % r.size();
                 let prev = (r.rank() + r.size() - 1) % r.size();
-                let m = r.sendrecv(next, 1, Msg::size_only(4096), prev, 1);
+                let m = r.sendrecv(next, 1, Msg::size_only(4096), prev, 1).await;
                 (r.now().as_nanos(), m.bytes)
             })
             .unwrap()

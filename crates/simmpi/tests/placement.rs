@@ -14,11 +14,11 @@ fn colocated_ranks_share_the_nic() {
     let shared = JobSpec::new(Platform::tegra2(), 4)
         .with_ranks_per_node(2)
         .with_topology(TopologySpec::Star { nodes: 2 });
-    let run_shared = run_mpi(shared, move |r| {
+    let run_shared = run_mpi(shared, move |mut r| async move {
         match r.rank() {
-            0 | 1 => r.send(r.rank() + 2, 7, Msg::size_only(bytes)),
+            0 | 1 => r.send(r.rank() + 2, 7, Msg::size_only(bytes)).await,
             _ => {
-                r.recv(r.rank() - 2, 7);
+                r.recv(r.rank() - 2, 7).await;
             }
         }
         r.now().as_secs_f64()
@@ -27,11 +27,11 @@ fn colocated_ranks_share_the_nic() {
 
     let separate =
         JobSpec::new(Platform::tegra2(), 4).with_topology(TopologySpec::Star { nodes: 4 });
-    let run_separate = run_mpi(separate, move |r| {
+    let run_separate = run_mpi(separate, move |mut r| async move {
         match r.rank() {
-            0 | 1 => r.send(r.rank() + 2, 7, Msg::size_only(bytes)),
+            0 | 1 => r.send(r.rank() + 2, 7, Msg::size_only(bytes)).await,
             _ => {
-                r.recv(r.rank() - 2, 7);
+                r.recv(r.rank() - 2, 7).await;
             }
         }
         r.now().as_secs_f64()
@@ -53,9 +53,12 @@ fn colocated_ranks_split_the_cores() {
             .with_ranks_per_node(rpn)
             .with_topology(TopologySpec::Star { nodes: 2 });
         let w = work.clone();
-        let run = run_mpi(spec, move |r| {
-            r.compute(&w);
-            r.now().as_secs_f64()
+        let run = run_mpi(spec, move |mut r| {
+            let w = w.clone();
+            async move {
+                r.compute(&w).await;
+                r.now().as_secs_f64()
+            }
         })
         .unwrap();
         run.results.iter().cloned().fold(0.0, f64::max)
@@ -73,12 +76,12 @@ fn same_node_ranks_still_exchange_messages() {
     let spec = JobSpec::new(Platform::tegra2(), 2)
         .with_ranks_per_node(2)
         .with_topology(TopologySpec::Star { nodes: 1 });
-    let run = run_mpi(spec, |r| {
+    let run = run_mpi(spec, |mut r| async move {
         if r.rank() == 0 {
-            r.send(1, 3, Msg::from_u64s(&[42]));
+            r.send(1, 3, Msg::from_u64s(&[42])).await;
             0
         } else {
-            r.recv(0, 3).to_u64s()[0]
+            r.recv(0, 3).await.to_u64s()[0]
         }
     })
     .unwrap();

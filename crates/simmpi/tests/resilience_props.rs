@@ -36,16 +36,20 @@ proptest! {
         let spec = lossy_spec(loss, max_retries);
         let payload: Vec<f64> = (0..8).map(|i| base * i as f64).collect();
         let expect = payload.clone();
-        let run = run_mpi(spec, move |r| {
-            let mut ok = true;
-            for m in 0..msgs as u32 {
-                if r.rank() == 0 {
-                    r.send(1, m, Msg::from_f64s(&payload));
-                } else {
-                    ok &= r.recv(0, m).to_f64s() == expect;
+        let run = run_mpi(spec, move |mut r| {
+            let payload = payload.clone();
+            let expect = expect.clone();
+            async move {
+                let mut ok = true;
+                for m in 0..msgs as u32 {
+                    if r.rank() == 0 {
+                        r.send(1, m, Msg::from_f64s(&payload)).await;
+                    } else {
+                        ok &= r.recv(0, m).await.to_f64s() == expect;
+                    }
                 }
+                ok
             }
-            ok
         });
         let run = match run {
             Ok(run) => run,
@@ -88,14 +92,14 @@ proptest! {
                 .with_fault_plan(plan)
                 .with_retry(RetryPolicy { max_retries: 40, ..RetryPolicy::default() })
         };
-        let program = move |r: &mut simmpi::Rank<'_>| {
+        let program = move |mut r: simmpi::Rank| async move {
             for m in 0..rounds as u32 {
                 if r.rank() == 0 {
-                    r.send(1, m, Msg::from_f64s(&[1.0, 2.0, 3.0]));
-                    r.recv(1, m);
+                    r.send(1, m, Msg::from_f64s(&[1.0, 2.0, 3.0])).await;
+                    r.recv(1, m).await;
                 } else {
-                    r.recv(0, m);
-                    r.send(0, m, Msg::from_f64s(&[4.0]));
+                    r.recv(0, m).await;
+                    r.send(0, m, Msg::from_f64s(&[4.0])).await;
                 }
             }
             r.now()

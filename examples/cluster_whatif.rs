@@ -17,9 +17,9 @@ fn hpl_on(machine: &Machine, nodes: u32) -> (f64, f64, f64) {
         nb: 128,
         mode: Mode::Model,
     };
-    let run = run_mpi(machine.job(nodes), move |r| {
+    let run = run_mpi(machine.job(nodes), move |mut r| async move {
         let t0 = r.now();
-        socready::apps::hpl::hpl_rank(r, &cfg);
+        socready::apps::hpl::hpl_rank(&mut r, &cfg).await;
         (r.now() - t0).as_secs_f64()
     })
     .expect("simulation failed");

@@ -34,12 +34,12 @@ fn main() {
     let spec = JobSpec::new(Platform::tegra2(), 2)
         .with_fault_plan(lossy)
         .with_retry(RetryPolicy { max_retries: 24, ..RetryPolicy::default() });
-    let run = run_mpi(spec, |r| {
+    let run = run_mpi(spec, |mut r| async move {
         for m in 0..32u32 {
             if r.rank() == 0 {
-                r.send(1, m, Msg::from_f64s(&[1.0, 2.0, 3.0, 4.0]));
+                r.send(1, m, Msg::from_f64s(&[1.0, 2.0, 3.0, 4.0])).await;
             } else {
-                assert_eq!(r.recv(0, m).to_f64s(), [1.0, 2.0, 3.0, 4.0]);
+                assert_eq!(r.recv(0, m).await.to_f64s(), [1.0, 2.0, 3.0, 4.0]);
             }
         }
     })

@@ -1,12 +1,30 @@
 //! Interconnect shoot-out: §4.1 / Fig 7 — TCP/IP vs Open-MX, PCIe vs USB.
 //!
 //! ```text
-//! cargo run --release --example interconnect_shootout
+//! cargo run --release --example interconnect_shootout -- --ranks <N>
 //! ```
+//!
+//! `--ranks N` sizes the ping-ring section (default 64): N ranks pass a
+//! token around a ring under each protocol, one event-driven process per
+//! rank in a single OS thread.
 
-use socready::mpi::{pingpong, JobSpec};
+use socready::mpi::{pingpong, run_mpi, JobSpec, Msg};
 use socready::net::{penalty_table, ProtocolModel};
 use socready::prelude::*;
+
+/// `--ranks N` flag (default when absent).
+fn ranks_arg(default: u32) -> u32 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--ranks" {
+            return args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--ranks needs a number");
+                std::process::exit(2);
+            });
+        }
+    }
+    default
+}
 
 fn main() {
     let cases = [
@@ -25,6 +43,30 @@ fn main() {
         println!("{name:<30} {lat:>12.1} {bw:>12.1}");
     }
     println!("\npaper: Tegra2 100/65 us, 65/117 MB/s; Exynos 125/93 us, 63/69 MB/s (75 @1.4GHz)");
+
+    let ranks = ranks_arg(64);
+    println!("\n{ranks}-rank ping-ring (one event-driven process per rank):");
+    for (name, proto) in
+        [("TCP/IP ", ProtocolModel::tcp_ip()), ("Open-MX", ProtocolModel::open_mx())]
+    {
+        let spec = JobSpec::new(Platform::tegra2(), ranks).with_proto(proto);
+        let run = run_mpi(spec, |mut r| async move {
+            let p = r.size();
+            if p > 1 {
+                if r.rank() == 0 {
+                    r.send(1, 0, Msg::from_u64s(&[0])).await;
+                    r.recv(p - 1, 0).await;
+                } else {
+                    let hops = r.recv(r.rank() - 1, 0).await.to_u64s()[0];
+                    r.send((r.rank() + 1) % p, 0, Msg::from_u64s(&[hops + 1])).await;
+                }
+            }
+            r.now().as_micros_f64()
+        })
+        .expect("ping-ring failed");
+        let total_us = run.results.iter().cloned().fold(0.0, f64::max);
+        println!("  {name}: {total_us:>10.1} us total, {:>7.2} us/hop", total_us / ranks as f64);
+    }
 
     println!("\nwhat a given latency costs in execution time (S4.1, after [36]):");
     for row in penalty_table(&[65.0, 100.0], 2.0) {

@@ -37,9 +37,9 @@ fn main() {
     // 3. And a real message-passing job on a simulated ARM cluster.
     println!("\n== running a 16-rank allreduce on the Tibidabo model ==");
     let m = Machine::tibidabo();
-    let run = run_mpi(m.job(16), |r| {
+    let run = run_mpi(m.job(16), |mut r| async move {
         let rank_value = (r.rank() + 1) as f64;
-        r.allreduce(ReduceOp::Sum, vec![rank_value])[0]
+        r.allreduce(ReduceOp::Sum, vec![rank_value]).await[0]
     })
     .expect("simulation failed");
     println!("  every rank computed sum = {} in {} of virtual time", run.results[0], run.elapsed);

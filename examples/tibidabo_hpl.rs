@@ -5,15 +5,32 @@
 //! Tibidabo model and reports the Green500 numbers.
 //!
 //! ```text
-//! cargo run --release --example tibidabo_hpl [nodes]
+//! cargo run --release --example tibidabo_hpl -- --ranks <nodes>
 //! ```
 
 use socready::apps::hpl::{run_hpl, HplConfig};
 use socready::apps::Mode;
 use socready::prelude::*;
 
+/// `--ranks N` (also accepts a bare positional count for compatibility).
+fn ranks_arg(default: u32) -> u32 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--ranks" {
+            return args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--ranks needs a number");
+                std::process::exit(2);
+            });
+        }
+        if let Ok(n) = a.parse() {
+            return n;
+        }
+    }
+    default
+}
+
 fn main() {
-    let nodes: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let nodes: u32 = ranks_arg(16);
     let m = Machine::tibidabo();
 
     // 1. Correctness first: a real factorisation with pivoting on 4 ranks.
@@ -33,9 +50,9 @@ fn main() {
         cfg.nb,
         Mode::Model
     );
-    let run = run_mpi(m.job(nodes), move |r| {
+    let run = run_mpi(m.job(nodes), move |mut r| async move {
         let t0 = r.now();
-        socready::apps::hpl::hpl_rank(r, &cfg);
+        socready::apps::hpl::hpl_rank(&mut r, &cfg).await;
         (r.now() - t0).as_secs_f64()
     })
     .expect("cluster simulation failed");

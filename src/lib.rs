@@ -35,7 +35,10 @@
 //!
 //! // Run a real MPI job on the simulated Tibidabo cluster.
 //! let spec = JobSpec::new(Platform::tegra2(), 8);
-//! let run = run_mpi(spec, |r| r.allreduce(ReduceOp::Sum, vec![1.0])[0]).unwrap();
+//! let run = run_mpi(spec, |mut r| async move {
+//!     r.allreduce(ReduceOp::Sum, vec![1.0]).await[0]
+//! })
+//! .unwrap();
 //! assert!(run.results.iter().all(|&v| v == 8.0));
 //! ```
 

@@ -61,9 +61,9 @@ fn hpl_weak_scaling_efficiency_band_at_moderate_scale() {
     // 96-node 51%.
     let m = Machine::tibidabo();
     let cfg = HplConfig::tibidabo_weak(16);
-    let run = run_mpi(m.job(16), move |r| {
+    let run = run_mpi(m.job(16), move |mut r| async move {
         let t0 = r.now();
-        socready::apps::hpl::hpl_rank(r, &cfg);
+        socready::apps::hpl::hpl_rank(&mut r, &cfg).await;
         (r.now() - t0).as_secs_f64()
     })
     .unwrap();
@@ -76,9 +76,9 @@ fn hpl_weak_scaling_efficiency_band_at_moderate_scale() {
 fn green500_at_16_nodes_is_in_the_tibidabo_class() {
     let m = Machine::tibidabo();
     let cfg = HplConfig::tibidabo_weak(16);
-    let run = run_mpi(m.job(16), move |r| {
+    let run = run_mpi(m.job(16), move |mut r| async move {
         let t0 = r.now();
-        socready::apps::hpl::hpl_rank(r, &cfg);
+        socready::apps::hpl::hpl_rank(&mut r, &cfg).await;
         (r.now() - t0).as_secs_f64()
     })
     .unwrap();
@@ -135,9 +135,9 @@ fn fig6_shape_holds_at_reduced_scale() {
 fn cluster_simulations_are_bit_deterministic() {
     let go = || {
         let m = Machine::tibidabo();
-        let run = run_mpi(m.job(12), |r| {
-            let v = r.allreduce(ReduceOp::Sum, vec![r.rank() as f64]);
-            r.barrier();
+        let run = run_mpi(m.job(12), |mut r| async move {
+            let v = r.allreduce(ReduceOp::Sum, vec![r.rank() as f64]).await;
+            r.barrier().await;
             (r.now().as_nanos(), v[0])
         })
         .unwrap();

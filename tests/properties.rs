@@ -76,8 +76,9 @@ proptest! {
         let vals: Vec<f64> = (0..ranks).map(|r| ((seed + r as u64) % 97) as f64).collect();
         let expect: f64 = vals.iter().sum();
         let vals_c = vals.clone();
-        let run = run_mpi(JobSpec::new(Platform::tegra2(), ranks), move |r| {
-            r.allreduce(ReduceOp::Sum, vec![vals_c[r.rank() as usize]])[0]
+        let run = run_mpi(JobSpec::new(Platform::tegra2(), ranks), move |mut r| {
+            let vals = vals_c.clone();
+            async move { r.allreduce(ReduceOp::Sum, vec![vals[r.rank() as usize]]).await[0] }
         }).unwrap();
         for v in run.results {
             prop_assert!((v - expect).abs() < 1e-9);
@@ -93,14 +94,17 @@ proptest! {
     ) {
         prop_assume!(src != dst);
         let data_c = data.clone();
-        let run = run_mpi(JobSpec::new(Platform::tegra2(), 8), move |r| {
-            if r.rank() == src {
-                r.send(dst, 5, Msg::from_f64s(&data_c));
-                Vec::new()
-            } else if r.rank() == dst {
-                r.recv(src, 5).to_f64s()
-            } else {
-                Vec::new()
+        let run = run_mpi(JobSpec::new(Platform::tegra2(), 8), move |mut r| {
+            let data = data_c.clone();
+            async move {
+                if r.rank() == src {
+                    r.send(dst, 5, Msg::from_f64s(&data)).await;
+                    Vec::new()
+                } else if r.rank() == dst {
+                    r.recv(src, 5).await.to_f64s()
+                } else {
+                    Vec::new()
+                }
             }
         }).unwrap();
         prop_assert_eq!(&run.results[dst as usize], &data);
