@@ -95,7 +95,7 @@ if [[ $quick -eq 0 ]]; then
     echo "error: stdout diverged between --serial and --jobs $jobs" >&2
     exit 1
   }
-  diff -r -x '_sweep_stats.json' -x 'stdout.txt' -x 'stderr.txt' "$sdir" "$pdir" || {
+  diff -r -x '_journal.jsonl' -x '_sweep_stats.json' -x 'stdout.txt' -x 'stderr.txt' "$sdir" "$pdir" || {
     echo "error: JSON artefacts diverged between --serial and --jobs $jobs" >&2
     exit 1
   }
@@ -107,7 +107,77 @@ if [[ $quick -eq 0 ]]; then
     echo "error: ${jobs}-worker run (${t_parallel}s) is not 2x faster than serial (${t_serial}s)" >&2
     exit 1
   fi
-  rm -rf "$sdir" "$pdir"
+  rm -rf "$pdir"
+
+  step "supervisor: SIGKILL mid-sweep, then --resume byte-identity"
+  # Start a full golden run, SIGKILL it once the journal shows the first
+  # completed artefact, then --resume in the same directory. The resumed
+  # directory must be byte-identical to the uninterrupted serial reference.
+  # (If the run finishes before the kill lands, --resume skips everything —
+  # the identity check still has to hold, so the stage stays race-tolerant.)
+  kdir=$(mktemp -d)
+  "$repro" --golden --jobs "$jobs" --json "$kdir" \
+    >"$kdir/killed_stdout.txt" 2>"$kdir/killed_stderr.txt" &
+  kpid=$!
+  for _ in $(seq 1 600); do
+    grep -q '"kind":"artifact"' "$kdir/_journal.jsonl" 2>/dev/null && break
+    kill -0 "$kpid" 2>/dev/null || break
+    sleep 0.1
+  done
+  kill -9 "$kpid" 2>/dev/null || true
+  wait "$kpid" 2>/dev/null || true
+  # On fast machines the run may finish before the kill lands. Make the
+  # interruption deterministic either way: delete one artefact and tear the
+  # journal mid-record, exactly the state a crash can leave behind. --resume
+  # must tolerate the torn tail, re-derive the missing artefact, and skip
+  # the verified rest.
+  rm -f "$kdir/fig6.json"
+  truncate -s -7 "$kdir/_journal.jsonl"
+  "$repro" --golden --jobs "$jobs" --json "$kdir" --resume \
+    >"$kdir/stdout.txt" 2>"$kdir/stderr.txt"
+  diff -r -x '_journal.jsonl' -x '_sweep_stats.json' -x 'stdout.txt' -x 'stderr.txt' \
+    -x 'killed_*.txt' "$sdir" "$kdir" || {
+    echo "error: --resume after SIGKILL did not reproduce the reference artefacts" >&2
+    exit 1
+  }
+  grep -o 'resume: .*' "$kdir/stderr.txt" || true
+  if grep -q 'resume: fig6 verified' "$kdir/stderr.txt"; then
+    echo "error: deleted fig6.json was skipped instead of re-derived" >&2
+    exit 1
+  fi
+  echo "kill+resume OK: resumed directory matches the uninterrupted reference"
+  rm -rf "$kdir"
+
+  step "supervisor: injected panic is quarantined, run degrades to exit 3"
+  # A cell that always panics must poison only its own artefact: the run
+  # exits 3 (degraded, not a crash), fig5.json is never persisted, and every
+  # other artefact is byte-identical to the reference.
+  qdir=$(mktemp -d)
+  set +e
+  "$repro" --golden --serial --json "$qdir" --inject-panic fig5 \
+    >"$qdir/stdout.txt" 2>"$qdir/stderr.txt"
+  rc=$?
+  set -e
+  if [[ $rc -ne 3 ]]; then
+    echo "error: --inject-panic fig5 exited $rc (want 3 = degraded)" >&2
+    tail -20 "$qdir/stderr.txt" >&2 || true
+    exit 1
+  fi
+  if [[ -e "$qdir/fig5.json" ]]; then
+    echo "error: quarantined artefact fig5.json was persisted" >&2
+    exit 1
+  fi
+  diff -r -x 'fig5.json' -x '_journal.jsonl' -x '_sweep_stats.json' \
+    -x 'stdout.txt' -x 'stderr.txt' "$sdir" "$qdir" || {
+    echo "error: artefacts beyond the quarantined fig5 diverged from the reference" >&2
+    exit 1
+  }
+  grep -q 'quarantined' "$qdir/stderr.txt" || {
+    echo "error: degraded run did not report the quarantine on stderr" >&2
+    exit 1
+  }
+  echo "quarantine OK: fig5 isolated, remaining artefacts intact, exit 3"
+  rm -rf "$sdir" "$qdir"
 fi
 
 echo

@@ -13,32 +13,57 @@
 //! repro --json DIR       # additionally dump machine-readable JSON
 //! repro --jobs N         # run the scenario cells on N workers
 //! repro --serial         # reference serial schedule (same bytes as --jobs N)
+//! repro --resume         # skip artefacts whose journal+checksum verify
+//! repro --fsck           # verify/repair artefacts against the journal
+//! repro --max-cell-seconds S    # wall-clock watchdog per cell attempt
+//! repro --max-cell-events N     # DES event budget per simulation
+//! repro --retries N      # extra attempts for failing cells (default 1)
+//! repro --inject-panic S # sabotage cells whose label contains S (testing)
 //! ```
 //!
-//! The run is decomposed into independent scenario cells and executed by the
-//! sweep executor (`bench::run_plan`); results merge in canonical paper
-//! order, so stdout and every JSON artefact are byte-identical for any
-//! `--jobs` value. Wall-clock and timing-cache statistics — the only
-//! nondeterministic outputs — go to stderr and, with `--json`, to
-//! `_sweep_stats.json` (underscore-prefixed so artefact diffs can exclude
-//! it).
+//! The run is decomposed into independent scenario cells and executed under
+//! the sweep supervisor (`bench::run_plan_supervised`): artefacts settle
+//! sequentially in canonical paper order (cells fan out over `--jobs`
+//! workers inside each artefact), so stdout and every JSON artefact are
+//! byte-identical for any `--jobs` value. A panicking or watchdogged cell
+//! is quarantined — its artefact is reported as failed while every other
+//! artefact completes — and the exit code distinguishes a degraded run (3)
+//! from a clean one (0); usage errors exit 2.
 //!
-//! The resilience headline always writes `resilience.json` (to the `--json`
-//! directory when given, `repro_out/` otherwise). JSON files are written via
-//! temp-file + rename, and left untouched when the content is unchanged, so
-//! interrupted runs never leave half-written artefacts and timestamps only
-//! move when bytes do.
+//! With `--json DIR`, every settled artefact is persisted immediately via
+//! an atomic, fsync'd, checksummed write, and appended to the fsync'd run
+//! journal `DIR/_journal.jsonl`. `--resume` skips artefacts whose journal
+//! record and on-disk checksum both verify (their stdout blocks are not
+//! reprinted; a note goes to stderr). `--fsck` audits the directory against
+//! the journal — truncated, corrupted, or missing artefacts are re-derived,
+//! orphaned JSON files are reported — and exits 3 when anything needed
+//! repair. Wall-clock and timing-cache statistics — the only
+//! nondeterministic outputs — go to stderr and, with `--json`, to
+//! `_sweep_stats.json` (underscore-prefixed so artefact diffs exclude it,
+//! like the journal).
 
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
-use bench::{run_plan, RunPlan, RunScales, SweepConfig};
+use bench::artifact::checksum_on_disk;
+use bench::journal::{run_fingerprint, Journal};
+use bench::{
+    read_journal, run_plan_supervised, write_json_atomic, ArtefactOutcome, CellOutcome, RunPlan,
+    RunScales, SupervisorConfig, SweepConfig, WriteOutcome,
+};
 
 struct Opts {
     items: Vec<String>,
     scales: RunScales,
+    /// Scale name entering the run fingerprint (`golden`/`quick`/`full`).
+    scale_name: &'static str,
     json_dir: Option<PathBuf>,
     sweep: SweepConfig,
+    sup: SupervisorConfig,
+    resume: bool,
+    fsck: bool,
+    event_budget: Option<u64>,
+    inject_panic: Option<String>,
 }
 
 /// Every `items` key the plan dispatches on; a request outside this set
@@ -64,6 +89,9 @@ const KNOWN_ITEMS: &[&str] = &[
     "resilience",
 ];
 
+/// Exit code for a run that finished but quarantined or lost artefacts.
+const EXIT_DEGRADED: i32 = 3;
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
@@ -76,6 +104,12 @@ fn parse_args() -> Opts {
     let mut json_dir = None;
     let mut jobs: Option<usize> = None;
     let mut serial = false;
+    let mut resume = false;
+    let mut fsck = false;
+    let mut retries: u32 = 1;
+    let mut wall_limit = None;
+    let mut event_budget = None;
+    let mut inject_panic = None;
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
@@ -97,6 +131,31 @@ fn parse_args() -> Opts {
                 jobs = Some(v.parse().unwrap_or_else(|_| die(&format!("bad --jobs value '{v}'"))));
             }
             "--serial" => serial = true,
+            "--resume" => resume = true,
+            "--fsck" => fsck = true,
+            "--retries" => {
+                let v = value(&mut args, "--retries");
+                retries = v.parse().unwrap_or_else(|_| die(&format!("bad --retries value '{v}'")));
+            }
+            "--max-cell-seconds" => {
+                let v = value(&mut args, "--max-cell-seconds");
+                let s: f64 = v
+                    .parse()
+                    .ok()
+                    .filter(|s| *s > 0.0)
+                    .unwrap_or_else(|| die(&format!("bad --max-cell-seconds value '{v}'")));
+                wall_limit = Some(Duration::from_secs_f64(s));
+            }
+            "--max-cell-events" => {
+                let v = value(&mut args, "--max-cell-events");
+                let n: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| die(&format!("bad --max-cell-events value '{v}'")));
+                event_budget = Some(n);
+            }
+            "--inject-panic" => inject_panic = Some(value(&mut args, "--inject-panic")),
             other => die(&format!("unknown argument: {other}")),
         }
     }
@@ -112,12 +171,21 @@ fn parse_args() -> Opts {
     if serial && jobs.is_some_and(|j| j > 1) {
         die("--serial contradicts --jobs N>1");
     }
-    let scales = if golden {
-        RunScales::golden()
+    if resume && json_dir.is_none() {
+        die("--resume needs --json DIR (the journal lives there)");
+    }
+    if fsck && json_dir.is_none() {
+        die("--fsck needs --json DIR");
+    }
+    if fsck && resume {
+        die("--fsck and --resume are mutually exclusive");
+    }
+    let (scales, scale_name) = if golden {
+        (RunScales::golden(), "golden")
     } else if quick {
-        RunScales::quick()
+        (RunScales::quick(), "quick")
     } else {
-        RunScales::full()
+        (RunScales::full(), "full")
     };
     let sweep = if serial {
         SweepConfig::serial()
@@ -127,34 +195,71 @@ fn parse_args() -> Opts {
             None => SweepConfig::auto(),
         }
     };
-    Opts { items, scales, json_dir, sweep }
+    let sup = SupervisorConfig {
+        max_attempts: retries.saturating_add(1),
+        wall_limit,
+        verify_recovered: true,
+    };
+    Opts {
+        items,
+        scales,
+        scale_name,
+        json_dir,
+        sweep,
+        sup,
+        resume,
+        fsck,
+        event_budget,
+        inject_panic,
+    }
 }
 
-/// Write `content` to `dir/name.json` atomically (temp file + rename), and
-/// skip the write entirely when the file already holds exactly `content` —
-/// so a crash mid-write never leaves a torn artefact, and mtimes move only
-/// when bytes do.
-fn dump_json(dir: &Path, name: &str, content: &str) {
-    std::fs::create_dir_all(dir).expect("create json dir");
-    let path = dir.join(format!("{name}.json"));
-    if std::fs::read_to_string(&path).is_ok_and(|old| old == content) {
-        eprintln!("unchanged {}", path.display());
-        return;
+fn scales_by_name(name: &str) -> Option<RunScales> {
+    match name {
+        "golden" => Some(RunScales::golden()),
+        "quick" => Some(RunScales::quick()),
+        "full" => Some(RunScales::full()),
+        _ => None,
     }
-    let tmp = dir.join(format!(".{name}.json.tmp"));
-    {
-        let mut f = std::fs::File::create(&tmp).expect("create json temp file");
-        f.write_all(content.as_bytes()).expect("write json");
-        f.sync_all().expect("sync json");
-    }
-    std::fs::rename(&tmp, &path).expect("rename json into place");
-    eprintln!("wrote {}", path.display());
 }
 
-fn main() {
-    let opts = parse_args();
+/// The artefacts of `items` to skip on `--resume`: journaled as ok, JSON on
+/// disk, checksum verified. Returns `(key, stem, bytes, checksum)` tuples.
+fn verified_artifacts(
+    dir: &Path,
+    items: &[String],
+    scale_name: &str,
+) -> Vec<(String, String, u64, String)> {
+    let st = read_journal(dir);
+    if st.fingerprint.is_empty() {
+        eprintln!("resume: no journal in {}; running everything", dir.display());
+        return Vec::new();
+    }
+    if st.fingerprint != run_fingerprint(items, scale_name) {
+        eprintln!(
+            "resume: journal fingerprint {} does not match this invocation; running everything",
+            st.fingerprint
+        );
+        return Vec::new();
+    }
+    st.artifacts
+        .iter()
+        .filter(|a| a.ok)
+        .filter_map(|a| {
+            let stem = a.stem.clone()?;
+            let want = a.checksum.clone()?;
+            (checksum_on_disk(dir, &stem).as_ref() == Some(&want))
+                .then(|| (a.key.clone(), stem, a.bytes, want))
+        })
+        .collect()
+}
+
+/// Run the supervised sweep; returns the process exit code.
+fn run_supervised(opts: Opts) -> i32 {
+    if let Some(budget) = opts.event_budget {
+        simmpi::set_default_event_budget(Some(budget));
+    }
     let want = |k: &str| opts.items.iter().any(|i| i == "all" || i == k);
-
     if want("fig6") {
         eprintln!(
             "running Fig 6 on nodes {:?} (HPL weak scaling dominates the wall time)...",
@@ -169,28 +274,278 @@ fn main() {
         );
     }
 
-    let plan = RunPlan::from_items(&opts.items, &opts.scales);
-    let (artefacts, stats) = run_plan(plan, &opts.sweep);
-
-    for a in &artefacts {
-        for block in &a.blocks {
-            println!("{block}");
+    let mut plan = RunPlan::from_items(&opts.items, &opts.scales);
+    if let Some(needle) = &opts.inject_panic {
+        let hit = plan.inject_panic(needle);
+        if hit == 0 {
+            die(&format!("--inject-panic '{needle}' matched no cell"));
         }
-        if let Some((stem, content)) = &a.json {
-            // The resilience study is the one artefact with a default JSON
-            // home: it documents a full fault-injection campaign, so it is
-            // persisted even without --json.
-            match (&opts.json_dir, a.key) {
-                (Some(dir), _) => dump_json(dir, stem, content),
-                (None, "resilience") => dump_json(Path::new("repro_out"), stem, content),
-                (None, _) => {}
+        eprintln!("injected a panic into {hit} cell(s) matching '{needle}'");
+    }
+
+    let verified = match (&opts.json_dir, opts.resume) {
+        (Some(dir), true) => verified_artifacts(dir, &opts.items, opts.scale_name),
+        _ => Vec::new(),
+    };
+    let skip = |key: &'static str| verified.iter().any(|(k, _, _, _)| k == key);
+
+    // The journal is (re)created up front: a resumed run re-journals the
+    // verified artefacts it skips, so the journal always describes the
+    // directory as it stands. A journal that cannot be written degrades the
+    // run but does not stop it.
+    let mut degraded = false;
+    let mut journal = match &opts.json_dir {
+        Some(dir) => match Journal::create(dir, &opts.items, opts.scale_name) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("error: cannot write journal: {e}");
+                degraded = true;
+                None
+            }
+        },
+        None => None,
+    };
+    // First journal failure disables the journal (keeps the run alive) and
+    // marks the run degraded.
+    macro_rules! journal_try {
+        ($call:expr) => {
+            if let Some(j) = journal.as_mut() {
+                #[allow(clippy::redundant_closure_call)]
+                if let Err(e) = $call(j) {
+                    eprintln!("error: journal write failed, disabling journal: {e}");
+                    degraded = true;
+                    journal = None;
+                }
+            }
+        };
+    }
+
+    let (_, stats) = run_plan_supervised(plan, &opts.sweep, &opts.sup, &skip, |art| {
+        for r in &art.cells {
+            let (status, failure) = match &r.outcome {
+                CellOutcome::Completed => ("ok", None),
+                CellOutcome::Recovered => ("recovered", None),
+                CellOutcome::Quarantined { failure } => ("quarantined", Some(failure.brief())),
+            };
+            journal_try!(|j: &mut Journal| j.cell(
+                art.key,
+                &r.label,
+                status,
+                r.attempts,
+                r.wall_ms,
+                failure.as_deref(),
+            ));
+        }
+        match &art.outcome {
+            ArtefactOutcome::Completed(out) => {
+                for block in &out.blocks {
+                    println!("{block}");
+                }
+                // The resilience study is the one artefact with a default
+                // JSON home: it documents a full fault-injection campaign,
+                // so it is persisted even without --json.
+                let target = match (&opts.json_dir, art.key) {
+                    (Some(dir), _) => Some(dir.clone()),
+                    (None, "resilience") => Some(PathBuf::from("repro_out")),
+                    (None, _) => None,
+                };
+                match (&out.json, target) {
+                    (Some((stem, content)), Some(dir)) => {
+                        match write_json_atomic(&dir, stem, content) {
+                            Ok((outcome, checksum)) => {
+                                let path = dir.join(format!("{stem}.json"));
+                                match outcome {
+                                    WriteOutcome::Written => {
+                                        eprintln!("wrote {}", path.display())
+                                    }
+                                    WriteOutcome::Unchanged => {
+                                        eprintln!("unchanged {}", path.display())
+                                    }
+                                }
+                                journal_try!(|j: &mut Journal| j.artifact_json(
+                                    art.key,
+                                    stem,
+                                    content.len() as u64,
+                                    &checksum,
+                                    false,
+                                ));
+                            }
+                            Err(e) => {
+                                eprintln!("error: failed to persist artefact {}: {e}", art.key);
+                                degraded = true;
+                                journal_try!(|j: &mut Journal| j.artifact_failed(art.key));
+                            }
+                        }
+                    }
+                    _ => journal_try!(|j: &mut Journal| j.artifact_text(art.key)),
+                }
+            }
+            ArtefactOutcome::Skipped => {
+                eprintln!("resume: {} verified against journal, skipping", art.key);
+                if let Some((_, stem, bytes, checksum)) =
+                    verified.iter().find(|(k, _, _, _)| k == art.key)
+                {
+                    journal_try!(
+                        |j: &mut Journal| j.artifact_json(art.key, stem, *bytes, checksum, true,)
+                    );
+                }
+            }
+            ArtefactOutcome::Failed => {
+                degraded = true;
+                eprintln!("error: artefact {} lost to quarantined cells:", art.key);
+                for (label, brief) in art.quarantined() {
+                    eprintln!("  {label}: {brief}");
+                }
+                journal_try!(|j: &mut Journal| j.artifact_failed(art.key));
             }
         }
-    }
+    });
 
     if let Some(dir) = &opts.json_dir {
         let stats_json = serde_json::to_string_pretty(&stats).expect("stats serialization");
-        dump_json(dir, "_sweep_stats", &stats_json);
+        match write_json_atomic(dir, "_sweep_stats", &stats_json) {
+            Ok((WriteOutcome::Written, _)) => {
+                eprintln!("wrote {}", dir.join("_sweep_stats.json").display())
+            }
+            Ok((WriteOutcome::Unchanged, _)) => {
+                eprintln!("unchanged {}", dir.join("_sweep_stats.json").display())
+            }
+            Err(e) => {
+                eprintln!("error: failed to persist sweep stats: {e}");
+                degraded = true;
+            }
+        }
+    }
+    if let Some(j) = journal.as_mut() {
+        if let Err(e) = j.run_end(!degraded) {
+            eprintln!("error: journal write failed: {e}");
+            degraded = true;
+        }
     }
     eprintln!("{}", stats.summary());
+    if let Some(line) = stats.supervisor.summary() {
+        eprintln!("{line}");
+    }
+    if degraded {
+        eprintln!("run DEGRADED: at least one artefact was quarantined or lost");
+        EXIT_DEGRADED
+    } else {
+        0
+    }
+}
+
+/// Verify every journaled artefact against the files on disk, re-derive the
+/// broken ones, and report orphans. Returns the process exit code: 0 when
+/// everything verified, 3 when anything needed repair (or still fails).
+fn run_fsck(opts: Opts) -> i32 {
+    let dir = opts.json_dir.as_ref().expect("checked in parse_args");
+    let st = read_journal(dir);
+    if st.fingerprint.is_empty() {
+        die(&format!("no journal found in {}", dir.display()));
+    }
+    let scales = scales_by_name(&st.scale)
+        .unwrap_or_else(|| die(&format!("journal has unknown scale '{}'", st.scale)));
+
+    let mut broken: Vec<String> = Vec::new();
+    let mut stems_in_journal: Vec<String> = Vec::new();
+    for a in &st.artifacts {
+        match (&a.stem, &a.checksum, a.ok) {
+            (Some(stem), Some(want), true) => {
+                stems_in_journal.push(stem.clone());
+                match checksum_on_disk(dir, stem) {
+                    Some(got) if &got == want => eprintln!("fsck: {} ok", a.key),
+                    Some(_) => {
+                        eprintln!("fsck: {} CORRUPTED ({stem}.json checksum mismatch)", a.key);
+                        broken.push(a.key.clone());
+                    }
+                    None => {
+                        eprintln!("fsck: {} MISSING ({stem}.json)", a.key);
+                        broken.push(a.key.clone());
+                    }
+                }
+            }
+            (_, _, false) => {
+                eprintln!("fsck: {} FAILED in the journaled run", a.key);
+                broken.push(a.key.clone());
+            }
+            _ => eprintln!("fsck: {} ok (text-only, nothing persisted)", a.key),
+        }
+    }
+    // Orphans: visible JSON files the journal does not account for.
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(stem) = name.strip_suffix(".json") {
+                if !stem.starts_with(['_', '.']) && !stems_in_journal.iter().any(|s| s == stem) {
+                    eprintln!("fsck: warning: orphaned artefact {name} (not in the journal)");
+                }
+            }
+        }
+    }
+    if broken.is_empty() {
+        eprintln!("fsck: all journaled artefacts verified");
+        return 0;
+    }
+
+    eprintln!("fsck: re-deriving {} artefact(s): {}", broken.len(), broken.join(", "));
+    if let Some(budget) = opts.event_budget {
+        simmpi::set_default_event_budget(Some(budget));
+    }
+    let plan = RunPlan::from_items(&broken, &scales);
+    let mut journal = match Journal::open_append(dir) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            eprintln!("error: cannot append to journal: {e}");
+            None
+        }
+    };
+    let mut repair_failed = false;
+    let (_, _stats) =
+        run_plan_supervised(plan, &opts.sweep, &opts.sup, &|_| false, |art| match &art.outcome {
+            ArtefactOutcome::Completed(out) => {
+                if let Some((stem, content)) = &out.json {
+                    match write_json_atomic(dir, stem, content) {
+                        Ok((_, checksum)) => {
+                            eprintln!(
+                                "fsck: re-derived {}",
+                                dir.join(format!("{stem}.json")).display()
+                            );
+                            if let Some(j) = journal.as_mut() {
+                                let _ = j.artifact_json(
+                                    art.key,
+                                    stem,
+                                    content.len() as u64,
+                                    &checksum,
+                                    false,
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("error: failed to persist re-derived {}: {e}", art.key);
+                            repair_failed = true;
+                        }
+                    }
+                }
+            }
+            ArtefactOutcome::Skipped => unreachable!("fsck skips nothing"),
+            ArtefactOutcome::Failed => {
+                eprintln!("error: artefact {} still fails to derive:", art.key);
+                for (label, brief) in art.quarantined() {
+                    eprintln!("  {label}: {brief}");
+                }
+                repair_failed = true;
+            }
+        });
+    if repair_failed {
+        eprintln!("fsck: some artefacts could NOT be repaired");
+    } else {
+        eprintln!("fsck: repaired {} artefact(s)", broken.len());
+    }
+    EXIT_DEGRADED
+}
+
+fn main() {
+    let opts = parse_args();
+    let code = if opts.fsck { run_fsck(opts) } else { run_supervised(opts) };
+    std::process::exit(code);
 }

@@ -215,6 +215,12 @@ pub struct HplHeadline {
 
 /// Run the weak-scaling HPL headline on `nodes` Tibidabo nodes.
 pub fn hpl_headline(nodes: u32) -> HplHeadline {
+    try_hpl_headline(nodes).expect("HPL headline run failed")
+}
+
+/// [`hpl_headline`], surfacing the fault (watchdog event budget, injected
+/// crash, engine failure) that stopped the run instead of panicking.
+pub fn try_hpl_headline(nodes: u32) -> Result<HplHeadline, simmpi::MpiFault> {
     let m = Machine::tibidabo();
     let cfg = HplConfig::tibidabo_weak(nodes);
     let spec = m.job(nodes);
@@ -222,19 +228,18 @@ pub fn hpl_headline(nodes: u32) -> HplHeadline {
         let s = r.now();
         hpc_apps::hpl::hpl_rank(&mut r, &cfg).await;
         (r.now() - s).as_secs_f64()
-    })
-    .expect("HPL headline run failed");
+    })?;
     let seconds = run.results.iter().cloned().fold(0.0, f64::max);
     let gflops = cfg.flops() / seconds / 1e9;
     let green = green500(&m, &run, nodes, 1.0, gflops);
-    HplHeadline {
+    Ok(HplHeadline {
         nodes,
         n: cfg.n,
         seconds,
         gflops,
         efficiency: gflops / m.peak_gflops(nodes),
         green,
-    }
+    })
 }
 
 impl HplHeadline {

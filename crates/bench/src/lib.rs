@@ -26,16 +26,28 @@
 //! [`RunPlan::from_items`] decomposes a run into independent scenario cells,
 //! [`run_plan`] fans them out over a rayon pool and merges in canonical
 //! order, so `repro --jobs N` output is byte-identical to `--serial`.
+//!
+//! The [`supervisor`]/[`journal`]/[`artifact`] trio hardens that executor:
+//! [`run_plan_supervised`] quarantines panicking cells (capturing payload and
+//! backtrace), bounds each cell with a wall-clock watchdog plus the DES event
+//! budget, retries failures with a bit-identity determinism check, journals
+//! every settled artefact to an fsync'd `_journal.jsonl`, and persists JSON
+//! through the atomic, checksummed [`artifact::write_json_atomic`] writer —
+//! the machinery behind `repro --resume` and `repro --fsck`.
 
+pub mod artifact;
 mod extensions;
 mod fig12;
 mod fig345;
 mod fig67;
+pub mod journal;
 pub mod plan;
 mod resilience;
+pub mod supervisor;
 pub mod sweep;
 pub mod table;
 
+pub use artifact::{write_json_atomic, ArtifactIoError, WriteOutcome};
 pub use extensions::{ecc_risk_render, eee_render, imb_render, roofline_render};
 pub use fig12::{fig1, fig2a, fig2b, Fig1, Fig2};
 pub use fig345::{
@@ -44,11 +56,18 @@ pub use fig345::{
 };
 pub use fig67::{
     fig6, fig7, hpl_headline, latency_penalty, latency_penalty_render, table3_render,
-    table4_render, Fig6, Fig7, Fig7Panel, HplHeadline,
+    table4_render, try_hpl_headline, Fig6, Fig7, Fig7Panel, HplHeadline,
 };
-pub use plan::{run_plan, ArtefactOut, RunPlan, RunScales};
+pub use journal::{read_journal, run_fingerprint, Journal, ResumeState};
+pub use plan::{
+    run_plan, run_plan_supervised, ArtefactOut, ArtefactOutcome, RunPlan, RunScales,
+    SupervisedArtefact,
+};
 pub use resilience::{
     resilience_cell, resilience_contrast, resilience_grid, resilience_study, resilience_study_from,
     ResilienceCell, ResilienceContrast, ResilienceStudy, INCIDENCE_GRID,
+};
+pub use supervisor::{
+    CellFailure, CellOutcome, CellReport, SupervisorConfig, SupervisorStats, WatchdogMargin,
 };
 pub use sweep::{run_cells, Cell, CellTiming, SweepConfig, SweepStats};

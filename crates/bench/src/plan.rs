@@ -15,16 +15,23 @@
 //! Wall-clock timings and cache counters are nondeterministic and live only
 //! in [`SweepStats`](crate::SweepStats) — they never enter an artefact.
 
-use hpc_apps::{AppId, ScalingMeasurement};
-use soc_arch::Platform;
+use std::sync::Arc;
+use std::time::Instant;
 
+use hpc_apps::{AppId, ScalingMeasurement};
+use soc_arch::{cache_counters, Platform};
+
+use crate::artifact::fnv1a64;
 use crate::fig345::{fig34_base_energy, fig34_series_for, fig5_rows_for, SweepSeries};
-use crate::fig67::{fig7_cases, fig7_panel, Fig6, Fig7, Fig7Panel, HplHeadline};
+use crate::fig67::{fig7_cases, fig7_panel, try_hpl_headline, Fig6, Fig7, Fig7Panel, HplHeadline};
 use crate::resilience::{
     resilience_cell, resilience_contrast, resilience_grid, resilience_study_from, ResilienceCell,
     ResilienceContrast,
 };
-use crate::sweep::{run_cells, Cell, SweepConfig, SweepStats};
+use crate::supervisor::{
+    run_cells_supervised, stats_from_reports, CellReport, SupervisorConfig, SupervisorStats,
+};
+use crate::sweep::{run_cells, Cell, CellTiming, SweepConfig, SweepStats};
 use crate::{Fig1, Fig2, Fig34, Fig5};
 
 /// Problem scales for the scale-dependent artefacts (Fig 6, HPL, resilience).
@@ -63,6 +70,8 @@ impl RunScales {
 
 /// Output of one cell. The variants mirror the cell kinds of the paper's
 /// artefacts; each artefact's merge closure unwraps the variants it created.
+/// `Failed` carries a typed in-simulation fault (e.g. an exhausted DES event
+/// budget) — the supervisor intercepts it before any merge runs.
 enum CellOutput {
     Fig1(Fig1),
     Fig2(Fig2),
@@ -74,6 +83,39 @@ enum CellOutput {
     Text(String),
     ResCell(Box<ResilienceCell>),
     Contrast(Box<ResilienceContrast>),
+    Failed(String),
+}
+
+/// `Some(message)` when the cell carries a typed failure: the supervisor
+/// treats it exactly like a panic (retry, then quarantine) but with the
+/// fault's own rendering instead of a panic payload.
+fn classify_cell(o: &CellOutput) -> Option<String> {
+    match o {
+        CellOutput::Failed(m) => Some(m.clone()),
+        _ => None,
+    }
+}
+
+/// Deterministic fingerprint of a cell output, used by the supervisor to
+/// verify that a recovered cell reproduced its bytes. Serialisable payloads
+/// hash their JSON rendering — the same bytes that would enter an artefact.
+fn digest_cell(o: &CellOutput) -> u64 {
+    let json = |v: &dyn serde::Serialize| {
+        fnv1a64(serde_json::to_string(&v.to_value()).expect("cell digest").as_bytes())
+    };
+    match o {
+        CellOutput::Fig1(f) => json(f),
+        CellOutput::Fig2(f) => json(f),
+        CellOutput::Series34(s) => json(s),
+        CellOutput::StreamRows(r) => json(r),
+        CellOutput::Scaling(m) => json(m),
+        CellOutput::Panel7(p) => json(p.as_ref()),
+        CellOutput::Hpl(h) => json(h.as_ref()),
+        CellOutput::Text(t) => fnv1a64(t.as_bytes()),
+        CellOutput::ResCell(c) => json(c.as_ref()),
+        CellOutput::Contrast(c) => json(c.as_ref()),
+        CellOutput::Failed(m) => fnv1a64(m.as_bytes()),
+    }
 }
 
 /// One merged artefact, ready for the CLI: rendered text blocks (printed in
@@ -92,6 +134,10 @@ type MergeFn = Box<dyn FnOnce(Vec<CellOutput>) -> ArtefactOut + Send>;
 
 struct ArtefactSpec {
     key: &'static str,
+    /// JSON file stem this artefact persists under `--json` (statically
+    /// known so `--resume`/`--fsck` can map keys to files without running
+    /// any merge). `None` for text-only artefacts.
+    json_stem: Option<&'static str>,
     cells: Vec<Cell<CellOutput>>,
     merge: MergeFn,
 }
@@ -107,9 +153,13 @@ fn json_of<T: serde::Serialize>(value: &T) -> String {
 }
 
 /// A single-cell artefact holding one rendered text block.
-fn text_artefact(key: &'static str, gen: impl FnOnce() -> String + Send + 'static) -> ArtefactSpec {
+fn text_artefact(
+    key: &'static str,
+    gen: impl Fn() -> String + Send + Sync + 'static,
+) -> ArtefactSpec {
     ArtefactSpec {
         key,
+        json_stem: None,
         cells: vec![Cell::new(key, move || CellOutput::Text(gen()))],
         merge: Box::new(move |outs| {
             let blocks = outs
@@ -139,6 +189,7 @@ fn fig34_artefact(figure: &'static str, serial: bool) -> ArtefactSpec {
         .collect();
     ArtefactSpec {
         key,
+        json_stem: Some(key),
         cells,
         merge: Box::new(move |outs| {
             let series = outs
@@ -163,6 +214,7 @@ fn fig5_artefact() -> ArtefactSpec {
         .collect();
     ArtefactSpec {
         key: "fig5",
+        json_stem: Some("fig5"),
         cells,
         merge: Box::new(|outs| {
             let mut rows = Vec::new();
@@ -193,16 +245,16 @@ fn fig6_artefact(nodes: Vec<u32>) -> ArtefactSpec {
         let app = *app;
         for &n in counts {
             cells.push(Cell::new(format!("fig6/{app:?}/n={n}"), move || {
-                CellOutput::Scaling(hpc_apps::measure_scaling_cell(
-                    &cluster::Machine::tibidabo(),
-                    app,
-                    n,
-                ))
+                match hpc_apps::try_measure_scaling_cell(&cluster::Machine::tibidabo(), app, n) {
+                    Ok(m) => CellOutput::Scaling(m),
+                    Err(e) => CellOutput::Failed(e.to_string()),
+                }
             }));
         }
     }
     ArtefactSpec {
         key: "fig6",
+        json_stem: Some("fig6"),
         cells,
         merge: Box::new(move |outs| {
             let mut it = outs.into_iter();
@@ -234,12 +286,13 @@ fn fig7_artefact() -> ArtefactSpec {
         .into_iter()
         .map(|(label, plat, freq, proto)| {
             Cell::new(format!("fig7/{label}"), move || {
-                CellOutput::Panel7(Box::new(fig7_panel(label, plat, freq, proto)))
+                CellOutput::Panel7(Box::new(fig7_panel(label, plat.clone(), freq, proto)))
             })
         })
         .collect();
     ArtefactSpec {
         key: "fig7",
+        json_stem: Some("fig7"),
         cells,
         merge: Box::new(|outs| {
             let panels = outs
@@ -262,8 +315,10 @@ fn fig7_artefact() -> ArtefactSpec {
 fn hpl_artefact(nodes: u32) -> ArtefactSpec {
     ArtefactSpec {
         key: "hpl",
-        cells: vec![Cell::new(format!("hpl/n={nodes}"), move || {
-            CellOutput::Hpl(Box::new(crate::hpl_headline(nodes)))
+        json_stem: Some("hpl_headline"),
+        cells: vec![Cell::new(format!("hpl/n={nodes}"), move || match try_hpl_headline(nodes) {
+            Ok(h) => CellOutput::Hpl(Box::new(h)),
+            Err(e) => CellOutput::Failed(e.to_string()),
         })],
         merge: Box::new(|mut outs| {
             let h = match outs.pop() {
@@ -293,6 +348,7 @@ fn resilience_artefact(sizes: Vec<u32>) -> ArtefactSpec {
     }));
     ArtefactSpec {
         key: "resilience",
+        json_stem: Some("resilience"),
         cells,
         merge: Box::new(|mut outs| {
             let contrast = match outs.pop() {
@@ -327,6 +383,7 @@ impl RunPlan {
         if want("fig1") {
             artefacts.push(ArtefactSpec {
                 key: "fig1",
+                json_stem: Some("fig1"),
                 cells: vec![Cell::new("fig1", || CellOutput::Fig1(crate::fig1()))],
                 merge: Box::new(|mut outs| {
                     let fg = match outs.pop() {
@@ -347,6 +404,7 @@ impl RunPlan {
             if want(key) || want("fig2") {
                 artefacts.push(ArtefactSpec {
                     key,
+                    json_stem: Some(key),
                     cells: vec![Cell::new(key, move || CellOutput::Fig2(gen()))],
                     merge: Box::new(move |mut outs| {
                         let fg = match outs.pop() {
@@ -398,6 +456,7 @@ impl RunPlan {
         if want("extensions") {
             artefacts.push(ArtefactSpec {
                 key: "extensions",
+                json_stem: None,
                 cells: vec![
                     Cell::new("extensions/ecc", || CellOutput::Text(crate::ecc_risk_render())),
                     Cell::new("extensions/eee", || CellOutput::Text(crate::eee_render())),
@@ -431,6 +490,32 @@ impl RunPlan {
     pub fn keys(&self) -> Vec<&'static str> {
         self.artefacts.iter().map(|a| a.key).collect()
     }
+
+    /// `(key, json file stem)` for every artefact of the plan, in output
+    /// order — the static map `--resume`/`--fsck` use to pair journal
+    /// records with files on disk.
+    pub fn artefact_stems(&self) -> Vec<(&'static str, Option<&'static str>)> {
+        self.artefacts.iter().map(|a| (a.key, a.json_stem)).collect()
+    }
+
+    /// Replace the body of every cell whose label contains `needle` with one
+    /// that panics — the supervisor acceptance probe (`repro
+    /// --inject-panic`). Returns how many cells were sabotaged.
+    pub fn inject_panic(&mut self, needle: &str) -> usize {
+        let mut hit = 0;
+        for a in &mut self.artefacts {
+            for c in &mut a.cells {
+                if c.label.contains(needle) {
+                    let label = c.label.clone();
+                    c.run = Arc::new(move || -> CellOutput {
+                        panic!("injected panic in cell {label} (via --inject-panic)")
+                    });
+                    hit += 1;
+                }
+            }
+        }
+        hit
+    }
 }
 
 /// Execute a plan on the sweep executor and merge every artefact in
@@ -458,6 +543,113 @@ pub fn run_plan(plan: RunPlan, cfg: &SweepConfig) -> (Vec<ArtefactOut>, SweepSta
     }
     artefacts.reverse();
     (artefacts, stats)
+}
+
+/// One artefact's outcome under supervised execution.
+pub enum ArtefactOutcome {
+    /// Every cell produced a trustworthy output and the merge ran.
+    Completed(ArtefactOut),
+    /// Skipped by `--resume`: the journal + on-disk checksum verified.
+    Skipped,
+    /// At least one cell was quarantined; no artefact was produced. The
+    /// evidence is in the sibling [`SupervisedArtefact::cells`] reports.
+    Failed,
+}
+
+/// Result of one artefact under [`run_plan_supervised`].
+pub struct SupervisedArtefact {
+    /// Stable artefact key.
+    pub key: &'static str,
+    /// JSON file stem the artefact persists under `--json`, if any.
+    pub json_stem: Option<&'static str>,
+    /// What happened.
+    pub outcome: ArtefactOutcome,
+    /// Per-cell supervisor reports (empty when skipped).
+    pub cells: Vec<CellReport>,
+}
+
+impl SupervisedArtefact {
+    /// The quarantined cells' labels and failure briefs.
+    pub fn quarantined(&self) -> Vec<(String, String)> {
+        self.cells
+            .iter()
+            .filter(|r| !r.succeeded())
+            .map(|r| {
+                let brief = match &r.outcome {
+                    crate::supervisor::CellOutcome::Quarantined { failure } => failure.brief(),
+                    _ => unreachable!("non-quarantined cell in failed filter"),
+                };
+                (r.label.clone(), brief)
+            })
+            .collect()
+    }
+}
+
+/// Execute a plan under the sweep supervisor.
+///
+/// Artefacts run sequentially in canonical paper order (cells within an
+/// artefact still fan out over `cfg.jobs` workers), and `on_artefact` fires
+/// as soon as each artefact settles — the `repro` binary prints, persists,
+/// and journals incrementally, so an interrupted run leaves every finished
+/// artefact durably on disk. `skip` marks artefacts to resume past; a
+/// quarantined cell fails only its own artefact, every other artefact
+/// completes, and deterministic outputs remain byte-identical to
+/// [`run_plan`] for any worker count.
+pub fn run_plan_supervised(
+    plan: RunPlan,
+    cfg: &SweepConfig,
+    sup: &SupervisorConfig,
+    skip: &dyn Fn(&'static str) -> bool,
+    mut on_artefact: impl FnMut(&SupervisedArtefact),
+) -> (Vec<SupervisedArtefact>, SweepStats) {
+    let jobs = cfg.jobs.max(1);
+    let started = Instant::now();
+    let cache_before = cache_counters();
+    let mut results = Vec::with_capacity(plan.artefacts.len());
+    let mut cell_timings = Vec::new();
+    let mut sup_stats = SupervisorStats::default();
+    let mut executed = 0;
+
+    for a in plan.artefacts {
+        if skip(a.key) {
+            sup_stats.resumed_skipped += 1;
+            let art = SupervisedArtefact {
+                key: a.key,
+                json_stem: a.json_stem,
+                outcome: ArtefactOutcome::Skipped,
+                cells: Vec::new(),
+            };
+            on_artefact(&art);
+            results.push(art);
+            continue;
+        }
+        executed += a.cells.len();
+        let (outs, reports) = run_cells_supervised(a.cells, cfg, sup, classify_cell, digest_cell);
+        cell_timings.extend(
+            reports.iter().map(|r| CellTiming { label: r.label.clone(), wall_ms: r.wall_ms }),
+        );
+        sup_stats.absorb(stats_from_reports(&reports, sup));
+        let outcome = if outs.iter().all(Option::is_some) {
+            let outs: Vec<CellOutput> = outs.into_iter().flatten().collect();
+            ArtefactOutcome::Completed((a.merge)(outs))
+        } else {
+            ArtefactOutcome::Failed
+        };
+        let art =
+            SupervisedArtefact { key: a.key, json_stem: a.json_stem, outcome, cells: reports };
+        on_artefact(&art);
+        results.push(art);
+    }
+
+    let stats = SweepStats {
+        jobs,
+        cells: executed,
+        wall_s: started.elapsed().as_secs_f64(),
+        timing_cache: cache_before.delta_to(&cache_counters()),
+        cell_timings,
+        supervisor: sup_stats,
+    };
+    (results, stats)
 }
 
 #[cfg(test)]

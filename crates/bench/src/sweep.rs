@@ -9,11 +9,13 @@
 //! only nondeterminism (wall-clock timings, cache hit counters) is kept in
 //! [`SweepStats`], which callers must never mix into byte-compared artefacts.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use serde::Serialize;
 use soc_arch::{cache_counters, CacheCounters};
+
+use crate::supervisor::SupervisorStats;
 
 /// How many workers execute the sweep.
 #[derive(Clone, Copy, Debug)]
@@ -43,17 +45,23 @@ impl SweepConfig {
 
 /// One schedulable unit of work: a label for the stats report plus the
 /// closure that computes the cell's output.
+///
+/// The body is a re-runnable `Fn` (shared via `Arc`) rather than a `FnOnce`:
+/// the sweep supervisor retries failed cells and re-executes recovered ones
+/// to verify determinism, so a cell must produce the same output however
+/// many times it runs.
 pub struct Cell<O> {
     /// Human-readable cell identity, e.g. `fig6/HPL/n=96`.
     pub label: String,
-    /// The cell body. Runs exactly once, on an arbitrary worker.
-    pub run: Box<dyn FnOnce() -> O + Send>,
+    /// The cell body. May run more than once (retry, determinism check); it
+    /// must be a pure function of its captures.
+    pub run: Arc<dyn Fn() -> O + Send + Sync>,
 }
 
 impl<O> Cell<O> {
     /// Convenience constructor.
-    pub fn new(label: impl Into<String>, run: impl FnOnce() -> O + Send + 'static) -> Self {
-        Cell { label: label.into(), run: Box::new(run) }
+    pub fn new(label: impl Into<String>, run: impl Fn() -> O + Send + Sync + 'static) -> Self {
+        Cell { label: label.into(), run: Arc::new(run) }
     }
 }
 
@@ -81,6 +89,9 @@ pub struct SweepStats {
     pub timing_cache: CacheCounters,
     /// Per-cell wall-clock timings, in specification order.
     pub cell_timings: Vec<CellTiming>,
+    /// Supervisor outcomes (quarantines, retries, resume skips, watchdog
+    /// margins). All-zero for unsupervised [`run_cells`] runs.
+    pub supervisor: SupervisorStats,
 }
 
 impl SweepStats {
@@ -144,6 +155,7 @@ pub fn run_cells<O: Send>(cells: Vec<Cell<O>>, cfg: &SweepConfig) -> (Vec<O>, Sw
         wall_s: started.elapsed().as_secs_f64(),
         timing_cache: cache_before.delta_to(&cache_counters()),
         cell_timings,
+        supervisor: SupervisorStats::default(),
     };
     (outputs, stats)
 }

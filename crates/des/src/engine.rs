@@ -93,6 +93,19 @@ pub enum SimError {
         /// Stringified OS error.
         reason: String,
     },
+    /// The simulation dispatched more events than its configured budget
+    /// (see [`Engine::set_event_budget`]). This is the watchdog that turns a
+    /// runaway or livelocked simulation into a typed error instead of an
+    /// unbounded spin: the run aborts deterministically at the first event
+    /// past the budget.
+    EventBudgetExhausted {
+        /// Virtual time at which the budget ran out.
+        at: SimTime,
+        /// Events dispatched when the run was aborted.
+        events: u64,
+        /// The configured budget.
+        budget: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -106,6 +119,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::SpawnFailed { process, reason } => {
                 write!(f, "failed to spawn thread for process '{process}': {reason}")
+            }
+            SimError::EventBudgetExhausted { at, events, budget } => {
+                write!(
+                    f,
+                    "event budget exhausted at {at}: {events} events dispatched (budget {budget})"
+                )
             }
         }
     }
@@ -234,6 +253,9 @@ pub struct Engine {
     /// Futures of event-driven processes, indexed by pid; `None` for
     /// thread-backed pids and for finished event processes.
     tasks: Vec<Option<ProcFuture>>,
+    /// Abort the run with [`SimError::EventBudgetExhausted`] once this many
+    /// events have been dispatched. `None` = unlimited (the default).
+    event_budget: Option<u64>,
 }
 
 // The sweep harness constructs one engine per scenario cell and drives it on
@@ -273,7 +295,26 @@ impl Engine {
             yield_rx,
             threads: Vec::new(),
             tasks: Vec::new(),
+            event_budget: None,
         }
+    }
+
+    /// Bound the simulation to at most `budget` dispatched events.
+    ///
+    /// The count includes stale events (the same counter reported by
+    /// [`RunReport::events`]), so the bound is a hard ceiling on scheduler
+    /// work regardless of what the processes do. When the budget runs out,
+    /// [`Engine::run`] aborts with [`SimError::EventBudgetExhausted`] at a
+    /// deterministic point: the same program with the same budget always
+    /// stops at the same event and virtual time. `None` removes the bound.
+    pub fn set_event_budget(&mut self, budget: Option<u64>) {
+        self.event_budget = budget;
+    }
+
+    /// Builder-style [`Engine::set_event_budget`].
+    pub fn with_event_budget(mut self, budget: Option<u64>) -> Self {
+        self.event_budget = budget;
+        self
     }
 
     /// Register a new process slot and its time-zero start event.
@@ -414,6 +455,15 @@ impl Engine {
                     });
                 }
                 let ev = loop {
+                    if let Some(budget) = self.event_budget {
+                        if st.events_dispatched >= budget {
+                            return Err(SimError::EventBudgetExhausted {
+                                at: st.now,
+                                events: st.events_dispatched,
+                                budget,
+                            });
+                        }
+                    }
                     match st.queue.pop() {
                         Some(ev) => {
                             st.events_dispatched += 1;
@@ -1170,6 +1220,73 @@ mod tests {
         }
         eng.run().unwrap();
         assert_eq!(*trace.lock(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn event_budget_exhaustion_is_typed_and_deterministic() {
+        let run_with_budget = |budget: u64| {
+            let mut eng = Engine::new();
+            eng.set_event_budget(Some(budget));
+            eng.spawn_process("spinner", |ctx| async move {
+                loop {
+                    ctx.advance(SimTime::from_micros(1)).await;
+                }
+            });
+            eng.run()
+        };
+        // A process that never finishes would spin forever without the
+        // budget; with it, the run aborts with a typed error.
+        match run_with_budget(100) {
+            Err(SimError::EventBudgetExhausted { at, events, budget }) => {
+                assert_eq!(budget, 100);
+                assert_eq!(events, 100);
+                // Identical program + budget → identical abort point.
+                assert_eq!(run_with_budget(100).unwrap_err().to_string(), {
+                    let err = SimError::EventBudgetExhausted { at, events, budget };
+                    err.to_string()
+                });
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_event_budget_changes_nothing() {
+        let run = |budget: Option<u64>| {
+            let mut eng = Engine::new().with_event_budget(budget);
+            eng.spawn_process("p", |ctx| async move {
+                for _ in 0..10 {
+                    ctx.advance(SimTime::from_micros(3)).await;
+                }
+            });
+            eng.run().unwrap()
+        };
+        let bounded = run(Some(1_000_000));
+        let unbounded = run(None);
+        assert_eq!(bounded, unbounded);
+        assert_eq!(bounded.end_time, SimTime::from_micros(30));
+    }
+
+    #[test]
+    fn budget_abort_tears_down_thread_processes() {
+        // A thread-backed bystander must not hang the teardown when the
+        // budget aborts the run mid-flight.
+        let mut eng = Engine::new();
+        eng.set_event_budget(Some(5));
+        eng.spawn_process("spinner", |ctx| async move {
+            loop {
+                ctx.advance(SimTime::from_micros(1)).await;
+            }
+        });
+        eng.spawn("parked", |ctx| {
+            ctx.park(); // never woken
+        })
+        .unwrap();
+        match eng.run() {
+            Err(SimError::EventBudgetExhausted { .. }) => {}
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+        // `run` returning at all proves the parked thread was unblocked.
     }
 
     #[test]

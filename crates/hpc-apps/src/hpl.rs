@@ -442,8 +442,9 @@ async fn verify(
     Some(r_inf / (eps * (a_inf * x_inf + b_inf) * n as f64))
 }
 
-/// Run HPL on a job spec; returns the aggregate result.
-pub fn run_hpl(spec: JobSpec, cfg: HplConfig) -> HplResult {
+/// Run HPL on a job spec; returns the aggregate result, or the fault (node
+/// crash, timeout, watchdog budget, engine failure) that stopped the run.
+pub fn try_run_hpl(spec: JobSpec, cfg: HplConfig) -> Result<HplResult, simmpi::MpiFault> {
     let cfg_c = cfg;
     let run = simmpi::run_mpi(spec, move |mut r| async move {
         let t0 = r.now();
@@ -452,11 +453,16 @@ pub fn run_hpl(spec: JobSpec, cfg: HplConfig) -> HplResult {
         // Propagate the factorisation time (max over ranks).
         let tmax = r.allreduce(ReduceOp::Max, vec![dt]).await;
         (tmax[0], residual)
-    })
-    .expect("HPL run failed");
+    })?;
     let seconds = run.results[0].0;
     let residual = run.results[0].1;
-    HplResult { seconds, gflops: cfg.flops() / seconds / 1e9, residual }
+    Ok(HplResult { seconds, gflops: cfg.flops() / seconds / 1e9, residual })
+}
+
+/// [`try_run_hpl`] for callers on a clean (fault-free, unbudgeted) spec,
+/// where a failure is a programming error.
+pub fn run_hpl(spec: JobSpec, cfg: HplConfig) -> HplResult {
+    try_run_hpl(spec, cfg).expect("HPL run failed")
 }
 
 #[cfg(test)]

@@ -234,8 +234,9 @@ pub async fn hydro_rank(r: &mut Rank, cfg: &HydroConfig) -> f64 {
     strip.map_or(0.0, |s| s.total_mass())
 }
 
-/// Run HYDRO; returns `(elapsed_seconds, total_mass)`.
-pub fn run_hydro(spec: JobSpec, cfg: HydroConfig) -> (f64, f64) {
+/// Run HYDRO; returns `(elapsed_seconds, total_mass)`, or the fault that
+/// stopped the run.
+pub fn try_run_hydro(spec: JobSpec, cfg: HydroConfig) -> Result<(f64, f64), simmpi::MpiFault> {
     let run = simmpi::run_mpi(spec, move |mut r| async move {
         let t0 = r.now();
         let mass = hydro_rank(&mut r, &cfg).await;
@@ -243,9 +244,13 @@ pub fn run_hydro(spec: JobSpec, cfg: HydroConfig) -> (f64, f64) {
         let dt = (r.now() - t0).as_secs_f64();
         let total = r.allreduce(ReduceOp::Sum, vec![mass]).await;
         (dt, total[0])
-    })
-    .expect("HYDRO run failed");
-    (run.results.iter().map(|x| x.0).fold(0.0, f64::max), run.results[0].1)
+    })?;
+    Ok((run.results.iter().map(|x| x.0).fold(0.0, f64::max), run.results[0].1))
+}
+
+/// [`try_run_hydro`] for callers on a clean spec.
+pub fn run_hydro(spec: JobSpec, cfg: HydroConfig) -> (f64, f64) {
+    try_run_hydro(spec, cfg).expect("HYDRO run failed")
 }
 
 #[cfg(test)]

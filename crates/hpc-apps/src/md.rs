@@ -270,8 +270,9 @@ pub async fn md_rank(r: &mut Rank, cfg: &MdConfig) -> (f64, f64) {
     }
 }
 
-/// Run MD; returns `(elapsed_seconds, total_kinetic, total_potential)`.
-pub fn run_md(spec: JobSpec, cfg: MdConfig) -> (f64, f64, f64) {
+/// Run MD; returns `(elapsed_seconds, total_kinetic, total_potential)`, or
+/// the fault that stopped the run.
+pub fn try_run_md(spec: JobSpec, cfg: MdConfig) -> Result<(f64, f64, f64), simmpi::MpiFault> {
     let run = simmpi::run_mpi(spec, move |mut r| async move {
         let t0 = r.now();
         let (ke, pe) = md_rank(&mut r, &cfg).await;
@@ -279,10 +280,14 @@ pub fn run_md(spec: JobSpec, cfg: MdConfig) -> (f64, f64, f64) {
         let dt = (r.now() - t0).as_secs_f64();
         let tot = r.allreduce(ReduceOp::Sum, vec![ke, pe]).await;
         (dt, tot[0], tot[1])
-    })
-    .expect("MD run failed");
+    })?;
     let t = run.results.iter().map(|x| x.0).fold(0.0, f64::max);
-    (t, run.results[0].1, run.results[0].2)
+    Ok((t, run.results[0].1, run.results[0].2))
+}
+
+/// [`try_run_md`] for callers on a clean spec.
+pub fn run_md(spec: JobSpec, cfg: MdConfig) -> (f64, f64, f64) {
+    try_run_md(spec, cfg).expect("MD run failed")
 }
 
 #[cfg(test)]

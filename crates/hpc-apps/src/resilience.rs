@@ -229,6 +229,20 @@ pub fn run_hpl_resilient(
     rc: &ResilienceConfig,
     plan: &FaultPlan,
 ) -> ResilienceReport {
+    try_run_hpl_resilient(base, cfg, rc, plan).expect("fault-free baseline must complete")
+}
+
+/// [`run_hpl_resilient`] surfacing a baseline failure as a typed error: the
+/// fault-free reference run has no fault plan, so it can only fail on a
+/// simulator-level error — most usefully a watchdog
+/// [`EventBudgetExhausted`](des::SimError::EventBudgetExhausted) on a
+/// runaway cell.
+pub fn try_run_hpl_resilient(
+    base: JobSpec,
+    cfg: HplConfig,
+    rc: &ResilienceConfig,
+    plan: &FaultPlan,
+) -> Result<ResilienceReport, MpiFault> {
     let logical = base.ranks.div_ceil(base.ranks_per_node);
     let physical = base.topology.nodes();
     assert!(logical <= physical, "topology must hold the job (+ spares)");
@@ -241,8 +255,7 @@ pub fn run_hpl_resilient(
             hpl_rank_ckpt(&mut r, &cfg, None).await;
             let dt = (r.now() - t0).as_secs_f64();
             r.allreduce(ReduceOp::Max, vec![dt]).await[0]
-        })
-        .expect("fault-free baseline must complete");
+        })?;
         run.results[0]
     };
 
@@ -342,7 +355,7 @@ pub fn run_hpl_resilient(
     if report.completed && clean_secs > 0.0 {
         report.inflation = report.total_secs / clean_secs;
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -6,14 +6,14 @@
 
 use cluster::Machine;
 use serde::{Deserialize, Serialize};
-use simmpi::JobSpec;
+use simmpi::{JobSpec, MpiFault};
 
-use crate::hpl::{run_hpl, HplConfig};
-use crate::hydro::{run_hydro, HydroConfig};
-use crate::md::{run_md, MdConfig};
+use crate::hpl::{try_run_hpl, HplConfig};
+use crate::hydro::{try_run_hydro, HydroConfig};
+use crate::md::{try_run_md, MdConfig};
 use crate::registry::{table3, AppId};
-use crate::sem::{run_sem, SemConfig};
-use crate::treecode::{run_treecode, TreeConfig};
+use crate::sem::{try_run_sem, SemConfig};
+use crate::treecode::{try_run_treecode, TreeConfig};
 
 /// The node counts of the Fig 6 x-axis.
 pub const FIG6_NODES: [u32; 7] = [4, 8, 16, 24, 32, 64, 96];
@@ -43,18 +43,18 @@ pub struct ScalingSeries {
 
 /// Returns `(seconds, hpl_efficiency)` — the efficiency is only meaningful
 /// for HPL's weak-scaling series.
-fn elapsed_for(app: AppId, spec: JobSpec, nodes: u32) -> (f64, f64) {
+fn try_elapsed_for(app: AppId, spec: JobSpec, nodes: u32) -> Result<(f64, f64), MpiFault> {
     let peak_node = spec.platform.soc.peak_gflops_max();
-    match app {
+    Ok(match app {
         AppId::Hpl => {
-            let res = run_hpl(spec, HplConfig::tibidabo_weak(nodes));
+            let res = try_run_hpl(spec, HplConfig::tibidabo_weak(nodes))?;
             (res.seconds, res.gflops / (nodes as f64 * peak_node))
         }
-        AppId::Pepc => (run_treecode(spec, TreeConfig::fig6()).0, 0.0),
-        AppId::Hydro => (run_hydro(spec, HydroConfig::fig6()).0, 0.0),
-        AppId::Gromacs => (run_md(spec, MdConfig::fig6()).0, 0.0),
-        AppId::Specfem3d => (run_sem(spec, SemConfig::fig6()).0, 0.0),
-    }
+        AppId::Pepc => (try_run_treecode(spec, TreeConfig::fig6())?.0, 0.0),
+        AppId::Hydro => (try_run_hydro(spec, HydroConfig::fig6())?.0, 0.0),
+        AppId::Gromacs => (try_run_md(spec, MdConfig::fig6())?.0, 0.0),
+        AppId::Specfem3d => (try_run_sem(spec, SemConfig::fig6())?.0, 0.0),
+    })
 }
 
 /// One raw Fig 6 measurement: a single (application, node-count) simulation.
@@ -87,10 +87,20 @@ pub fn runnable_nodes(app: AppId, node_counts: &[u32]) -> Vec<u32> {
     counts
 }
 
+/// Run one (application, node-count) cell on `machine`, surfacing the fault
+/// (watchdog budget, injected crash, engine failure) that stopped the run.
+pub fn try_measure_scaling_cell(
+    machine: &Machine,
+    app: AppId,
+    nodes: u32,
+) -> Result<ScalingMeasurement, MpiFault> {
+    let (seconds, hpl_efficiency) = try_elapsed_for(app, machine.job(nodes), nodes)?;
+    Ok(ScalingMeasurement { nodes, seconds, hpl_efficiency })
+}
+
 /// Run one (application, node-count) cell on `machine`.
 pub fn measure_scaling_cell(machine: &Machine, app: AppId, nodes: u32) -> ScalingMeasurement {
-    let (seconds, hpl_efficiency) = elapsed_for(app, machine.job(nodes), nodes);
-    ScalingMeasurement { nodes, seconds, hpl_efficiency }
+    try_measure_scaling_cell(machine, app, nodes).expect("scaling cell failed")
 }
 
 /// Assemble a Fig 6 series from per-cell measurements (in ascending node

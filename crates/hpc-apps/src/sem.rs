@@ -327,8 +327,9 @@ pub async fn sem_rank(r: &mut Rank, cfg: &SemConfig) -> f64 {
     energy
 }
 
-/// Run the SEM code; returns `(elapsed_seconds, global_energy)`.
-pub fn run_sem(spec: JobSpec, cfg: SemConfig) -> (f64, f64) {
+/// Run the SEM code; returns `(elapsed_seconds, global_energy)`, or the
+/// fault that stopped the run.
+pub fn try_run_sem(spec: JobSpec, cfg: SemConfig) -> Result<(f64, f64), simmpi::MpiFault> {
     let run = simmpi::run_mpi(spec, move |mut r| async move {
         let t0 = r.now();
         let e = sem_rank(&mut r, &cfg).await;
@@ -336,9 +337,13 @@ pub fn run_sem(spec: JobSpec, cfg: SemConfig) -> (f64, f64) {
         let dt = (r.now() - t0).as_secs_f64();
         let tot = r.allreduce(ReduceOp::Sum, vec![e]).await;
         (dt, tot[0])
-    })
-    .expect("SEM run failed");
-    (run.results.iter().map(|x| x.0).fold(0.0, f64::max), run.results[0].1)
+    })?;
+    Ok((run.results.iter().map(|x| x.0).fold(0.0, f64::max), run.results[0].1))
+}
+
+/// [`try_run_sem`] for callers on a clean spec.
+pub fn run_sem(spec: JobSpec, cfg: SemConfig) -> (f64, f64) {
+    try_run_sem(spec, cfg).expect("SEM run failed")
 }
 
 #[cfg(test)]

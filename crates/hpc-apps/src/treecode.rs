@@ -308,8 +308,9 @@ pub async fn treecode_rank(r: &mut Rank, cfg: &TreeConfig) -> f64 {
     field_sum
 }
 
-/// Run the tree code; returns `(elapsed_seconds, global_field_sum)`.
-pub fn run_treecode(spec: JobSpec, cfg: TreeConfig) -> (f64, f64) {
+/// Run the tree code; returns `(elapsed_seconds, global_field_sum)`, or the
+/// fault that stopped the run.
+pub fn try_run_treecode(spec: JobSpec, cfg: TreeConfig) -> Result<(f64, f64), simmpi::MpiFault> {
     let run = simmpi::run_mpi(spec, move |mut r| async move {
         let t0 = r.now();
         let f = treecode_rank(&mut r, &cfg).await;
@@ -317,9 +318,13 @@ pub fn run_treecode(spec: JobSpec, cfg: TreeConfig) -> (f64, f64) {
         let dt = (r.now() - t0).as_secs_f64();
         let total = r.allreduce(ReduceOp::Sum, vec![f]).await;
         (dt, total[0])
-    })
-    .expect("treecode run failed");
-    (run.results.iter().map(|x| x.0).fold(0.0, f64::max), run.results[0].1)
+    })?;
+    Ok((run.results.iter().map(|x| x.0).fold(0.0, f64::max), run.results[0].1))
+}
+
+/// [`try_run_treecode`] for callers on a clean spec.
+pub fn run_treecode(spec: JobSpec, cfg: TreeConfig) -> (f64, f64) {
+    try_run_treecode(spec, cfg).expect("treecode run failed")
 }
 
 #[cfg(test)]

@@ -53,6 +53,9 @@ pub enum JobSpecError {
         /// Human-readable description of the offending field.
         reason: &'static str,
     },
+    /// `event_budget` is `Some(0)`: a zero budget can never dispatch even
+    /// the ranks' start events, so the spec is unrunnable by construction.
+    BadEventBudget,
 }
 
 impl fmt::Display for JobSpecError {
@@ -74,6 +77,9 @@ impl fmt::Display for JobSpecError {
             }
             JobSpecError::BadRetryPolicy { reason } => {
                 write!(f, "invalid retry policy: {reason}")
+            }
+            JobSpecError::BadEventBudget => {
+                write!(f, "event_budget must be positive when set")
             }
         }
     }

@@ -44,5 +44,5 @@ pub use error::{JobSpecError, MpiFault};
 pub use imb::{imb_collective, imb_rank_sweep, ImbOp, ImbPoint};
 pub use payload::Msg;
 pub use pingpong::{large_sizes, pingpong, small_sizes, PingPongPoint};
-pub use rank::{run_mpi, MpiRun, Rank};
+pub use rank::{default_event_budget, run_mpi, set_default_event_budget, MpiRun, Rank};
 pub use world::{JobSpec, NetStats, RetryPolicy};

@@ -37,6 +37,7 @@
 //! instant and `run_mpi` reports it.
 
 use std::future::Future;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use des::{Engine, ProcCtx, SimTime};
@@ -46,6 +47,27 @@ use soc_arch::WorkProfile;
 use crate::error::MpiFault;
 use crate::payload::Msg;
 use crate::world::{matches, Delivery, InMsg, JobSpec, NetStats, World};
+
+/// Process-global default engine-event budget applied to every [`run_mpi`]
+/// job whose spec leaves `event_budget` unset. `0` = unlimited.
+static DEFAULT_EVENT_BUDGET: AtomicU64 = AtomicU64::new(0);
+
+/// Set the process-global default event budget for jobs that do not set
+/// [`JobSpec::event_budget`] themselves (the `repro --max-cell-events`
+/// plumbing: one switch bounds every simulation a sweep runs without
+/// threading a parameter through every driver signature). `None` or
+/// `Some(0)` removes the default.
+pub fn set_default_event_budget(budget: Option<u64>) {
+    DEFAULT_EVENT_BUDGET.store(budget.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The current process-global default event budget, if any.
+pub fn default_event_budget() -> Option<u64> {
+    match DEFAULT_EVENT_BUDGET.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
 
 /// A rank's handle to the simulated job. Passed by value to the rank body
 /// closure by [`run_mpi`]; the body moves it into its `async` block.
@@ -123,12 +145,13 @@ where
     Fut: Future<Output = R> + Send + 'static,
 {
     spec.validate().map_err(MpiFault::InvalidSpec)?;
+    let budget = spec.event_budget.or_else(default_event_budget);
     let world = Arc::new(World::new(spec));
     let nranks = world.spec.ranks;
     let results: Arc<Mutex<Vec<Option<R>>>> =
         Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
 
-    let mut engine = Engine::new();
+    let mut engine = Engine::new().with_event_budget(budget);
     for r in 0..nranks {
         let pid = engine.spawn_process(format!("rank{r}"), |ctx| {
             let world_for_rank = Arc::clone(&world);
@@ -1033,6 +1056,55 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err, MpiFault::RankDied { rank: 1, node: 3, at: SimTime::from_millis(1) });
+    }
+
+    #[test]
+    fn event_budget_turns_runaway_job_into_typed_fault() {
+        // A ping-pong loop that would run ~forever: the budget aborts it
+        // with a typed engine error instead of spinning.
+        let s = spec(2).with_event_budget(Some(500));
+        let err = run_mpi(s, |mut r| async move {
+            let peer = 1 - r.rank();
+            loop {
+                if r.rank() == 0 {
+                    r.send(peer, 0, Msg::empty()).await;
+                    r.recv(peer, 0).await;
+                } else {
+                    r.recv(peer, 0).await;
+                    r.send(peer, 0, Msg::empty()).await;
+                }
+            }
+        })
+        .unwrap_err();
+        match err {
+            MpiFault::Engine(SimError::EventBudgetExhausted { events, budget: 500, .. }) => {
+                assert_eq!(events, 500);
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_leaves_results_identical() {
+        let go = |budget: Option<u64>| {
+            run_mpi(spec(4).with_event_budget(budget), |mut r| async move {
+                let next = (r.rank() + 1) % r.size();
+                let prev = (r.rank() + r.size() - 1) % r.size();
+                r.sendrecv(next, 1, Msg::size_only(4096), prev, 1).await;
+                r.now().as_nanos()
+            })
+            .unwrap()
+        };
+        let bounded = go(Some(10_000_000));
+        let unbounded = go(None);
+        assert_eq!(bounded.results, unbounded.results);
+        assert_eq!(bounded.elapsed, unbounded.elapsed);
+    }
+
+    #[test]
+    fn zero_event_budget_is_rejected_by_validation() {
+        let err = run_mpi(spec(2).with_event_budget(Some(0)), |_| async {}).unwrap_err();
+        assert_eq!(err, MpiFault::InvalidSpec(crate::JobSpecError::BadEventBudget));
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub struct JobSpec {
     /// driver re-run a job on surviving nodes plus spares without changing
     /// rank numbering. `None` = identity.
     pub node_map: Option<Vec<u32>>,
+    /// Watchdog budget on dispatched engine events for this job. `None`
+    /// falls back to the process-global default
+    /// ([`set_default_event_budget`](crate::set_default_event_budget));
+    /// exhaustion surfaces as
+    /// [`MpiFault::Engine`]`(`[`SimError::EventBudgetExhausted`]`)`.
+    ///
+    /// [`MpiFault::Engine`]: crate::MpiFault::Engine
+    /// [`SimError::EventBudgetExhausted`]: des::SimError::EventBudgetExhausted
+    pub event_budget: Option<u64>,
 }
 
 /// Message retransmission and receive-timeout policy.
@@ -85,6 +94,7 @@ impl JobSpec {
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
             node_map: None,
+            event_budget: None,
         }
     }
 
@@ -129,6 +139,13 @@ impl JobSpec {
     /// spare nodes after a crash).
     pub fn with_node_map(mut self, map: Vec<u32>) -> JobSpec {
         self.node_map = Some(map);
+        self
+    }
+
+    /// Builder: bound this job to at most `budget` dispatched engine events
+    /// (a simulated-event watchdog; `validate` rejects `Some(0)`).
+    pub fn with_event_budget(mut self, budget: Option<u64>) -> JobSpec {
+        self.event_budget = budget;
         self
     }
 
@@ -193,6 +210,9 @@ impl JobSpec {
             return Err(JobSpecError::BadRetryPolicy {
                 reason: "recv_timeout must be positive when set",
             });
+        }
+        if self.event_budget == Some(0) {
+            return Err(JobSpecError::BadEventBudget);
         }
         Ok(())
     }

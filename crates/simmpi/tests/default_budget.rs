@@ -1,0 +1,60 @@
+//! The process-global default event budget (`--max-cell-events` plumbing).
+//!
+//! Lives in its own integration-test binary because it mutates process-global
+//! state: in the unit-test binary a concurrently running test could pick up
+//! the temporary default and fail spuriously. Here the globals are ours.
+
+use des::SimError;
+use simmpi::{default_event_budget, run_mpi, set_default_event_budget, JobSpec, MpiFault, Msg};
+use soc_arch::Platform;
+
+fn ping_pong_forever(spec: JobSpec) -> Result<simmpi::MpiRun<()>, MpiFault> {
+    run_mpi(spec, |mut r| async move {
+        let peer = 1 - r.rank();
+        loop {
+            if r.rank() == 0 {
+                r.send(peer, 0, Msg::empty()).await;
+                r.recv(peer, 0).await;
+            } else {
+                r.recv(peer, 0).await;
+                r.send(peer, 0, Msg::empty()).await;
+            }
+        }
+    })
+}
+
+#[test]
+fn default_event_budget_applies_when_spec_is_silent() {
+    assert_eq!(default_event_budget(), None);
+    set_default_event_budget(Some(100));
+    assert_eq!(default_event_budget(), Some(100));
+
+    // A job that would spin forever is bounded by the global default.
+    let result = ping_pong_forever(JobSpec::new(Platform::tegra2(), 2));
+    match result {
+        Err(MpiFault::Engine(SimError::EventBudgetExhausted { budget: 100, events, .. })) => {
+            assert_eq!(events, 100);
+        }
+        other => panic!("expected default-budget exhaustion, got {other:?}"),
+    }
+
+    // A spec-level budget overrides the global default.
+    let result = ping_pong_forever(JobSpec::new(Platform::tegra2(), 2).with_event_budget(Some(60)));
+    match result {
+        Err(MpiFault::Engine(SimError::EventBudgetExhausted { budget: 60, .. })) => {}
+        other => panic!("expected spec-budget exhaustion, got {other:?}"),
+    }
+
+    // Clearing the default restores unlimited runs.
+    set_default_event_budget(None);
+    assert_eq!(default_event_budget(), None);
+    let run = run_mpi(JobSpec::new(Platform::tegra2(), 2), |mut r| async move {
+        if r.rank() == 0 {
+            r.send(1, 0, Msg::empty()).await;
+        } else {
+            r.recv(0, 0).await;
+        }
+    })
+    .unwrap();
+    assert!(run.elapsed > des::SimTime::ZERO);
+}

@@ -16,8 +16,12 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
+// parking_lot rather than std: the sweep supervisor quarantines panicking
+// cells with `catch_unwind`, and a panic while a shard is held must not
+// poison the cache for every surviving cell.
+use parking_lot::Mutex;
 use serde::Serialize;
 
 use crate::platform::Soc;
@@ -125,13 +129,13 @@ pub fn cached_kernel_time_fp(
     let mut h = sip();
     key.hash(&mut h);
     let shard = &c.shards[(h.finish() as usize) % SHARDS];
-    if let Some(t) = shard.lock().unwrap().get(&key) {
+    if let Some(t) = shard.lock().get(&key) {
         c.hits.fetch_add(1, Ordering::Relaxed);
         return t.clone();
     }
     c.misses.fetch_add(1, Ordering::Relaxed);
     let t = kernel_time(soc, f_ghz, threads, work);
-    shard.lock().unwrap().insert(key, t.clone());
+    shard.lock().insert(key, t.clone());
     t
 }
 
