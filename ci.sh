@@ -21,6 +21,16 @@ cargo fmt --all --check
 step "clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+step "rustdoc (no deps, warnings are errors)"
+# Explicit package list: the vendored crates are workspace members but their
+# docs are not ours to gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+  -p socready -p des -p simmpi -p hpc-apps -p bench \
+  -p kernels -p netsim -p cluster -p soc-arch -p soc-power -p trends
+
+step "doc-tests (runnable API examples)"
+cargo test --doc --quiet -p des -p simmpi -p bench
+
 step "tests (debug, whole workspace)"
 cargo test --workspace --quiet
 
@@ -74,7 +84,14 @@ if [[ $quick -eq 0 ]]; then
     echo "error: event-driven model only ${speedup}x the legacy model (need >= 10x)" >&2
     exit 1
   }
-  echo "scale smoke OK: event-driven is ${speedup}x the legacy model"
+  # The trace layer's enabled-but-uninterested residual (an installed
+  # NullTracer) must stay under 2% of the untraced ring.
+  overhead=$(grep -o '"trace_overhead_pct": [0-9.]*' "$scale_json" | awk '{print $2}')
+  awk -v o="$overhead" 'BEGIN { exit !(o != "" && o < 2.0) }' || {
+    echo "error: NullTracer overhead is ${overhead:-missing}% (budget < 2%)" >&2
+    exit 1
+  }
+  echo "scale smoke OK: event-driven is ${speedup}x the legacy model, NullTracer overhead ${overhead}%"
   rm -rf "$scale_dir"
 
   step "sweep executor: serial vs parallel byte-identity (binary level)"
@@ -108,6 +125,36 @@ if [[ $quick -eq 0 ]]; then
     exit 1
   fi
   rm -rf "$pdir"
+
+  step "trace: --trace leaves artefacts byte-identical, trace2flame folds it"
+  # The same golden serial run with a structured trace recorded must match
+  # the untraced reference byte-for-byte, and the emitted JSONL must fold
+  # into non-empty collapsed-stack output (docs/TRACE_FORMAT.md).
+  tdir=$(mktemp -d)
+  "$repro" --golden --serial --json "$tdir" --trace "$tdir/trace.jsonl" \
+    >"$tdir/stdout.txt" 2>"$tdir/stderr.txt"
+  diff "$sdir/stdout.txt" "$tdir/stdout.txt" || {
+    echo "error: stdout changed when tracing was enabled" >&2
+    exit 1
+  }
+  diff -r -x '_journal.jsonl' -x '_sweep_stats.json' -x 'stdout.txt' -x 'stderr.txt' \
+    -x 'trace.jsonl' "$sdir" "$tdir" || {
+    echo "error: JSON artefacts changed when tracing was enabled" >&2
+    exit 1
+  }
+  head -1 "$tdir/trace.jsonl" | grep -q '"kind":"trace_start"' || {
+    echo "error: trace.jsonl is missing the trace_start header" >&2
+    exit 1
+  }
+  target/release/trace2flame "$tdir/trace.jsonl" --folded "$tdir/folded.txt" \
+    2>"$tdir/t2f.stderr.txt"
+  grep -q '^rank0;' "$tdir/folded.txt" || {
+    echo "error: trace2flame produced no rank0 collapsed stacks" >&2
+    cat "$tdir/t2f.stderr.txt" >&2 || true
+    exit 1
+  }
+  echo "trace OK: $(wc -l <"$tdir/trace.jsonl") JSONL lines -> $(wc -l <"$tdir/folded.txt") collapsed stacks, artefacts unchanged"
+  rm -rf "$tdir"
 
   step "supervisor: SIGKILL mid-sweep, then --resume byte-identity"
   # Start a full golden run, SIGKILL it once the journal shows the first

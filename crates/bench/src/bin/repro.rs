@@ -19,6 +19,9 @@
 //! repro --max-cell-events N     # DES event budget per simulation
 //! repro --retries N      # extra attempts for failing cells (default 1)
 //! repro --inject-panic S # sabotage cells whose label contains S (testing)
+//! repro --trace PATH     # record a structured DES trace to PATH (JSONL)
+//! repro --trace-filter C # comma list of proc,msg,span,fault (default all)
+//! repro --help           # print the full flag reference and exit 0
 //! ```
 //!
 //! The run is decomposed into independent scenario cells and executed under
@@ -43,6 +46,7 @@
 //! like the journal).
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 use bench::artifact::checksum_on_disk;
@@ -51,6 +55,7 @@ use bench::{
     read_journal, run_plan_supervised, write_json_atomic, ArtefactOutcome, CellOutcome, RunPlan,
     RunScales, SupervisorConfig, SweepConfig, WriteOutcome,
 };
+use des::{RingRecorder, TraceFilter};
 
 struct Opts {
     items: Vec<String>,
@@ -64,6 +69,8 @@ struct Opts {
     fsck: bool,
     event_budget: Option<u64>,
     inject_panic: Option<String>,
+    trace_path: Option<PathBuf>,
+    trace_filter: TraceFilter,
 }
 
 /// Every `items` key the plan dispatches on; a request outside this set
@@ -92,6 +99,51 @@ const KNOWN_ITEMS: &[&str] = &[
 /// Exit code for a run that finished but quarantined or lost artefacts.
 const EXIT_DEGRADED: i32 = 3;
 
+/// Records the ring recorder keeps before counting drops (`--trace`).
+const TRACE_CAPACITY: usize = 1 << 20;
+
+/// The `--help` text. `tests/repro_cli.rs` snapshots this string and
+/// EXPERIMENTS.md documents the same flags — change all three together.
+const HELP: &str = "\
+repro - regenerate every table and figure of the paper
+
+usage: repro [ITEMS] [OPTIONS]
+
+items (default: everything, at --quick scale when no scale is given):
+  --all                  everything (full scale unless --quick/--golden)
+  --figure N             one figure: 1, 2a, 2b, 3, 4, 5, 6, 7
+  --table N              one table: 1, 2, 3, 4
+  --headline NAME        hpl | latency-penalty | extensions | resilience
+
+scale:
+  --quick                small sizes (Fig 6 truncated to 32 nodes)
+  --golden               golden-test scale (seconds, used by CI regression)
+
+execution:
+  --jobs N               run scenario cells on N workers
+  --serial               reference serial schedule (same bytes as --jobs N)
+  --retries N            extra attempts for failing cells (default 1)
+  --max-cell-seconds S   wall-clock watchdog per cell attempt
+  --max-cell-events N    DES event budget per simulation
+  --inject-panic S       sabotage cells whose label contains S (testing)
+
+artefacts:
+  --json DIR             dump machine-readable JSON artefacts into DIR
+  --resume               skip artefacts whose journal + checksum verify
+  --fsck                 verify/repair artefacts against the journal
+
+observability:
+  --trace PATH           record a structured DES trace to PATH as JSONL
+                         (see docs/TRACE_FORMAT.md; fold with trace2flame)
+  --trace-filter C       keep only these event classes: a comma list of
+                         proc, msg, span, fault (default: all)
+
+exit codes:
+  0  clean run
+  2  usage error
+  3  degraded: artefacts quarantined, lost, or repaired by --fsck
+";
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
@@ -110,6 +162,8 @@ fn parse_args() -> Opts {
     let mut wall_limit = None;
     let mut event_budget = None;
     let mut inject_panic = None;
+    let mut trace_path = None;
+    let mut trace_filter = TraceFilter::ALL;
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
@@ -156,6 +210,15 @@ fn parse_args() -> Opts {
                 event_budget = Some(n);
             }
             "--inject-panic" => inject_panic = Some(value(&mut args, "--inject-panic")),
+            "--trace" => trace_path = Some(PathBuf::from(value(&mut args, "--trace"))),
+            "--trace-filter" => {
+                let v = value(&mut args, "--trace-filter");
+                trace_filter = TraceFilter::parse(&v).unwrap_or_else(|e| die(&e));
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
             other => die(&format!("unknown argument: {other}")),
         }
     }
@@ -211,6 +274,46 @@ fn parse_args() -> Opts {
         fsck,
         event_budget,
         inject_panic,
+        trace_path,
+        trace_filter,
+    }
+}
+
+/// Install the process-global trace recorder when `--trace` was given;
+/// returns the recorder so the caller can dump it at exit. Every simulated
+/// engine the sweep starts from here on records into this one ring.
+fn install_tracer(opts: &Opts) -> Option<Arc<RingRecorder>> {
+    let path = opts.trace_path.as_ref()?;
+    let rec = Arc::new(RingRecorder::with_capacity(TRACE_CAPACITY).with_filter(opts.trace_filter));
+    simmpi::set_default_tracer(Some(rec.clone()));
+    eprintln!("tracing to {} (capacity {TRACE_CAPACITY} records)", path.display());
+    Some(rec)
+}
+
+/// Drain the recorder and write the JSONL trace file. Trace I/O failures
+/// degrade the run (exit 3) but never discard computed artefacts.
+fn dump_trace(opts: &Opts, rec: &RingRecorder) -> bool {
+    let path = opts.trace_path.as_ref().expect("tracer installed implies a path");
+    let records = rec.drain();
+    let dropped = rec.dropped();
+    match bench::write_trace(path, &records, dropped) {
+        Ok(()) => {
+            eprintln!(
+                "wrote {} trace records to {}{}",
+                records.len(),
+                path.display(),
+                if dropped > 0 {
+                    format!(" ({dropped} dropped: ring full, tail truncated)")
+                } else {
+                    String::new()
+                },
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("error: failed to write trace: {e}");
+            false
+        }
     }
 }
 
@@ -255,7 +358,7 @@ fn verified_artifacts(
 }
 
 /// Run the supervised sweep; returns the process exit code.
-fn run_supervised(opts: Opts) -> i32 {
+fn run_supervised(opts: &Opts) -> i32 {
     if let Some(budget) = opts.event_budget {
         simmpi::set_default_event_budget(Some(budget));
     }
@@ -437,7 +540,7 @@ fn run_supervised(opts: Opts) -> i32 {
 /// Verify every journaled artefact against the files on disk, re-derive the
 /// broken ones, and report orphans. Returns the process exit code: 0 when
 /// everything verified, 3 when anything needed repair (or still fails).
-fn run_fsck(opts: Opts) -> i32 {
+fn run_fsck(opts: &Opts) -> i32 {
     let dir = opts.json_dir.as_ref().expect("checked in parse_args");
     let st = read_journal(dir);
     if st.fingerprint.is_empty() {
@@ -546,6 +649,12 @@ fn run_fsck(opts: Opts) -> i32 {
 
 fn main() {
     let opts = parse_args();
-    let code = if opts.fsck { run_fsck(opts) } else { run_supervised(opts) };
+    let tracer = install_tracer(&opts);
+    let mut code = if opts.fsck { run_fsck(&opts) } else { run_supervised(&opts) };
+    if let Some(rec) = tracer {
+        if !dump_trace(&opts, &rec) && code == 0 {
+            code = EXIT_DEGRADED;
+        }
+    }
     std::process::exit(code);
 }

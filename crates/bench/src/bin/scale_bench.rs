@@ -1,7 +1,8 @@
 //! Scale benchmark for the event-driven process model: writes
 //! `BENCH_scale.json` (events/sec for the legacy thread-backed model vs the
-//! event-driven model on the same DES workload, plus a 4096-rank simmpi
-//! ping-ring as the peak-ranks datum).
+//! event-driven model on the same DES workload, a 4096-rank simmpi
+//! ping-ring as the peak-ranks datum, and the overhead of an installed
+//! [`NullTracer`] over the zero-tracer path).
 //!
 //! ```text
 //! cargo run --release -p bench --bin scale_bench -- [out.json]
@@ -12,11 +13,18 @@
 //! wakes its successor — because that is the communication skeleton both
 //! process kinds can run verbatim (`simmpi` itself is event-driven only).
 //! Events/sec is scheduler events dispatched over wall-clock seconds.
+//!
+//! The trace-overhead measurement alternates untraced, NullTracer, and
+//! recording-RingRecorder rings and keeps the best wall time of each, so
+//! scheduler noise cannot inflate (or hide) the comparisons; `ci.sh` gates
+//! `trace_overhead_pct < 2` (the NullTracer residual — one cached-mask
+//! branch per emission site). The RingRecorder number is informational: it
+//! is the real price of capturing every proc-class event.
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use des::{Engine, Pid, SimTime};
+use des::{Engine, NullTracer, Pid, RingRecorder, SimTime, Tracer};
 use serde::Serialize;
 use simmpi::{run_mpi, JobSpec, Msg};
 use soc_arch::Platform;
@@ -32,6 +40,25 @@ struct RingResult {
     events_per_sec: f64,
 }
 
+/// Cost of the trace layer on the event ring, in two configurations: an
+/// installed `NullTracer` (interest mask empty, so every emission site is
+/// one cached-mask branch — this is what ci.sh gates below 2%) and a
+/// recording `RingRecorder` sized to hold the whole trace (the real price
+/// of capturing every proc-class event; informational, not gated).
+#[derive(Serialize)]
+struct TraceOverhead {
+    /// Best-of-N wall seconds of the untraced event ring.
+    untraced_wall_secs: f64,
+    /// Best-of-N wall seconds of the same ring with a `NullTracer`.
+    nulltracer_wall_secs: f64,
+    /// `(nulltracer - untraced) / untraced`, in percent, clamped at 0.
+    trace_overhead_pct: f64,
+    /// Best-of-N wall seconds with a full-capacity recording `RingRecorder`.
+    recording_wall_secs: f64,
+    /// `(recording - untraced) / untraced`, in percent, clamped at 0.
+    recording_overhead_pct: f64,
+}
+
 /// The artefact: the perf trajectory entry this PR starts.
 #[derive(Serialize)]
 struct ScaleBench {
@@ -45,12 +72,22 @@ struct ScaleBench {
     peak_wall_secs: f64,
     /// Messages delivered by the peak-rank ping-ring.
     peak_messages: u64,
+    /// NullTracer cost on the event ring (must stay < 2%).
+    trace_overhead: TraceOverhead,
 }
 
 /// Token ring on event-driven processes: `procs` coroutines, `laps` full
 /// circulations of the token.
 fn ring_event(procs: u32, laps: u32) -> RingResult {
+    ring_event_with(procs, laps, None)
+}
+
+/// [`ring_event`] with an optional tracer installed on the engine.
+fn ring_event_with(procs: u32, laps: u32, tracer: Option<Arc<dyn Tracer>>) -> RingResult {
     let mut engine = Engine::new();
+    if let Some(t) = tracer {
+        engine.set_tracer(t);
+    }
     let pids: Arc<Mutex<Vec<Pid>>> = Arc::new(Mutex::new(Vec::with_capacity(procs as usize)));
     for i in 0..procs {
         let ring = Arc::clone(&pids);
@@ -117,6 +154,34 @@ fn ring_thread(procs: u32, laps: u32) -> RingResult {
     }
 }
 
+/// Measure the trace layer's cost on the event ring. Runs alternate between
+/// the three configurations, best-of-`rounds` wall each, so one noisy run
+/// cannot skew the ratios either way.
+fn trace_overhead(procs: u32, laps: u32, rounds: u32) -> TraceOverhead {
+    // Roomy enough that the recording run never drops (a full ring would
+    // make later emissions artificially cheap): each hop costs a resume,
+    // a sleep, a timer resume, a park, and a wake.
+    let ring_capacity = 8 * (procs as usize) * (laps as usize);
+    let mut untraced = f64::INFINITY;
+    let mut nulled = f64::INFINITY;
+    let mut recording = f64::INFINITY;
+    for _ in 0..rounds {
+        untraced = untraced.min(ring_event_with(procs, laps, None).wall_secs);
+        nulled = nulled.min(ring_event_with(procs, laps, Some(Arc::new(NullTracer))).wall_secs);
+        let rec = Arc::new(RingRecorder::with_capacity(ring_capacity));
+        let run = ring_event_with(procs, laps, Some(rec.clone()));
+        assert_eq!(rec.dropped(), 0, "recording ring must be sized for the whole trace");
+        recording = recording.min(run.wall_secs);
+    }
+    TraceOverhead {
+        untraced_wall_secs: untraced,
+        nulltracer_wall_secs: nulled,
+        trace_overhead_pct: (100.0 * (nulled - untraced) / untraced).max(0.0),
+        recording_wall_secs: recording,
+        recording_overhead_pct: (100.0 * (recording - untraced) / untraced).max(0.0),
+    }
+}
+
 /// 4096-rank simmpi ping-ring: the job the legacy model could not host.
 fn peak_ring(ranks: u32) -> (f64, u64) {
     let spec = JobSpec::new(Platform::tegra2(), ranks);
@@ -163,12 +228,24 @@ fn main() {
     let (peak_wall_secs, peak_messages) = peak_ring(peak_ranks);
     eprintln!("  {peak_messages} messages in {peak_wall_secs:.2}s wall");
 
+    eprintln!("ring: trace-layer overhead (best of 5, alternating) ...");
+    let overhead = trace_overhead(procs, 512, 5);
+    eprintln!(
+        "  untraced {:.3}s, NullTracer {:.3}s -> {:.2}% overhead",
+        overhead.untraced_wall_secs, overhead.nulltracer_wall_secs, overhead.trace_overhead_pct
+    );
+    eprintln!(
+        "  recording RingRecorder {:.3}s -> {:.2}% overhead",
+        overhead.recording_wall_secs, overhead.recording_overhead_pct
+    );
+
     let bench = ScaleBench {
         ring_1024: vec![thread, event],
         speedup,
         peak_ranks,
         peak_wall_secs,
         peak_messages,
+        trace_overhead: overhead,
     };
     std::fs::write(&out, serde_json::to_string_pretty(&bench).unwrap()).expect("write artefact");
     eprintln!("wrote {out}");

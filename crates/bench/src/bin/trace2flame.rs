@@ -1,0 +1,90 @@
+//! trace2flame — fold a DES trace (JSONL, see docs/TRACE_FORMAT.md) into
+//! flamegraph collapsed-stack output and a per-rank time-breakdown table.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace2flame <trace.jsonl>                 collapsed stacks to stdout
+//! trace2flame <trace.jsonl> --table         per-rank breakdown to stdout
+//! trace2flame <trace.jsonl> --folded <out>  collapsed stacks to a file
+//! ```
+//!
+//! Collapsed output feeds `flamegraph.pl` (or any collapsed-stack viewer)
+//! directly: each line is `rank0;hpl.bcast;send <self-time-ns>`. Record and
+//! drop counts go to stderr so stdout stays machine-readable; a non-zero
+//! drop count means the recorder's buffer filled and the folded times
+//! undercount the tail of the run.
+//!
+//! Exit codes: 0 success, 2 usage or unreadable/empty trace.
+
+use std::path::PathBuf;
+
+use bench::trace::{fold_spans, read_trace, render_rank_table};
+
+fn die(msg: &str) -> ! {
+    eprintln!("trace2flame: {msg}");
+    eprintln!("usage: trace2flame <trace.jsonl> [--table] [--folded <out>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut input: Option<PathBuf> = None;
+    let mut folded_out: Option<PathBuf> = None;
+    let mut table = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--table" => table = true,
+            "--folded" => match args.next() {
+                Some(p) => folded_out = Some(PathBuf::from(p)),
+                None => die("--folded needs a path"),
+            },
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(PathBuf::from(other));
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(input) = input else { die("missing trace file") };
+
+    let trace = match read_trace(&input) {
+        Ok(t) => t,
+        Err(e) => die(&format!("{e}")),
+    };
+    if trace.records == 0 {
+        die(&format!("{} contains no trace records", input.display()));
+    }
+    let folded = fold_spans(&trace.spans);
+
+    eprintln!(
+        "trace2flame: {} records, {} span edges, {} dropped by the recorder{}",
+        trace.records,
+        trace.spans.len(),
+        trace.dropped,
+        if trace.dropped > 0 { " (folded times undercount the tail)" } else { "" },
+    );
+    if folded.unmatched_ends > 0 || folded.open_spans > 0 {
+        eprintln!(
+            "trace2flame: {} unmatched span ends, {} spans still open at end of trace",
+            folded.unmatched_ends, folded.open_spans,
+        );
+    }
+
+    let mut collapsed = String::new();
+    for (stack, ns) in &folded.stacks {
+        collapsed.push_str(&format!("{stack} {ns}\n"));
+    }
+    match &folded_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &collapsed) {
+                die(&format!("writing {}: {e}", path.display()));
+            }
+            eprintln!("trace2flame: wrote {} stacks to {}", folded.stacks.len(), path.display());
+        }
+        None if !table => print!("{collapsed}"),
+        None => {}
+    }
+    if table {
+        print!("{}", render_rank_table(&folded));
+    }
+}

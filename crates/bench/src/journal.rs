@@ -45,12 +45,80 @@ fn esc(s: &str) -> String {
     serde_json::to_string(&s).expect("string serialization")
 }
 
+/// Append-only JSONL writer with the journal's durability discipline: every
+/// line is written and fsync'd before [`append`](JsonlWriter::append)
+/// returns, so the on-disk file never claims a record that has not durably
+/// happened. Shared by the run journal and the trace sink.
+///
+/// # Examples
+///
+/// ```
+/// let path = std::env::temp_dir().join(format!("jsonl_doc_{}.jsonl", std::process::id()));
+/// let mut w = bench::journal::JsonlWriter::create(&path).unwrap();
+/// w.append("{\"kind\":\"example\"}").unwrap();
+/// assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"kind\":\"example\"}\n");
+/// std::fs::remove_file(&path).unwrap();
+/// ```
+pub struct JsonlWriter {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl JsonlWriter {
+    /// Create (truncate) a JSONL file at `path`.
+    pub fn create(path: &Path) -> Result<JsonlWriter, ArtifactIoError> {
+        let file = std::fs::File::create(path).map_err(|source| ArtifactIoError {
+            path: path.into(),
+            op: "create jsonl",
+            source,
+        })?;
+        Ok(JsonlWriter { file, path: path.into() })
+    }
+
+    /// Open an existing JSONL file for appending.
+    pub fn open_append(path: &Path) -> Result<JsonlWriter, ArtifactIoError> {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|source| ArtifactIoError { path: path.into(), op: "open jsonl", source })?;
+        Ok(JsonlWriter { file, path: path.into() })
+    }
+
+    /// Append one record line (the trailing newline is added here), then
+    /// fsync before returning.
+    pub fn append(&mut self, line: &str) -> Result<(), ArtifactIoError> {
+        let err = |op| {
+            let path = self.path.clone();
+            move |source| ArtifactIoError { path, op, source }
+        };
+        self.file.write_all(line.as_bytes()).map_err(err("append jsonl"))?;
+        self.file.write_all(b"\n").map_err(err("append jsonl"))?;
+        self.file.sync_data().map_err(err("sync jsonl"))?;
+        Ok(())
+    }
+
+    /// The path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
 /// Append-only journal writer. Every record is flushed and fsync'd before
 /// `append` returns, so the on-disk journal never claims work that has not
 /// durably happened.
+///
+/// # Examples
+///
+/// ```no_run
+/// use std::path::Path;
+/// let items = vec!["fig5".to_string()];
+/// let mut j = bench::Journal::create(Path::new("out"), &items, "golden").unwrap();
+/// j.cell("fig5", "fig5/tegra2", "ok", 1, 2.5, None).unwrap();
+/// j.artifact_json("fig5", "fig5", 123, "00deadbeef001122", false).unwrap();
+/// j.run_end(true).unwrap();
+/// ```
 pub struct Journal {
-    file: std::fs::File,
-    path: PathBuf,
+    w: JsonlWriter,
 }
 
 impl Journal {
@@ -62,13 +130,7 @@ impl Journal {
             op: "create dir",
             source,
         })?;
-        let path = dir.join(JOURNAL_FILE);
-        let file = std::fs::File::create(&path).map_err(|source| ArtifactIoError {
-            path: path.clone(),
-            op: "create journal",
-            source,
-        })?;
-        let mut j = Journal { file, path };
+        let mut j = Journal { w: JsonlWriter::create(&dir.join(JOURNAL_FILE))? };
         let items_json: Vec<String> = items.iter().map(|i| esc(i)).collect();
         j.append(&format!(
             "{{\"kind\":\"run_start\",\"version\":{JOURNAL_VERSION},\"fingerprint\":{},\"scale\":{},\"items\":[{}]}}",
@@ -80,14 +142,7 @@ impl Journal {
     }
 
     fn append(&mut self, line: &str) -> Result<(), ArtifactIoError> {
-        let err = |op| {
-            let path = self.path.clone();
-            move |source| ArtifactIoError { path, op, source }
-        };
-        self.file.write_all(line.as_bytes()).map_err(err("append journal"))?;
-        self.file.write_all(b"\n").map_err(err("append journal"))?;
-        self.file.sync_data().map_err(err("sync journal"))?;
-        Ok(())
+        self.w.append(line)
     }
 
     /// Record one executed cell.
@@ -152,12 +207,7 @@ impl Journal {
     /// reader takes the *last* record per artefact key, so appended repairs
     /// supersede the originals.
     pub fn open_append(dir: &Path) -> Result<Journal, ArtifactIoError> {
-        let path = dir.join(JOURNAL_FILE);
-        let file = std::fs::OpenOptions::new()
-            .append(true)
-            .open(&path)
-            .map_err(|source| ArtifactIoError { path: path.clone(), op: "open journal", source })?;
-        Ok(Journal { file, path })
+        Ok(Journal { w: JsonlWriter::open_append(&dir.join(JOURNAL_FILE))? })
     }
 }
 

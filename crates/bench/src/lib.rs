@@ -46,6 +46,7 @@ mod resilience;
 pub mod supervisor;
 pub mod sweep;
 pub mod table;
+pub mod trace;
 
 pub use artifact::{write_json_atomic, ArtifactIoError, WriteOutcome};
 pub use extensions::{ecc_risk_render, eee_render, imb_render, roofline_render};
@@ -58,7 +59,7 @@ pub use fig67::{
     fig6, fig7, hpl_headline, latency_penalty, latency_penalty_render, table3_render,
     table4_render, try_hpl_headline, Fig6, Fig7, Fig7Panel, HplHeadline,
 };
-pub use journal::{read_journal, run_fingerprint, Journal, ResumeState};
+pub use journal::{read_journal, run_fingerprint, Journal, JsonlWriter, ResumeState};
 pub use plan::{
     run_plan, run_plan_supervised, ArtefactOut, ArtefactOutcome, RunPlan, RunScales,
     SupervisedArtefact,
@@ -71,3 +72,7 @@ pub use supervisor::{
     CellFailure, CellOutcome, CellReport, SupervisorConfig, SupervisorStats, WatchdogMargin,
 };
 pub use sweep::{run_cells, Cell, CellTiming, SweepConfig, SweepStats};
+pub use trace::{
+    fold_spans, parse_trace, read_trace, render_rank_table, write_trace, FoldedSpans, ParsedTrace,
+    SpanEdge,
+};

@@ -13,7 +13,7 @@
 //!    produced.
 //!
 //! Wall-clock timings and cache counters are nondeterministic and live only
-//! in [`SweepStats`](crate::SweepStats) — they never enter an artefact.
+//! in [`SweepStats`] — they never enter an artefact.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -595,6 +595,21 @@ impl SupervisedArtefact {
 /// quarantined cell fails only its own artefact, every other artefact
 /// completes, and deterministic outputs remain byte-identical to
 /// [`run_plan`] for any worker count.
+///
+/// ```
+/// use bench::{run_plan_supervised, RunPlan, RunScales, SupervisorConfig, SweepConfig};
+///
+/// let plan = RunPlan::from_items(&["table3".to_string()], &RunScales::golden());
+/// let (artefacts, stats) = run_plan_supervised(
+///     plan,
+///     &SweepConfig::serial(),
+///     &SupervisorConfig::default(),
+///     &|_key| false, // nothing to resume past
+///     |art| assert_eq!(art.key, "table3"),
+/// );
+/// assert_eq!(artefacts.len(), 1);
+/// assert_eq!(stats.supervisor.quarantined, 0);
+/// ```
 pub fn run_plan_supervised(
     plan: RunPlan,
     cfg: &SweepConfig,

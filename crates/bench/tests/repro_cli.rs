@@ -1,0 +1,67 @@
+//! CLI contract of the `repro` binary: the `--help` text (snapshotted —
+//! EXPERIMENTS.md documents the same flags, change both together), and the
+//! exit-code discipline (0 help, 2 usage errors).
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("spawn repro")
+}
+
+#[test]
+fn help_exits_zero_and_matches_the_snapshot() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success(), "--help must exit 0");
+    let text = String::from_utf8(out.stdout).expect("help is UTF-8");
+    // Every documented flag appears; the wording is pinned by key phrases so
+    // incidental reformatting doesn't break the world, but a flag rename or
+    // an exit-code change does.
+    for flag in [
+        "--all",
+        "--figure N",
+        "--table N",
+        "--headline NAME",
+        "--quick",
+        "--golden",
+        "--jobs N",
+        "--serial",
+        "--retries N",
+        "--max-cell-seconds S",
+        "--max-cell-events N",
+        "--inject-panic S",
+        "--json DIR",
+        "--resume",
+        "--fsck",
+        "--trace PATH",
+        "--trace-filter C",
+    ] {
+        assert!(text.contains(flag), "--help lost flag '{flag}':\n{text}");
+    }
+    for phrase in [
+        "0  clean run",
+        "2  usage error",
+        "3  degraded",
+        "docs/TRACE_FORMAT.md",
+        "trace2flame",
+        "proc, msg, span, fault",
+    ] {
+        assert!(text.contains(phrase), "--help lost phrase '{phrase}':\n{text}");
+    }
+    assert!(repro(&["-h"]).status.success(), "-h is an alias for --help");
+}
+
+#[test]
+fn unknown_arguments_exit_two() {
+    for args in [&["--bogus"][..], &["--figure", "99"], &["--trace-filter", "nonsense"]] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        assert!(!out.stderr.is_empty(), "{args:?} must explain itself on stderr");
+    }
+}
+
+#[test]
+fn contradictory_flags_exit_two() {
+    assert_eq!(repro(&["--serial", "--jobs", "4"]).status.code(), Some(2));
+    assert_eq!(repro(&["--resume"]).status.code(), Some(2), "--resume needs --json");
+    assert_eq!(repro(&["--fsck"]).status.code(), Some(2), "--fsck needs --json");
+}

@@ -42,6 +42,24 @@ impl Machine {
         }
     }
 
+    /// A Tibidabo-like machine scaled past the prototype's 192 nodes: the
+    /// same Tegra-2 node, TCP/IP stack, and hierarchical 48-port GbE tree,
+    /// with enough edge switches for `nodes` (rounded up to a full edge).
+    /// This is the §7 thought experiment — "what if Tibidabo were bigger" —
+    /// and what `tibidabo_hpl --ranks N` uses for N > 192.
+    pub fn tibidabo_scaled(nodes: u32) -> Machine {
+        let edges = nodes.div_ceil(48).max(1);
+        Machine {
+            name: "Tibidabo (scaled)",
+            platform: Platform::tegra2(),
+            node_power: PowerModel::tibidabo_node(),
+            topology: TopologySpec::Tree { edges, nodes_per_edge: 48, uplinks_per_edge: 4 },
+            proto: ProtocolModel::tcp_ip(),
+            switches: edges + 1,
+            switch_power_w: 25.0,
+        }
+    }
+
     /// A hypothetical Tibidabo successor built from Arndale-class nodes
     /// (Exynos 5250), as §3's results invite.
     pub fn arndale_cluster(nodes: u32) -> Machine {
@@ -110,6 +128,17 @@ mod tests {
         assert_eq!(j.proto.name, "TCP/IP");
         assert_eq!(j.topology, TopologySpec::tibidabo());
         assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_tibidabo_covers_requested_nodes() {
+        let m = Machine::tibidabo_scaled(1024);
+        assert!(m.nodes() >= 1024);
+        assert_eq!(m.platform.id, "tegra2");
+        assert_eq!(m.proto.name, "TCP/IP");
+        assert!(m.job(1024).validate().is_ok());
+        // At exactly the prototype's size the topology matches the real one.
+        assert_eq!(Machine::tibidabo_scaled(192).topology, TopologySpec::tibidabo());
     }
 
     #[test]

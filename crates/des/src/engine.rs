@@ -33,6 +33,12 @@
 //! [`Context::wake_at`] schedule a wake-up for a *parked* process.
 //! Higher-level abstractions (mailboxes, MPI-style matching, network links)
 //! are built on top of this in the `simmpi` and `netsim` crates.
+//!
+//! Every scheduler action can be observed through the opt-in structured
+//! tracing layer (see [`crate::trace`]): install a [`Tracer`] with
+//! [`Engine::with_tracer`] and each spawn/resume/sleep/park/wake/finish is
+//! reported as a stamped [`crate::TraceRecord`]. Without a tracer the
+//! emission sites are a single `Option` check.
 
 use std::collections::BinaryHeap;
 use std::future::Future;
@@ -46,6 +52,7 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 
 use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceFilter, TraceRecord, Tracer};
 
 /// Stack size for thread-backed compatibility processes. Simulated actors
 /// carry little real stack (the deep work lives in heap-allocated model
@@ -54,8 +61,9 @@ use crate::time::SimTime;
 /// became the bottleneck.
 const COMPAT_STACK_SIZE: usize = 512 << 10;
 
-/// Identifier of a simulated process, assigned in spawn order.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+/// Identifier of a simulated process, assigned in spawn order. The default
+/// value is the first-spawned process's id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Pid(pub(crate) u32);
 
 impl Pid {
@@ -211,6 +219,9 @@ struct State {
     procs: Vec<ProcSlot>,
     live: u32,
     events_dispatched: u64,
+    /// Emission counter for trace records (independent of the event-queue
+    /// `seq`, which also numbers never-traced internal events).
+    trace_seq: u64,
 }
 
 impl State {
@@ -224,6 +235,38 @@ impl State {
 struct Shared {
     state: Mutex<State>,
     yield_tx: Sender<()>,
+    /// Installed before any spawn and immutable afterwards, so reading it
+    /// without the state lock is race-free.
+    tracer: Option<Arc<dyn Tracer>>,
+    /// The installed tracer's [`Tracer::interest`] mask, cached at install
+    /// time ([`TraceFilter::NONE`] with no tracer). Every emission site
+    /// branches on this plain bitfield before constructing its event, so an
+    /// uninterested class — and in particular a [`crate::NullTracer`] — costs
+    /// one predictable branch per site.
+    trace_mask: TraceFilter,
+}
+
+impl Shared {
+    /// Stamp and forward one **scheduler** event to the installed tracer.
+    /// Takes a closure so event construction (and any allocation in it) is
+    /// skipped entirely unless the tracer wants [`TraceClass::Proc`] events
+    /// — every event the scheduler itself emits is proc-class.
+    #[inline]
+    fn trace_with(&self, st: &mut State, event: impl FnOnce() -> TraceEvent) {
+        if self.trace_mask.procs {
+            self.trace_record(st, event());
+        }
+    }
+
+    /// Stamp and forward one already-constructed event. Callers must have
+    /// checked [`Shared::trace_mask`] for the event's class.
+    fn trace_record(&self, st: &mut State, event: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            let seq = st.trace_seq;
+            st.trace_seq += 1;
+            t.record(TraceRecord { at: st.now, seq, event });
+        }
+    }
 }
 
 type ProcFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
@@ -289,8 +332,11 @@ impl Engine {
                     procs: Vec::new(),
                     live: 0,
                     events_dispatched: 0,
+                    trace_seq: 0,
                 }),
                 yield_tx,
+                tracer: None,
+                trace_mask: TraceFilter::NONE,
             }),
             yield_rx,
             threads: Vec::new(),
@@ -317,14 +363,39 @@ impl Engine {
         self
     }
 
+    /// Install a [`Tracer`] that observes every scheduler action (see
+    /// [`crate::trace`]). Tracing is purely observational — it never changes
+    /// event ordering, virtual timestamps, or any simulation result.
+    ///
+    /// # Panics
+    ///
+    /// Must be called **before** any process is spawned (spawning hands out
+    /// clones of the engine's shared state); calling it later panics.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("set_tracer must be called before any process is spawned");
+        shared.trace_mask = tracer.interest();
+        shared.tracer = Some(tracer);
+    }
+
+    /// Builder-style [`Engine::set_tracer`].
+    pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
     /// Register a new process slot and its time-zero start event.
     fn register(&mut self, name: String, kind: ProcKind) -> Pid {
         let mut st = self.shared.state.lock();
         let pid = Pid(st.procs.len() as u32);
+        let traced_name = self.shared.trace_mask.procs.then(|| name.clone());
         st.procs.push(ProcSlot { name, status: Status::Ready, gen: 0, kind, panic_message: None });
         st.live += 1;
         let at = st.now;
         st.push_event(at, pid, 0);
+        if let Some(name) = traced_name {
+            self.shared.trace_with(&mut st, || TraceEvent::ProcSpawn { pid, name });
+        }
         pid
     }
 
@@ -339,6 +410,21 @@ impl Engine {
     ///
     /// Processes spawned before [`Engine::run`] start in spawn order,
     /// regardless of kind.
+    ///
+    /// ```
+    /// use des::{Engine, SimTime};
+    ///
+    /// let mut eng = Engine::new();
+    /// let mut pids = Vec::new();
+    /// for i in 0..3 {
+    ///     pids.push(eng.spawn_process(format!("worker{i}"), move |ctx| async move {
+    ///         ctx.advance(SimTime::from_micros(10 * (i + 1))).await;
+    ///     }));
+    /// }
+    /// let report = eng.run().unwrap();
+    /// assert_eq!(report.processes, 3);
+    /// assert_eq!(report.end_time, SimTime::from_micros(30));
+    /// ```
     pub fn spawn_process<F, Fut>(&mut self, name: impl Into<String>, f: F) -> Pid
     where
         F: FnOnce(ProcCtx) -> Fut,
@@ -381,6 +467,7 @@ impl Engine {
                     return; // engine dropped before start
                 }
                 let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                let finished_clean = result.is_ok();
                 let mut st = shared.state.lock();
                 let slot = &mut st.procs[ctx.pid.index()];
                 slot.status = Status::Finished;
@@ -390,6 +477,9 @@ impl Engine {
                     slot.panic_message = Some(panic_payload_to_string(&*payload));
                 }
                 st.live -= 1;
+                if finished_clean {
+                    shared.trace_with(&mut st, || TraceEvent::ProcFinish { pid: ctx.pid });
+                }
                 drop(st);
                 let _ = shared.yield_tx.send(());
             });
@@ -457,9 +547,14 @@ impl Engine {
                 let ev = loop {
                     if let Some(budget) = self.event_budget {
                         if st.events_dispatched >= budget {
+                            let events = st.events_dispatched;
+                            self.shared.trace_with(&mut st, || TraceEvent::BudgetExhausted {
+                                events,
+                                budget,
+                            });
                             return Err(SimError::EventBudgetExhausted {
                                 at: st.now,
-                                events: st.events_dispatched,
+                                events,
                                 budget,
                             });
                         }
@@ -492,10 +587,12 @@ impl Engine {
                 let slot = &mut st.procs[ev.pid.index()];
                 slot.status = Status::Running;
                 slot.gen += 1;
-                match &slot.kind {
+                let resume = match &slot.kind {
                     ProcKind::Thread { resume_tx } => Resume::Thread(resume_tx.clone(), ev.pid),
                     ProcKind::Event => Resume::Event(ev.pid),
-                }
+                };
+                self.shared.trace_with(&mut st, || TraceEvent::ProcResume { pid: ev.pid });
+                resume
             };
             match resume {
                 Resume::Thread(resume_tx, pid) => {
@@ -539,6 +636,7 @@ impl Engine {
                             let mut st = self.shared.state.lock();
                             st.procs[pid.index()].status = Status::Finished;
                             st.live -= 1;
+                            self.shared.trace_with(&mut st, || TraceEvent::ProcFinish { pid });
                         }
                         Err(payload) => {
                             let message = panic_payload_to_string(&*payload);
@@ -645,6 +743,33 @@ impl ProcCtx {
     pub fn is_parked(&self, target: Pid) -> bool {
         self.shared.state.lock().procs[target.index()].status == Status::Parked
     }
+
+    /// Whether the installed [`Tracer`] (if any) is interested in at least
+    /// one event class.
+    ///
+    /// Emission sites in higher layers should guard any allocation needed to
+    /// *build* an event behind this check, so untraced runs pay nothing:
+    ///
+    /// ```ignore
+    /// if ctx.tracing() {
+    ///     ctx.emit_trace(TraceEvent::SpanBegin { rank, name: "compute".into() });
+    /// }
+    /// ```
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.shared.trace_mask != TraceFilter::NONE
+    }
+
+    /// Record a custom trace event (message, fault, or span kinds) stamped
+    /// with the current virtual time and the engine's next trace sequence
+    /// number. A no-op when no tracer is installed or when the tracer's
+    /// [`Tracer::interest`] mask excludes the event's class.
+    pub fn emit_trace(&self, event: TraceEvent) {
+        if self.shared.trace_mask.accepts_class(event.class()) {
+            let mut st = self.shared.state.lock();
+            self.shared.trace_record(&mut st, event);
+        }
+    }
 }
 
 fn wake_at_impl(shared: &Shared, target: Pid, at: SimTime) {
@@ -661,6 +786,7 @@ fn wake_at_impl(shared: &Shared, target: Pid, at: SimTime) {
         slot.gen
     };
     st.push_event(at, target, gen);
+    shared.trace_with(&mut st, || TraceEvent::ProcWake { target, at });
 }
 
 /// Future of [`ProcCtx::advance`].
@@ -691,6 +817,7 @@ impl Future for Advance<'_> {
             slot.gen
         };
         st.push_event(at, ctx.pid, slot_gen);
+        ctx.shared.trace_with(&mut st, || TraceEvent::ProcSleep { pid: ctx.pid, until: at });
         Poll::Pending
     }
 }
@@ -712,6 +839,7 @@ impl Future for Park<'_> {
         let ctx = self.ctx;
         let mut st = ctx.shared.state.lock();
         st.procs[ctx.pid.index()].status = Status::Parked;
+        ctx.shared.trace_with(&mut st, || TraceEvent::ProcPark { pid: ctx.pid, deadline: None });
         Poll::Pending
     }
 }
@@ -733,14 +861,19 @@ impl Future for ParkUntil<'_> {
             return Poll::Ready(ctx.now() < self.deadline);
         }
         self.suspended = true;
+        let deadline = self.deadline;
         let mut st = ctx.shared.state.lock();
-        let at = self.deadline.max(st.now);
+        let at = deadline.max(st.now);
         let slot_gen = {
             let slot = &mut st.procs[ctx.pid.index()];
             slot.status = Status::Parked;
             slot.gen
         };
         st.push_event(at, ctx.pid, slot_gen);
+        ctx.shared.trace_with(&mut st, || TraceEvent::ProcPark {
+            pid: ctx.pid,
+            deadline: Some(deadline),
+        });
         Poll::Pending
     }
 }
@@ -783,6 +916,7 @@ impl Context {
                 slot.gen
             };
             st.push_event(at, self.pid, slot_gen);
+            self.shared.trace_with(&mut st, || TraceEvent::ProcSleep { pid: self.pid, until: at });
         }
         self.yield_and_wait();
     }
@@ -802,6 +936,8 @@ impl Context {
         {
             let mut st = self.shared.state.lock();
             st.procs[self.pid.index()].status = Status::Parked;
+            self.shared
+                .trace_with(&mut st, || TraceEvent::ProcPark { pid: self.pid, deadline: None });
         }
         self.yield_and_wait();
     }
@@ -825,6 +961,10 @@ impl Context {
                 slot.gen
             };
             st.push_event(at, self.pid, slot_gen);
+            self.shared.trace_with(&mut st, || TraceEvent::ProcPark {
+                pid: self.pid,
+                deadline: Some(deadline),
+            });
         }
         self.yield_and_wait();
         self.now() < deadline
@@ -1287,6 +1427,63 @@ mod tests {
             other => panic!("expected budget exhaustion, got {other:?}"),
         }
         // `run` returning at all proves the parked thread was unblocked.
+    }
+
+    #[test]
+    fn tracing_observes_without_perturbing() {
+        use crate::trace::RingRecorder;
+        let run = |tracer: Option<Arc<RingRecorder>>| {
+            let mut eng = Engine::new();
+            if let Some(t) = &tracer {
+                eng.set_tracer(t.clone());
+            }
+            let waiter = eng.spawn_process("waiter", |ctx| async move {
+                ctx.park().await;
+                ctx.advance(SimTime::from_micros(3)).await;
+            });
+            eng.spawn_process("waker", move |ctx| async move {
+                ctx.advance(SimTime::from_micros(10)).await;
+                ctx.wake_at(waiter, SimTime::from_micros(42));
+            });
+            eng.run().unwrap()
+        };
+        let rec = Arc::new(RingRecorder::with_capacity(64));
+        let traced = run(Some(Arc::clone(&rec)));
+        let untraced = run(None);
+        assert_eq!(traced, untraced, "tracing must not perturb the simulation");
+
+        let records = rec.drain();
+        assert_eq!(rec.dropped(), 0);
+        // Stamps: seq strictly increases, virtual time never goes backwards.
+        for w in records.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+            assert!(w[1].at >= w[0].at);
+        }
+        // Every engine-level lifecycle kind shows up for this program.
+        let kinds: Vec<&str> = records.iter().map(|r| r.event.kind()).collect();
+        for kind in
+            ["proc_spawn", "proc_resume", "proc_sleep", "proc_park", "proc_wake", "proc_finish"]
+        {
+            assert!(kinds.contains(&kind), "missing {kind} in {kinds:?}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_traced() {
+        use crate::trace::{RingRecorder, TraceEvent};
+        let rec = Arc::new(RingRecorder::with_capacity(1024));
+        let mut eng = Engine::new().with_tracer(rec.clone());
+        eng.set_event_budget(Some(20));
+        eng.spawn_process("spinner", |ctx| async move {
+            loop {
+                ctx.advance(SimTime::from_micros(1)).await;
+            }
+        });
+        assert!(matches!(eng.run(), Err(SimError::EventBudgetExhausted { .. })));
+        let records = rec.drain();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::BudgetExhausted { events: 20, budget: 20 })));
     }
 
     #[test]

@@ -36,13 +36,26 @@
 //! });
 //! eng.run().unwrap();
 //! ```
+//!
+//! ## Observability
+//!
+//! The [`trace`] module adds opt-in structured tracing: install a [`Tracer`]
+//! (typically a bounded [`RingRecorder`]) with [`Engine::with_tracer`] and
+//! every scheduler action arrives as a [`TraceRecord`] stamped with virtual
+//! time and a sequence number. The zero-tracer path costs one `Option` check
+//! per site, and tracing never changes simulation results. The on-disk JSONL
+//! form is documented in `docs/TRACE_FORMAT.md`.
 
 #![warn(missing_docs)]
 
 mod engine;
 mod faults;
 mod time;
+pub mod trace;
 
 pub use engine::{Advance, Context, Engine, Park, ParkUntil, Pid, ProcCtx, RunReport, SimError};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates, SimRng};
 pub use time::SimTime;
+pub use trace::{
+    NullTracer, RingRecorder, TraceClass, TraceEvent, TraceFilter, TraceRecord, Tracer,
+};

@@ -161,6 +161,7 @@ pub async fn hpl_rank_ckpt(
         // node-local storage bandwidth, snapshot to stable storage.
         if let Some(h) = hooks {
             if h.every > 0 && k > start_k && k % h.every == 0 {
+                r.phase_begin("hpl.checkpoint");
                 r.barrier().await;
                 let local_bytes = if cfg.mode.carries_data() {
                     blocks.iter().map(|b| b.len() * 8).sum::<usize>() as f64
@@ -173,6 +174,7 @@ pub async fn hpl_rank_ckpt(
                     me,
                     RankSnapshot { blocks: blocks.clone(), pivot_log: pivot_log.clone() },
                 );
+                r.phase_end("hpl.checkpoint");
             }
         }
         let owner = (k % p) as u32;
@@ -183,6 +185,7 @@ pub async fn hpl_rank_ckpt(
 
         let (piv, panel) = if me == owner as usize {
             // --- Panel factorisation on the owner -----------------------
+            r.phase_begin("hpl.panel");
             let mut piv = vec![0u64; width];
             let mut panel_data: Option<Vec<f64>> = None;
             if cfg.mode.carries_data() {
@@ -240,6 +243,7 @@ pub async fn hpl_rank_ckpt(
                 .with_parallel_fraction(0.9);
                 r.compute(&work).await;
             }
+            r.phase_end("hpl.panel");
             (piv, panel_data)
         } else {
             (Vec::new(), None)
@@ -259,7 +263,9 @@ pub async fn hpl_rank_ckpt(
         } else {
             None
         };
+        r.phase_begin("hpl.bcast");
         let received = r.bcast_pipelined(owner, msg, panel_bytes, 256 * 1024).await;
+        r.phase_end("hpl.bcast");
 
         let (piv, panel_packed): (Vec<u64>, Vec<f64>) = if cfg.mode.carries_data() {
             let v = received.to_f64s();
@@ -271,6 +277,7 @@ pub async fn hpl_rank_ckpt(
         pivot_log.extend(&piv);
 
         // --- Apply row swaps + trailing update ---------------------------
+        r.phase_begin("hpl.update");
         if cfg.mode.carries_data() {
             // Swaps apply to every local block except the panel itself
             // (already swapped during factorisation).
@@ -330,6 +337,7 @@ pub async fn hpl_rank_ckpt(
                 r.compute(&work).await;
             }
         }
+        r.phase_end("hpl.update");
 
         // Any DRAM bit-flip that struck this node during the panel corrupts
         // live matrix data; the end-of-run residual is the detector.
@@ -350,7 +358,10 @@ pub async fn hpl_rank_ckpt(
 
     // --- Verification (Execute mode): gather to rank 0 and solve ---------
     if cfg.mode.carries_data() {
-        verify(r, cfg, &blocks, &block_global, &pivot_log).await
+        r.phase_begin("hpl.verify");
+        let residual = verify(r, cfg, &blocks, &block_global, &pivot_log).await;
+        r.phase_end("hpl.verify");
+        residual
     } else {
         None
     }

@@ -183,6 +183,7 @@ pub async fn hydro_rank(r: &mut Rank, cfg: &HydroConfig) -> f64 {
 
     for _ in 0..cfg.steps {
         // --- Halo exchange ------------------------------------------------
+        r.phase_begin("hydro.halo");
         let up = (me > 0).then(|| me as u32 - 1);
         let down = (me < p - 1).then(|| me as u32 + 1);
         // Send up / receive from down, then send down / receive from up.
@@ -215,6 +216,7 @@ pub async fn hydro_rank(r: &mut Rank, cfg: &HydroConfig) -> f64 {
                 }
             }
         }
+        r.phase_end("hydro.halo");
         // Physical boundaries: mirror rows at the global top/bottom.
         if let Some(s) = &mut strip {
             if me == 0 {
@@ -226,10 +228,12 @@ pub async fn hydro_rank(r: &mut Rank, cfg: &HydroConfig) -> f64 {
         }
 
         // --- Step ----------------------------------------------------------
+        r.phase_begin("hydro.step");
         match &mut strip {
             Some(s) => lf_step(s, cfg.dt, cfg.dx),
             None => r.compute(&profile).await,
         }
+        r.phase_end("hydro.step");
     }
     strip.map_or(0.0, |s| s.total_mass())
 }

@@ -18,7 +18,7 @@
 //!   [`FaultPlan::without_node`]) and re-runs from the last complete
 //!   checkpoint.
 //! * **SDC detection** — in Execute mode, scheduled DRAM bit-flips corrupt
-//!   real matrix entries ([`Rank::poll_bit_flip`]); the standard HPL scaled
+//!   real matrix entries ([`Rank::poll_bit_flip`](simmpi::Rank::poll_bit_flip)); the standard HPL scaled
 //!   residual at the end of the run is the detector, and a detection also
 //!   triggers a rollback. A flip that lands *before* the last checkpoint is
 //!   captured inside the snapshots and cannot be recovered from — the same
@@ -103,7 +103,7 @@ impl CkptStore {
 }
 
 /// Checkpoint hooks threaded into the HPL panel loop by the resilient
-/// driver (see [`hpl_rank_ckpt`](crate::hpl::hpl_rank_ckpt)).
+/// driver (see [`hpl_rank_ckpt`]).
 #[derive(Clone)]
 pub struct CkptHooks {
     /// Checkpoint every this many panels (0 disables checkpointing).

@@ -261,7 +261,9 @@ pub async fn treecode_rank(r: &mut Rank, cfg: &TreeConfig) -> f64 {
             }
             None => Msg::size_only((nlocal * 32) as u64),
         };
+        r.phase_begin("pepc.exchange");
         let gathered = r.allgather(my_msg).await;
+        r.phase_end("pepc.exchange");
 
         match &all {
             Some(_) => {
@@ -274,11 +276,15 @@ pub async fn treecode_rank(r: &mut Rank, cfg: &TreeConfig) -> f64 {
                     }
                 }
                 // --- Tree build + local force evaluation ------------------
+                r.phase_begin("pepc.build");
                 let tree = Octree::build(&bodies);
+                r.phase_end("pepc.build");
+                r.phase_begin("pepc.walk");
                 for i in lo..hi {
                     let (f, _) = tree.field_at(i, &bodies, cfg.theta, cfg.eps2);
                     field_sum += (f[0] * f[0] + f[1] * f[1] + f[2] * f[2]).sqrt();
                 }
+                r.phase_end("pepc.walk");
             }
             None => {
                 // Model mode: tree build (~n log n light ops, shared across
@@ -300,8 +306,12 @@ pub async fn treecode_rank(r: &mut Rank, cfg: &TreeConfig) -> f64 {
                     AccessPattern::Irregular,
                 )
                 .with_imbalance(0.1);
+                r.phase_begin("pepc.build");
                 r.compute(&build).await;
+                r.phase_end("pepc.build");
+                r.phase_begin("pepc.walk");
                 r.compute(&eval).await;
+                r.phase_end("pepc.walk");
             }
         }
     }

@@ -50,6 +50,7 @@ impl Rank {
         if p == 1 {
             return;
         }
+        self.phase_begin("barrier");
         let me = self.rank();
         let mut round = 0u32;
         let mut dist = 1u32;
@@ -64,6 +65,7 @@ impl Rank {
             dist <<= 1;
             round += 1;
         }
+        self.phase_end("barrier");
     }
 
     /// Binomial-tree broadcast from `root`. Every rank returns the message.
@@ -72,6 +74,7 @@ impl Rank {
         if p == 1 {
             return msg.expect("root must supply the broadcast payload");
         }
+        self.phase_begin("bcast");
         let me = self.rank();
         // Rotate so the root is virtual rank 0.
         let vrank = (me + p - root) % p;
@@ -102,6 +105,7 @@ impl Rank {
             }
             mask >>= 1;
         }
+        self.phase_end("bcast");
         have.unwrap()
     }
 
@@ -132,13 +136,14 @@ impl Rank {
         if nseg == 1 || p == 2 {
             return self.bcast(root, msg).await;
         }
+        self.phase_begin("bcast_pipelined");
         let me = self.rank();
         let vrank = (me + p - root) % p;
         let next = (me + 1) % p;
         let prev = (me + p - 1) % p;
         let last_len = total_bytes - (nseg - 1) * segment;
 
-        if me == root {
+        let out = if me == root {
             let full = msg.expect("root must supply the broadcast payload");
             for s in 0..nseg {
                 let m = if s + 1 == nseg {
@@ -164,7 +169,9 @@ impl Rank {
             }
             let m = data.unwrap();
             Msg { bytes: total_bytes, data: m.data }
-        }
+        };
+        self.phase_end("bcast_pipelined");
+        out
     }
 
     /// Binomial-tree reduction of an `f64` vector to `root`; returns the
@@ -179,6 +186,7 @@ impl Rank {
         if p == 1 {
             return Some(values);
         }
+        self.phase_begin("reduce");
         let me = self.rank();
         let vrank = (me + p - root) % p;
         let mut mask = 1u32;
@@ -188,6 +196,7 @@ impl Rank {
                 let vdst = vrank & !mask;
                 let dst = (vdst + root) % p;
                 self.send(dst, TAG_REDUCE, Msg::from_f64s(&values)).await;
+                self.phase_end("reduce");
                 return None;
             }
             let vsrc = vrank | mask;
@@ -198,14 +207,18 @@ impl Rank {
             }
             mask <<= 1;
         }
+        self.phase_end("reduce");
         Some(values)
     }
 
     /// Allreduce = reduce to rank 0 + broadcast.
     pub async fn allreduce(&mut self, op: ReduceOp, values: Vec<f64>) -> Vec<f64> {
+        self.phase_begin("allreduce");
         let reduced = self.reduce(0, op, values).await;
         let msg = reduced.map(|v| Msg::from_f64s(&v));
-        self.bcast(0, msg).await.to_f64s()
+        let out = self.bcast(0, msg).await.to_f64s();
+        self.phase_end("allreduce");
+        out
     }
 
     /// Gather every rank's message to `root`; returns all messages in rank order
@@ -213,7 +226,8 @@ impl Rank {
     pub async fn gather(&mut self, root: u32, msg: Msg) -> Option<Vec<Msg>> {
         let p = self.size();
         let me = self.rank();
-        if me == root {
+        self.phase_begin("gather");
+        let result = if me == root {
             let mut out: Vec<Option<Msg>> = (0..p).map(|_| None).collect();
             out[me as usize] = Some(msg);
             for _ in 0..p - 1 {
@@ -224,7 +238,9 @@ impl Rank {
         } else {
             self.send(root, TAG_GATHER, msg).await;
             None
-        }
+        };
+        self.phase_end("gather");
+        result
     }
 
     /// Ring allgather: every rank contributes a message and receives all `P`
@@ -237,6 +253,7 @@ impl Rank {
         if p == 1 {
             return slots.into_iter().map(|m| m.unwrap()).collect();
         }
+        self.phase_begin("allgather");
         let next = (me + 1) % p;
         let prev = (me + p - 1) % p;
         // In step s we forward the block that originated at rank me - s.
@@ -247,6 +264,7 @@ impl Rank {
             slots[incoming_origin as usize] = Some(m.clone());
             carry = m;
         }
+        self.phase_end("allgather");
         slots.into_iter().map(|m| m.unwrap()).collect()
     }
 
@@ -255,7 +273,8 @@ impl Rank {
     pub async fn scatter(&mut self, root: u32, msgs: Option<Vec<Msg>>) -> Msg {
         let p = self.size();
         let me = self.rank();
-        if me == root {
+        self.phase_begin("scatter");
+        let out = if me == root {
             let msgs = msgs.expect("root must supply scatter payloads");
             assert_eq!(msgs.len(), p as usize, "scatter needs one message per rank");
             let mut mine = None;
@@ -269,7 +288,9 @@ impl Rank {
             mine.unwrap()
         } else {
             self.recv(root, TAG_SCATTER).await
-        }
+        };
+        self.phase_end("scatter");
+        out
     }
 
     /// Pairwise-exchange all-to-all: rank `i` sends `msgs[j]` to rank `j`.
@@ -286,6 +307,7 @@ impl Rank {
         let mut out: Vec<Option<Msg>> = (0..p).map(|_| None).collect();
         let mut msgs: Vec<Option<Msg>> = msgs.into_iter().map(Some).collect();
         out[me as usize] = msgs[me as usize].take();
+        self.phase_begin("alltoall");
         let rounds = p.next_power_of_two();
         for step in 1..rounds {
             let partner = me ^ step;
@@ -297,6 +319,7 @@ impl Rank {
                 self.sendrecv(partner, TAG_ALLTOALL + step, m, partner, TAG_ALLTOALL + step).await;
             out[partner as usize] = Some(got);
         }
+        self.phase_end("alltoall");
         out.into_iter().map(|m| m.unwrap()).collect()
     }
 }

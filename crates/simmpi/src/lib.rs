@@ -44,5 +44,8 @@ pub use error::{JobSpecError, MpiFault};
 pub use imb::{imb_collective, imb_rank_sweep, ImbOp, ImbPoint};
 pub use payload::Msg;
 pub use pingpong::{large_sizes, pingpong, small_sizes, PingPongPoint};
-pub use rank::{default_event_budget, run_mpi, set_default_event_budget, MpiRun, Rank};
+pub use rank::{
+    default_event_budget, default_tracer, run_mpi, set_default_event_budget, set_default_tracer,
+    MpiRun, Rank,
+};
 pub use world::{JobSpec, NetStats, RetryPolicy};

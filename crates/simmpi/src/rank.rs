@@ -40,7 +40,7 @@ use std::future::Future;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use des::{Engine, ProcCtx, SimTime};
+use des::{Engine, ProcCtx, SimTime, TraceEvent, Tracer};
 use parking_lot::Mutex;
 use soc_arch::WorkProfile;
 
@@ -67,6 +67,25 @@ pub fn default_event_budget() -> Option<u64> {
         0 => None,
         n => Some(n),
     }
+}
+
+/// Process-global default tracer installed on every [`run_mpi`] engine (the
+/// same one-switch pattern as the event budget: `repro --trace` enables
+/// tracing for every simulation a sweep runs without threading a parameter
+/// through every driver signature).
+static DEFAULT_TRACER: std::sync::Mutex<Option<Arc<dyn Tracer>>> = std::sync::Mutex::new(None);
+
+/// Install (or, with `None`, remove) the process-global default
+/// [`Tracer`](des::Tracer). Every subsequent [`run_mpi`] engine gets it via
+/// [`Engine::set_tracer`](des::Engine::set_tracer); jobs already running are
+/// unaffected. Tracing is observational only — results stay bit-identical.
+pub fn set_default_tracer(tracer: Option<Arc<dyn Tracer>>) {
+    *DEFAULT_TRACER.lock().expect("default tracer lock poisoned") = tracer;
+}
+
+/// The current process-global default tracer, if any.
+pub fn default_tracer() -> Option<Arc<dyn Tracer>> {
+    DEFAULT_TRACER.lock().expect("default tracer lock poisoned").clone()
 }
 
 /// A rank's handle to the simulated job. Passed by value to the rank body
@@ -117,8 +136,17 @@ impl<R> MpiRun<R> {
 /// return the future that *is* the rank program — typically an
 /// `async move` block:
 ///
-/// ```ignore
-/// run_mpi(spec, |mut r| async move { r.barrier().await; r.rank() })
+/// ```
+/// use simmpi::{run_mpi, JobSpec};
+/// use soc_arch::Platform;
+///
+/// let spec = JobSpec::new(Platform::tegra2(), 4);
+/// let run = run_mpi(spec, |mut r| async move {
+///     r.barrier().await;
+///     r.rank()
+/// })
+/// .unwrap();
+/// assert_eq!(run.results, vec![0, 1, 2, 3]);
 /// ```
 ///
 /// Ranks are event-driven des processes: the whole job, at any rank count,
@@ -152,6 +180,9 @@ where
         Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
 
     let mut engine = Engine::new().with_event_budget(budget);
+    if let Some(tracer) = default_tracer() {
+        engine.set_tracer(tracer);
+    }
     for r in 0..nranks {
         let pid = engine.spawn_process(format!("rank{r}"), |ctx| {
             let world_for_rank = Arc::clone(&world);
@@ -214,6 +245,41 @@ impl Rank {
         &self.world.spec
     }
 
+    /// Whether the engine this rank runs on has a tracer installed. Guard
+    /// any work done *only* to build trace events behind this, so untraced
+    /// runs pay nothing.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.ctx.tracing()
+    }
+
+    /// Open a named phase span on this rank (traced runs only; a no-op
+    /// otherwise). Spans on one rank must nest strictly — close them in
+    /// reverse order with [`Rank::phase_end`]. Built-in primitives emit their
+    /// own spans (`compute`, `send`, `recv`, each collective by name), which
+    /// nest inside application phases; `trace2flame` folds the nesting into
+    /// flamegraph stacks. Dotted names (`"hpl.panel"`) read well there.
+    pub fn phase_begin(&self, name: &str) {
+        if self.ctx.tracing() {
+            self.ctx.emit_trace(TraceEvent::SpanBegin { rank: self.rank, name: name.to_string() });
+        }
+    }
+
+    /// Close the innermost open phase span; `name` must match the
+    /// [`Rank::phase_begin`] it pairs with.
+    pub fn phase_end(&self, name: &str) {
+        if self.ctx.tracing() {
+            self.ctx.emit_trace(TraceEvent::SpanEnd { rank: self.rank, name: name.to_string() });
+        }
+    }
+
+    /// Emit a message/fault trace event (traced runs only). Internal helper
+    /// for the messaging layer; applications use [`Rank::phase_begin`].
+    #[inline]
+    pub(crate) fn emit_trace(&self, event: TraceEvent) {
+        self.ctx.emit_trace(event);
+    }
+
     /// Model the execution of `work` on this rank's share of the node
     /// (advances virtual time by the roofline estimate).
     pub async fn compute(&mut self, work: &WorkProfile) {
@@ -233,6 +299,7 @@ impl Rank {
     /// Model `seconds` of computation. If the node crashes mid-computation,
     /// the rank dies at exactly the crash instant.
     pub async fn compute_secs(&mut self, seconds: f64) {
+        self.phase_begin("compute");
         let dt = SimTime::from_secs_f64(seconds);
         let end = self.ctx.now() + dt;
         if let Some(crash) = self.crash_at {
@@ -245,6 +312,7 @@ impl Rank {
         }
         self.ctx.advance(dt).await;
         self.world.state.lock().ranks[self.rank as usize].compute_busy += dt;
+        self.phase_end("compute");
     }
 
     /// Consume the earliest scheduled DRAM bit-flip on this rank's node that
@@ -255,6 +323,7 @@ impl Rank {
         let next = *self.flips.get(self.flips_seen)?;
         if next <= self.ctx.now() {
             self.flips_seen += 1;
+            self.emit_trace(TraceEvent::Fault { kind: "bit_flip", node: self.node });
             Some(next)
         } else {
             None
@@ -283,6 +352,7 @@ impl Rank {
 
     fn die_crashed(&self) -> ! {
         let at = self.crash_at.expect("die_crashed without a crash time");
+        self.emit_trace(TraceEvent::Fault { kind: "node_crash", node: self.node });
         self.die(MpiFault::RankDied { rank: self.rank, node: self.node, at });
     }
 
@@ -353,6 +423,7 @@ impl Rank {
         assert!(dst < self.size(), "send to invalid rank {dst}");
         assert!(dst != self.rank, "self-sends are not supported; restructure the algorithm");
         self.check_crashed();
+        self.phase_begin("send");
         let world = Arc::clone(&self.world);
         let proto = world.spec.proto;
         let o_s = proto.send_overhead(&world.ep);
@@ -386,12 +457,14 @@ impl Rank {
                     _ => None,
                 }
             };
+            self.emit_trace(TraceEvent::MsgEnqueue { src: self.rank, dst, tag, bytes });
             if let Some((pid, at)) = wake {
                 self.ctx.wake_at(pid, at);
             }
             // Wait until the receiver completes the transfer and wakes us
             // (bounded by our own crash and the per-message timeout).
             self.park_or_die(self.recv_deadline(), Some(dst)).await;
+            self.phase_end("send");
             return;
         }
 
@@ -415,6 +488,7 @@ impl Rank {
                 break;
             }
             attempts += 1;
+            self.emit_trace(TraceEvent::MsgDrop { src: self.rank, dst, attempt: attempts });
             if attempts > retry.max_retries {
                 self.die(MpiFault::Timeout {
                     rank: self.rank,
@@ -454,6 +528,7 @@ impl Rank {
                 None
             };
             drop(st);
+            self.emit_trace(TraceEvent::MsgEnqueue { src: self.rank, dst, tag, bytes });
             if let Some((pid, at)) = wake {
                 self.ctx.wake_at(pid, at);
             }
@@ -462,6 +537,7 @@ impl Rank {
         // The sender's CPU is busy injecting the payload.
         self.ctx.advance(injection).await;
         self.tally_comm(injection);
+        self.phase_end("send");
     }
 
     /// Blocking receive matching exactly `(src, tag)`.
@@ -478,6 +554,7 @@ impl Rank {
     /// Blocking receive with optional source/tag filters.
     pub async fn recv_filtered(&mut self, src: Option<u32>, tag: Option<u32>) -> (u32, u32, Msg) {
         self.check_crashed();
+        self.phase_begin("recv");
         let world = Arc::clone(&self.world);
         let proto = world.spec.proto;
         let filter = (src, tag);
@@ -518,12 +595,21 @@ impl Rank {
                     Delivery::Eager { .. } => {
                         let o_r = proto.recv_overhead(&world.ep);
                         self.advance_comm_or_die(o_r).await;
+                        self.emit_trace(TraceEvent::MsgDeliver {
+                            src: m.src,
+                            dst: self.rank,
+                            tag: m.tag,
+                            bytes: m.msg.bytes,
+                        });
+                        self.phase_end("recv");
                         return (m.src, m.tag, m.msg);
                     }
                     Delivery::Rendezvous { sender_pid, rts_arrival } => {
-                        return self
+                        let out = self
                             .complete_rendezvous(m.src, m.tag, m.msg, sender_pid, rts_arrival)
                             .await;
+                        self.phase_end("recv");
+                        return out;
                     }
                 },
                 Scan::WaitWire(at) => self.advance_to_or_die(at).await,
@@ -556,7 +642,7 @@ impl Rank {
 
         let src_node = world.spec.node_of(src);
         let dst_node = world.spec.node_of(self.rank);
-        let (data_arrival, sender_done) = {
+        let (data_arrival, sender_done, bulk_drops) = {
             let mut st = world.state.lock();
             let now = self.ctx.now();
             // CTS travels back; the sender starts the bulk transfer on its
@@ -593,12 +679,18 @@ impl Rank {
             };
             let injection = SimTime::from_secs_f64(msg.bytes as f64 / world.cpu_stage_rate());
             let sender_done = (bulk_depart + injection).max(now);
-            (data_arrival, sender_done)
+            (data_arrival, sender_done, attempts)
         };
+        if self.tracing() {
+            for attempt in 1..=bulk_drops {
+                self.emit_trace(TraceEvent::MsgDrop { src, dst: self.rank, attempt });
+            }
+        }
         self.ctx.wake_at(sender_pid, sender_done);
         self.advance_to_or_die(data_arrival).await;
         let o_r2 = proto.recv_overhead(&world.ep);
         self.advance_comm_or_die(o_r2).await;
+        self.emit_trace(TraceEvent::MsgDeliver { src, dst: self.rank, tag, bytes: msg.bytes });
         (src, tag, msg)
     }
 

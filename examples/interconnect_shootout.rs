@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! cargo run --release --example interconnect_shootout -- --ranks <N>
+//! cargo run --release --example interconnect_shootout -- --trace ring.jsonl
 //! ```
 //!
 //! `--ranks N` sizes the ping-ring section (default 64): N ranks pass a
 //! token around a ring under each protocol, one event-driven process per
-//! rank in a single OS thread.
+//! rank in a single OS thread. `--trace PATH` records a structured DES
+//! trace of every run (JSONL, docs/TRACE_FORMAT.md) for `trace2flame`.
 
+use std::sync::Arc;
+
+use des::RingRecorder;
 use socready::mpi::{pingpong, run_mpi, JobSpec, Msg};
 use socready::net::{penalty_table, ProtocolModel};
 use socready::prelude::*;
@@ -26,7 +31,26 @@ fn ranks_arg(default: u32) -> u32 {
     default
 }
 
+/// `--trace PATH`: where to write the JSONL trace, if requested.
+fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return Some(args.next().map(Into::into).unwrap_or_else(|| {
+                eprintln!("--trace needs a path");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
 fn main() {
+    let trace_path = trace_arg();
+    let recorder = trace_path.as_ref().map(|_| Arc::new(RingRecorder::with_capacity(1 << 20)));
+    if let Some(rec) = &recorder {
+        simmpi::set_default_tracer(Some(rec.clone()));
+    }
     let cases = [
         ("Tegra2  (PCIe NIC)  TCP/IP ", Platform::tegra2(), 1.0, ProtocolModel::tcp_ip()),
         ("Tegra2  (PCIe NIC)  Open-MX", Platform::tegra2(), 1.0, ProtocolModel::open_mx()),
@@ -75,6 +99,18 @@ fn main() {
             row.latency_us,
             100.0 * row.snb_penalty,
             100.0 * row.arm_penalty
+        );
+    }
+
+    if let (Some(path), Some(rec)) = (trace_path, recorder) {
+        let records = rec.drain();
+        socready::harness::write_trace(&path, &records, rec.dropped()).expect("write trace");
+        eprintln!(
+            "wrote {} trace records to {} ({} dropped); fold with: trace2flame {}",
+            records.len(),
+            path.display(),
+            rec.dropped(),
+            path.display()
         );
     }
 }

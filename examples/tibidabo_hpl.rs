@@ -6,8 +6,16 @@
 //!
 //! ```text
 //! cargo run --release --example tibidabo_hpl -- --ranks <nodes>
+//! cargo run --release --example tibidabo_hpl -- --ranks <nodes> --trace hpl.jsonl
 //! ```
+//!
+//! With `--trace PATH` every simulated run records a structured DES trace
+//! (JSONL, docs/TRACE_FORMAT.md); fold it into a flamegraph with
+//! `trace2flame PATH`.
 
+use std::sync::Arc;
+
+use des::RingRecorder;
 use socready::apps::hpl::{run_hpl, HplConfig};
 use socready::apps::Mode;
 use socready::prelude::*;
@@ -22,6 +30,10 @@ fn ranks_arg(default: u32) -> u32 {
                 std::process::exit(2);
             });
         }
+        if a == "--trace" {
+            args.next(); // value consumed by trace_arg
+            continue;
+        }
         if let Ok(n) = a.parse() {
             return n;
         }
@@ -29,9 +41,36 @@ fn ranks_arg(default: u32) -> u32 {
     default
 }
 
+/// `--trace PATH`: where to write the JSONL trace, if requested.
+fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return Some(args.next().map(Into::into).unwrap_or_else(|| {
+                eprintln!("--trace needs a path");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
 fn main() {
     let nodes: u32 = ranks_arg(16);
-    let m = Machine::tibidabo();
+    let trace_path = trace_arg();
+    let recorder = trace_path.as_ref().map(|_| Arc::new(RingRecorder::with_capacity(1 << 20)));
+    if let Some(rec) = &recorder {
+        simmpi::set_default_tracer(Some(rec.clone()));
+    }
+    // Beyond the prototype's 192 nodes, switch to the §7-style scaled model
+    // (same Tegra-2 node and GbE tree, more edge switches).
+    let m = if nodes > Machine::tibidabo().nodes() {
+        let m = Machine::tibidabo_scaled(nodes);
+        println!("note: {nodes} ranks exceeds Tibidabo's 192 nodes; using {}", m.name);
+        m
+    } else {
+        Machine::tibidabo()
+    };
 
     // 1. Correctness first: a real factorisation with pivoting on 4 ranks.
     let small = HplConfig::small(96, 8);
@@ -68,4 +107,16 @@ fn main() {
     println!("  system power  : {:.0} W", g.watts);
     println!("  Green500      : {:.1} MFLOPS/W", g.mflops_per_watt);
     println!("\npaper, 96 nodes: 97 GFLOPS, 51% efficiency, 120 MFLOPS/W");
+
+    if let (Some(path), Some(rec)) = (trace_path, recorder) {
+        let records = rec.drain();
+        socready::harness::write_trace(&path, &records, rec.dropped()).expect("write trace");
+        eprintln!(
+            "wrote {} trace records to {} ({} dropped); fold with: trace2flame {}",
+            records.len(),
+            path.display(),
+            rec.dropped(),
+            path.display()
+        );
+    }
 }

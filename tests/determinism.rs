@@ -2,8 +2,14 @@
 //! every artefact on 1 worker and on 8 workers produces byte-identical
 //! rendered text and byte-identical JSON. Plus the timing-cache property
 //! that makes the parallel sweep cheap: figure cells share model
-//! evaluations, so a two-figure run must hit the cache.
+//! evaluations, so a two-figure run must hit the cache. And the tracing
+//! invariant: recording a structured trace never changes a single artefact
+//! byte (`ci.sh` additionally proves this at the `repro --trace` binary
+//! level on a quick sweep).
 
+use std::sync::Arc;
+
+use des::RingRecorder;
 use socready::harness::{run_plan, RunPlan, RunScales, SweepConfig};
 
 fn items(keys: &[&str]) -> Vec<String> {
@@ -30,6 +36,39 @@ fn jobs_1_and_jobs_8_are_byte_identical_across_all_artefacts() {
             (None, None) => {}
             _ => panic!("{}: JSON presence diverged", a.key),
         }
+    }
+}
+
+#[test]
+fn traced_run_produces_byte_identical_artefacts() {
+    // Same golden-scale artefacts, once recording into a ring tracer and
+    // once untraced. Fig 7 is chosen because its ping-pong cells spawn real
+    // simmpi engines (fig5/table3 are closed-form models that never reach
+    // the DES, so they would leave the ring empty); table3 rides along as a
+    // no-JSON artefact. The traced run goes first: the process-wide timing
+    // cache would otherwise satisfy its cells without spawning a single
+    // engine. The recorder observes every engine the process spawns while
+    // installed (other tests running in parallel may add noise records —
+    // harmless, the assertion is on artefact bytes, not on the trace).
+    let mk = || RunPlan::from_items(&items(&["fig7", "table3"]), &RunScales::golden());
+    let rec = Arc::new(RingRecorder::with_capacity(1 << 20));
+    simmpi::set_default_tracer(Some(rec.clone()));
+    let (traced, _) = run_plan(mk(), &SweepConfig::serial());
+    simmpi::set_default_tracer(None);
+
+    let (untraced, _) = run_plan(mk(), &SweepConfig::serial());
+
+    assert!(!rec.is_empty(), "the traced run must actually have recorded events");
+    assert_eq!(untraced.len(), traced.len());
+    for (a, b) in untraced.iter().zip(&traced) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.blocks, b.blocks, "{}: rendered text changed under tracing", a.key);
+        assert_eq!(
+            a.json.as_ref().map(|(_, j)| j),
+            b.json.as_ref().map(|(_, j)| j),
+            "{}: JSON bytes changed under tracing",
+            a.key
+        );
     }
 }
 
