@@ -225,6 +225,59 @@ if [[ $quick -eq 0 ]]; then
   }
   echo "quarantine OK: fig5 isolated, remaining artefacts intact, exit 3"
   rm -rf "$sdir" "$qdir"
+
+  step "model checker: exhaustive pass, counterexample, deterministic replay"
+  # A real protocol scenario must enumerate its bounded space to exhaustion
+  # with no violation; the broken-retry fixture must yield a replayable
+  # counterexample (exit 3) whose replay reproduces the violation (exit 3).
+  mdir=$(mktemp -d)
+  timeout 120 "$repro" --mc ckpt-crash --max-cell-seconds 60 \
+    >"$mdir/pass.txt" 2>"$mdir/pass.stderr.txt"
+  grep -q 'result: PASS (bounded space fully enumerated)' "$mdir/pass.txt" || {
+    echo "error: --mc ckpt-crash did not exhaust its bounded space" >&2
+    cat "$mdir/pass.txt" >&2 || true
+    exit 1
+  }
+  set +e
+  timeout 120 "$repro" --mc retry-lossy-broken --max-cell-seconds 60 \
+    --json "$mdir" >"$mdir/viol.txt" 2>"$mdir/viol.stderr.txt"
+  rc=$?
+  set -e
+  if [[ $rc -ne 3 ]]; then
+    echo "error: --mc retry-lossy-broken exited $rc (want 3 = violation found)" >&2
+    cat "$mdir/viol.txt" >&2 || true
+    exit 1
+  fi
+  ce="$mdir/mc_retry-lossy-broken_counterexample.json"
+  test -s "$ce" || {
+    echo "error: violation produced no counterexample file" >&2
+    exit 1
+  }
+  grep -q '"property": "safety.exactly-once"' "$ce" || {
+    echo "error: counterexample names the wrong property" >&2
+    cat "$ce" >&2 || true
+    exit 1
+  }
+  head -1 "$mdir/mc_retry-lossy-broken.trace.jsonl" | grep -q '"kind":"trace_start"' || {
+    echo "error: counterexample trace JSONL is missing or malformed" >&2
+    exit 1
+  }
+  set +e
+  timeout 120 "$repro" --mc-replay "$ce" >"$mdir/replay.txt" 2>"$mdir/replay.stderr.txt"
+  rc=$?
+  set -e
+  if [[ $rc -ne 3 ]]; then
+    echo "error: --mc-replay exited $rc (want 3 = violation reproduced)" >&2
+    cat "$mdir/replay.txt" >&2 || true
+    exit 1
+  fi
+  grep -q 'reproduced' "$mdir/replay.txt" || {
+    echo "error: replay did not reproduce the recorded violation" >&2
+    cat "$mdir/replay.txt" >&2 || true
+    exit 1
+  }
+  echo "mc smoke OK: ckpt-crash exhausted, broken fixture counterexample found and replayed"
+  rm -rf "$mdir"
 fi
 
 echo

@@ -21,6 +21,8 @@
 //! repro --inject-panic S # sabotage cells whose label contains S (testing)
 //! repro --trace PATH     # record a structured DES trace to PATH (JSONL)
 //! repro --trace-filter C # comma list of proc,msg,span,fault (default all)
+//! repro --mc SCENARIO    # bounded model-check a resilience protocol
+//! repro --mc-replay FILE # reproduce a recorded counterexample
 //! repro --help           # print the full flag reference and exit 0
 //! ```
 //!
@@ -52,8 +54,8 @@ use std::time::Duration;
 use bench::artifact::checksum_on_disk;
 use bench::journal::{run_fingerprint, Journal};
 use bench::{
-    read_journal, run_plan_supervised, write_json_atomic, ArtefactOutcome, CellOutcome, RunPlan,
-    RunScales, SupervisorConfig, SweepConfig, WriteOutcome,
+    read_journal, run_plan_supervised, write_json_atomic, ArtefactOutcome, CellOutcome,
+    McOverrides, RunPlan, RunScales, SupervisorConfig, SweepConfig, WriteOutcome,
 };
 use des::{RingRecorder, TraceFilter};
 
@@ -71,6 +73,9 @@ struct Opts {
     inject_panic: Option<String>,
     trace_path: Option<PathBuf>,
     trace_filter: TraceFilter,
+    mc: Option<String>,
+    mc_replay: Option<PathBuf>,
+    mc_overrides: McOverrides,
 }
 
 /// Every `items` key the plan dispatches on; a request outside this set
@@ -138,10 +143,23 @@ observability:
   --trace-filter C       keep only these event classes: a comma list of
                          proc, msg, span, fault (default: all)
 
+model checking:
+  --mc SCENARIO          bounded model-check one resilience protocol:
+                         retry-lossy | retry-lossy-broken | ckpt-crash |
+                         spare-race; a violation exits 3 and writes a
+                         replayable counterexample plus its trace (to
+                         --json DIR, default repro_out)
+  --mc-replay FILE       deterministically reproduce a recorded
+                         counterexample file (exit 3 when it reproduces)
+  --mc-max-states N      override the scenario's distinct-state budget
+  --mc-max-depth N       override the per-run decision-depth budget
+                         (--max-cell-seconds doubles as the wall deadline)
+
 exit codes:
   0  clean run
   2  usage error
-  3  degraded: artefacts quarantined, lost, or repaired by --fsck
+  3  degraded: artefacts quarantined, lost, or repaired by --fsck;
+     or a model-checking violation found / reproduced
 ";
 
 fn die(msg: &str) -> ! {
@@ -164,6 +182,9 @@ fn parse_args() -> Opts {
     let mut inject_panic = None;
     let mut trace_path = None;
     let mut trace_filter = TraceFilter::ALL;
+    let mut mc = None;
+    let mut mc_replay = None;
+    let mut mc_overrides = McOverrides::default();
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
@@ -210,6 +231,26 @@ fn parse_args() -> Opts {
                 event_budget = Some(n);
             }
             "--inject-panic" => inject_panic = Some(value(&mut args, "--inject-panic")),
+            "--mc" => mc = Some(value(&mut args, "--mc")),
+            "--mc-replay" => mc_replay = Some(PathBuf::from(value(&mut args, "--mc-replay"))),
+            "--mc-max-states" => {
+                let v = value(&mut args, "--mc-max-states");
+                let n: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| die(&format!("bad --mc-max-states value '{v}'")));
+                mc_overrides.max_states = Some(n);
+            }
+            "--mc-max-depth" => {
+                let v = value(&mut args, "--mc-max-depth");
+                let n: u32 = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| die(&format!("bad --mc-max-depth value '{v}'")));
+                mc_overrides.max_depth = Some(n);
+            }
             "--trace" => trace_path = Some(PathBuf::from(value(&mut args, "--trace"))),
             "--trace-filter" => {
                 let v = value(&mut args, "--trace-filter");
@@ -225,7 +266,25 @@ fn parse_args() -> Opts {
     if let Some(bad) = items.iter().find(|i| !KNOWN_ITEMS.contains(&i.as_str())) {
         die(&format!("unknown item '{bad}'; known: {}", KNOWN_ITEMS.join(", ")));
     }
-    if items.is_empty() {
+    if mc.is_some() && mc_replay.is_some() {
+        die("--mc and --mc-replay are mutually exclusive");
+    }
+    if let Some(name) = &mc {
+        if bench::mc_scenario(name).is_none() {
+            let known: Vec<_> = bench::mc_scenarios().iter().map(|s| s.name).collect();
+            die(&format!("unknown --mc scenario '{name}'; known: {}", known.join(", ")));
+        }
+    }
+    if mc.is_some() || mc_replay.is_some() {
+        if !items.is_empty() {
+            die("--mc/--mc-replay runs no artefacts; drop the item flags");
+        }
+        if resume || fsck {
+            die("--mc/--mc-replay contradicts --resume/--fsck");
+        }
+    } else if mc_overrides.max_states.is_some() || mc_overrides.max_depth.is_some() {
+        die("--mc-max-states/--mc-max-depth need --mc");
+    } else if items.is_empty() {
         items.push("all".into());
         if !golden {
             quick = true;
@@ -263,6 +322,8 @@ fn parse_args() -> Opts {
         wall_limit,
         verify_recovered: true,
     };
+    // --max-cell-seconds doubles as the model checker's wall deadline.
+    mc_overrides.deadline = wall_limit;
     Opts {
         items,
         scales,
@@ -276,6 +337,9 @@ fn parse_args() -> Opts {
         inject_panic,
         trace_path,
         trace_filter,
+        mc,
+        mc_replay,
+        mc_overrides,
     }
 }
 
@@ -537,6 +601,67 @@ fn run_supervised(opts: &Opts) -> i32 {
     }
 }
 
+/// Run a bounded model-checking search (`--mc SCENARIO`); returns the
+/// process exit code (0 = no violation, 3 = violation found). On violation,
+/// the minimized counterexample is replayed once with a dedicated recorder
+/// to persist a replayable decision file plus its structured trace.
+fn run_mc(opts: &Opts, name: &str) -> i32 {
+    let sc = bench::mc_scenario(name).expect("validated in parse_args");
+    let cfg = sc.config(&opts.mc_overrides);
+    eprintln!("model checking {name} (strategy dfs, bounded)...");
+    let report = sc.explore(&cfg);
+    print!("{}", bench::mc::render_report(sc, &cfg, &report));
+    // Wall-derived numbers are nondeterministic; keep them off stdout.
+    eprintln!(
+        "explored {} run(s), {} distinct state(s) in {:.3}s ({:.0} states/sec)",
+        report.runs,
+        report.distinct_states,
+        report.wall.as_secs_f64(),
+        report.distinct_states as f64 / report.wall.as_secs_f64().max(1e-9),
+    );
+    let Some(ce) = &report.violation else { return 0 };
+
+    // Persist the counterexample artefacts: a replayable decision file and
+    // the trace of the minimized failing schedule.
+    let dir = opts.json_dir.clone().unwrap_or_else(|| PathBuf::from("repro_out"));
+    let rec = Arc::new(RingRecorder::with_capacity(TRACE_CAPACITY).with_filter(opts.trace_filter));
+    let replayed = sc.replay(&cfg, ce.decisions.clone(), Some(rec.clone()));
+    if let Some(d) = &replayed.divergence {
+        eprintln!("warning: counterexample replay diverged: {d}");
+    }
+    let stem = format!("mc_{name}_counterexample");
+    match write_json_atomic(&dir, &stem, &bench::counterexample_json(name, &cfg, ce)) {
+        Ok(_) => eprintln!("wrote {}", dir.join(format!("{stem}.json")).display()),
+        Err(e) => eprintln!("error: failed to persist counterexample: {e}"),
+    }
+    let trace_path = dir.join(format!("mc_{name}.trace.jsonl"));
+    match bench::write_trace(&trace_path, &rec.drain(), rec.dropped()) {
+        Ok(()) => eprintln!("wrote {}", trace_path.display()),
+        Err(e) => eprintln!("error: failed to persist counterexample trace: {e}"),
+    }
+    eprintln!("replay with: repro --mc-replay {}", dir.join(format!("{stem}.json")).display());
+    EXIT_DEGRADED
+}
+
+/// Reproduce a recorded counterexample (`--mc-replay FILE`); returns the
+/// process exit code (3 when the violation reproduces, 0 when the run now
+/// passes — i.e. the protocol was fixed).
+fn run_mc_replay(_opts: &Opts, path: &Path) -> i32 {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+    let parsed = bench::parse_counterexample(&text).unwrap_or_else(|e| die(&e));
+    let sc = bench::mc_scenario(&parsed.scenario).expect("parse validated the scenario");
+    // No controller-carried tracer: with `--trace` the process-global
+    // recorder (installed in main) captures the replayed run and is dumped
+    // on exit like any other run's trace.
+    let rep = sc.replay(&parsed.config, parsed.decisions, None);
+    print!("{}", bench::mc::render_replay(&parsed.scenario, &rep));
+    match rep.outcome {
+        des::mc::RunOutcome::Violation { .. } => EXIT_DEGRADED,
+        _ => 0,
+    }
+}
+
 /// Verify every journaled artefact against the files on disk, re-derive the
 /// broken ones, and report orphans. Returns the process exit code: 0 when
 /// everything verified, 3 when anything needed repair (or still fails).
@@ -650,7 +775,15 @@ fn run_fsck(opts: &Opts) -> i32 {
 fn main() {
     let opts = parse_args();
     let tracer = install_tracer(&opts);
-    let mut code = if opts.fsck { run_fsck(&opts) } else { run_supervised(&opts) };
+    let mut code = if let Some(name) = opts.mc.clone() {
+        run_mc(&opts, &name)
+    } else if let Some(path) = opts.mc_replay.clone() {
+        run_mc_replay(&opts, &path)
+    } else if opts.fsck {
+        run_fsck(&opts)
+    } else {
+        run_supervised(&opts)
+    };
     if let Some(rec) = tracer {
         if !dump_trace(&opts, &rec) && code == 0 {
             code = EXIT_DEGRADED;

@@ -1,8 +1,9 @@
 //! Scale benchmark for the event-driven process model: writes
 //! `BENCH_scale.json` (events/sec for the legacy thread-backed model vs the
 //! event-driven model on the same DES workload, a 4096-rank simmpi
-//! ping-ring as the peak-ranks datum, and the overhead of an installed
-//! [`NullTracer`] over the zero-tracer path).
+//! ping-ring as the peak-ranks datum, the overhead of an installed
+//! [`NullTracer`] over the zero-tracer path, and the model checker's
+//! exploration rate in distinct states/sec on the `retry-lossy` scenario).
 //!
 //! ```text
 //! cargo run --release -p bench --bin scale_bench -- [out.json]
@@ -59,6 +60,25 @@ struct TraceOverhead {
     recording_overhead_pct: f64,
 }
 
+/// Throughput of the bounded model checker on the `retry-lossy` scenario:
+/// how fast `repro --mc` burns through its state space. Informational — the
+/// run is truncated by its budgets, so only the rate is meaningful.
+#[derive(Serialize)]
+struct McThroughput {
+    /// Scenario explored (`repro --mc <scenario>`).
+    scenario: &'static str,
+    /// Executions performed within the budgets.
+    runs: u64,
+    /// Distinct state hashes observed.
+    distinct_states: u64,
+    /// Fraction of state observations deduplicated, in percent.
+    dedup_hit_pct: f64,
+    /// Wall seconds of the bounded search.
+    wall_secs: f64,
+    /// Distinct states discovered per wall second.
+    states_per_sec: f64,
+}
+
 /// The artefact: the perf trajectory entry this PR starts.
 #[derive(Serialize)]
 struct ScaleBench {
@@ -74,6 +94,8 @@ struct ScaleBench {
     peak_messages: u64,
     /// NullTracer cost on the event ring (must stay < 2%).
     trace_overhead: TraceOverhead,
+    /// Model-checker exploration rate on the lossy-ring scenario.
+    mc_throughput: McThroughput,
 }
 
 /// Token ring on event-driven processes: `procs` coroutines, `laps` full
@@ -182,6 +204,24 @@ fn trace_overhead(procs: u32, laps: u32, rounds: u32) -> TraceOverhead {
     }
 }
 
+/// Bounded search over the `retry-lossy` scenario at its default budgets:
+/// the model checker's replay-based exploration rate, states/sec.
+fn mc_throughput() -> McThroughput {
+    let sc = bench::mc_scenario("retry-lossy").expect("scenario registered");
+    let cfg = sc.config(&bench::McOverrides::default());
+    let report = sc.explore(&cfg);
+    assert!(report.violation.is_none(), "retry-lossy must satisfy its predicates");
+    let wall = report.wall.as_secs_f64();
+    McThroughput {
+        scenario: sc.name,
+        runs: report.runs,
+        distinct_states: report.distinct_states,
+        dedup_hit_pct: 100.0 * report.dedup_hit_rate(),
+        wall_secs: wall,
+        states_per_sec: report.distinct_states as f64 / wall.max(1e-9),
+    }
+}
+
 /// 4096-rank simmpi ping-ring: the job the legacy model could not host.
 fn peak_ring(ranks: u32) -> (f64, u64) {
     let spec = JobSpec::new(Platform::tegra2(), ranks);
@@ -239,6 +279,13 @@ fn main() {
         overhead.recording_wall_secs, overhead.recording_overhead_pct
     );
 
+    eprintln!("mc: bounded search over retry-lossy at default budgets ...");
+    let mc = mc_throughput();
+    eprintln!(
+        "  {} runs, {} distinct states in {:.2}s -> {:.0} states/s ({:.1}% dedup hits)",
+        mc.runs, mc.distinct_states, mc.wall_secs, mc.states_per_sec, mc.dedup_hit_pct
+    );
+
     let bench = ScaleBench {
         ring_1024: vec![thread, event],
         speedup,
@@ -246,6 +293,7 @@ fn main() {
         peak_wall_secs,
         peak_messages,
         trace_overhead: overhead,
+        mc_throughput: mc,
     };
     std::fs::write(&out, serde_json::to_string_pretty(&bench).unwrap()).expect("write artefact");
     eprintln!("wrote {out}");

@@ -34,6 +34,11 @@
 //! every settled artefact to an fsync'd `_journal.jsonl`, and persists JSON
 //! through the atomic, checksummed [`artifact::write_json_atomic`] writer —
 //! the machinery behind `repro --resume` and `repro --fsck`.
+//!
+//! The [`mc`] module is the bounded model checker behind `repro --mc`: each
+//! scenario closes a resilience protocol over a small world and exhaustively
+//! explores its delivery orderings, adversarial message drops and crash
+//! timings within budgets, emitting replayable counterexamples on violation.
 
 pub mod artifact;
 mod extensions;
@@ -41,6 +46,7 @@ mod fig12;
 mod fig345;
 mod fig67;
 pub mod journal;
+pub mod mc;
 pub mod plan;
 mod resilience;
 pub mod supervisor;
@@ -60,6 +66,10 @@ pub use fig67::{
     table4_render, try_hpl_headline, Fig6, Fig7, Fig7Panel, HplHeadline,
 };
 pub use journal::{read_journal, run_fingerprint, Journal, JsonlWriter, ResumeState};
+pub use mc::{
+    counterexample_json, mc_scenario, mc_scenarios, parse_counterexample, McOverrides, McScenario,
+    ParsedCounterexample,
+};
 pub use plan::{
     run_plan, run_plan_supervised, ArtefactOut, ArtefactOutcome, RunPlan, RunScales,
     SupervisedArtefact,

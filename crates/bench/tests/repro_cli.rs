@@ -34,6 +34,10 @@ fn help_exits_zero_and_matches_the_snapshot() {
         "--fsck",
         "--trace PATH",
         "--trace-filter C",
+        "--mc SCENARIO",
+        "--mc-replay FILE",
+        "--mc-max-states N",
+        "--mc-max-depth N",
     ] {
         assert!(text.contains(flag), "--help lost flag '{flag}':\n{text}");
     }
@@ -44,6 +48,9 @@ fn help_exits_zero_and_matches_the_snapshot() {
         "docs/TRACE_FORMAT.md",
         "trace2flame",
         "proc, msg, span, fault",
+        "model checking:",
+        "retry-lossy-broken",
+        "spare-race",
     ] {
         assert!(text.contains(phrase), "--help lost phrase '{phrase}':\n{text}");
     }
@@ -64,4 +71,19 @@ fn contradictory_flags_exit_two() {
     assert_eq!(repro(&["--serial", "--jobs", "4"]).status.code(), Some(2));
     assert_eq!(repro(&["--resume"]).status.code(), Some(2), "--resume needs --json");
     assert_eq!(repro(&["--fsck"]).status.code(), Some(2), "--fsck needs --json");
+}
+
+#[test]
+fn mc_usage_errors_exit_two() {
+    for args in [
+        &["--mc", "no-such-scenario"][..],
+        &["--mc", "ckpt-crash", "--mc-replay", "x.json"],
+        &["--mc", "ckpt-crash", "--figure", "7"],
+        &["--mc-max-states", "1000"],
+        &["--mc", "ckpt-crash", "--mc-max-depth", "0"],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        assert!(!out.stderr.is_empty(), "{args:?} must explain itself on stderr");
+    }
 }

@@ -51,6 +51,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
+use crate::mc;
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceFilter, TraceRecord, Tracer};
 
@@ -113,6 +114,19 @@ pub enum SimError {
         events: u64,
         /// The configured budget.
         budget: u64,
+        /// Live (non-finished) processes at abort time, each annotated with
+        /// its scheduler status — the same diagnostic deadlock detection
+        /// prints, so budget kills in sweeps and model-checking runs are
+        /// debuggable.
+        parked: Vec<String>,
+    },
+    /// The run was stopped from outside by the model-checking controller:
+    /// the state it just reached was already covered by an explored
+    /// schedule (see [`mc`](crate::mc)). Not a failure of the simulated
+    /// program.
+    Interrupted {
+        /// Virtual time at which the run was abandoned.
+        at: SimTime,
     },
 }
 
@@ -128,11 +142,18 @@ impl std::fmt::Display for SimError {
             SimError::SpawnFailed { process, reason } => {
                 write!(f, "failed to spawn thread for process '{process}': {reason}")
             }
-            SimError::EventBudgetExhausted { at, events, budget } => {
+            SimError::EventBudgetExhausted { at, events, budget, parked } => {
                 write!(
                     f,
                     "event budget exhausted at {at}: {events} events dispatched (budget {budget})"
-                )
+                )?;
+                if !parked.is_empty() {
+                    write!(f, "; live processes: {}", parked.join(", "))?;
+                }
+                Ok(())
+            }
+            SimError::Interrupted { at } => {
+                write!(f, "run interrupted at {at} by the model-checking controller")
             }
         }
     }
@@ -244,6 +265,10 @@ struct Shared {
     /// uninterested class — and in particular a [`crate::NullTracer`] — costs
     /// one predictable branch per site.
     trace_mask: TraceFilter,
+    /// Model-checking controller, installed before any spawn like the
+    /// tracer. `None` (the overwhelmingly common case) keeps the dispatch
+    /// loop on its plain earliest-event path.
+    mc: Option<Arc<mc::McCtl>>,
 }
 
 impl Shared {
@@ -337,6 +362,7 @@ impl Engine {
                 yield_tx,
                 tracer: None,
                 trace_mask: TraceFilter::NONE,
+                mc: None,
             }),
             yield_rx,
             threads: Vec::new(),
@@ -382,6 +408,23 @@ impl Engine {
     pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
         self.set_tracer(tracer);
         self
+    }
+
+    /// Attach a model-checking controller (see [`mc`](crate::mc)). The
+    /// dispatch loop then offers the controller every scheduling choice
+    /// among simultaneously enabled events, reports each dispatch for
+    /// state-hash deduplication, and aborts with [`SimError::Interrupted`]
+    /// when the controller prunes the run. Begins a new controller epoch,
+    /// so one controller can drive several consecutive engines.
+    ///
+    /// # Panics
+    ///
+    /// Like [`Engine::set_tracer`], must be called before any spawn.
+    pub fn set_mc(&mut self, ctl: Arc<mc::McCtl>) {
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("set_mc must be called before any process is spawned");
+        ctl.begin_epoch();
+        shared.mc = Some(ctl);
     }
 
     /// Register a new process slot and its time-zero start event.
@@ -529,11 +572,134 @@ impl Engine {
         result
     }
 
+    /// Whether `ev` no longer targets the generation its process is in
+    /// (the process already resumed for another reason).
+    fn is_stale(st: &State, ev: &Event) -> bool {
+        let slot = &st.procs[ev.pid.index()];
+        match slot.status {
+            Status::Finished | Status::Running => true,
+            _ => slot.gen != ev.gen,
+        }
+    }
+
+    /// Names of every non-finished process, for deadlock reports.
+    fn parked_names(st: &State) -> Vec<String> {
+        st.procs.iter().filter(|p| p.status != Status::Finished).map(|p| p.name.clone()).collect()
+    }
+
+    /// Names of every non-finished process annotated with its scheduler
+    /// status — the budget-abort diagnostic.
+    fn live_process_diag(st: &State) -> Vec<String> {
+        st.procs
+            .iter()
+            .filter(|p| p.status != Status::Finished)
+            .map(|p| {
+                let status = match p.status {
+                    Status::Ready => "ready",
+                    Status::Running => "running",
+                    Status::Sleeping => "sleeping",
+                    Status::Parked => "parked",
+                    Status::Finished => "finished",
+                };
+                format!("{} ({status})", p.name)
+            })
+            .collect()
+    }
+
+    /// Abort with [`SimError::EventBudgetExhausted`] if the dispatch count
+    /// has reached the configured budget.
+    fn check_budget(&self, st: &mut State) -> Result<(), SimError> {
+        if let Some(budget) = self.event_budget {
+            if st.events_dispatched >= budget {
+                let events = st.events_dispatched;
+                self.shared.trace_with(st, || TraceEvent::BudgetExhausted { events, budget });
+                return Err(SimError::EventBudgetExhausted {
+                    at: st.now,
+                    events,
+                    budget,
+                    parked: Self::live_process_diag(st),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The plain dispatch path: earliest live event wins, stale events are
+    /// consumed and counted.
+    fn next_event(&self, st: &mut State) -> Result<Event, SimError> {
+        loop {
+            self.check_budget(st)?;
+            match st.queue.pop() {
+                Some(ev) => {
+                    st.events_dispatched += 1;
+                    if !Self::is_stale(st, &ev) {
+                        return Ok(ev);
+                    }
+                }
+                None => {
+                    return Err(SimError::Deadlock { at: st.now, parked: Self::parked_names(st) })
+                }
+            }
+        }
+    }
+
+    /// The model-checking dispatch path: collect every live event enabled
+    /// within the controller's time slack of the earliest one, let the
+    /// controller pick, and push the rest back (their sequence numbers keep
+    /// the replayed order stable). Stale events met while draining are
+    /// consumed and counted exactly like the plain path; pushed-back events
+    /// are not counted until actually dispatched.
+    fn next_event_mc(&self, st: &mut State, ctl: &mc::McCtl) -> Result<Event, SimError> {
+        let first = loop {
+            self.check_budget(st)?;
+            match st.queue.pop() {
+                Some(ev) => {
+                    if Self::is_stale(st, &ev) {
+                        st.events_dispatched += 1;
+                        continue;
+                    }
+                    break ev;
+                }
+                None => {
+                    return Err(SimError::Deadlock { at: st.now, parked: Self::parked_names(st) })
+                }
+            }
+        };
+        let mut enabled = vec![first];
+        if ctl.explore_sched() {
+            let bound = enabled[0].at + ctl.time_slack();
+            while st.queue.peek().is_some_and(|e| e.at <= bound) {
+                let ev = st.queue.pop().expect("peeked event vanished");
+                if Self::is_stale(st, &ev) {
+                    st.events_dispatched += 1;
+                } else {
+                    enabled.push(ev);
+                }
+            }
+        }
+        let idx = if enabled.len() > 1 {
+            let choices: Vec<mc::EnabledChoice> = enabled
+                .iter()
+                .map(|e| mc::EnabledChoice { at: e.at, seq: e.seq, pid: e.pid.index() })
+                .collect();
+            ctl.sched_pick(&choices)
+        } else {
+            0
+        };
+        let chosen = enabled.swap_remove(idx);
+        for ev in enabled {
+            st.queue.push(ev);
+        }
+        st.events_dispatched += 1;
+        Ok(chosen)
+    }
+
     fn drive(&mut self) -> Result<RunReport, SimError> {
         enum Resume {
             Thread(SyncSender<()>, Pid),
             Event(Pid),
         }
+        let mc = self.shared.mc.clone();
         loop {
             let resume = {
                 let mut st = self.shared.state.lock();
@@ -544,46 +710,19 @@ impl Engine {
                         processes: st.procs.len() as u32,
                     });
                 }
-                let ev = loop {
-                    if let Some(budget) = self.event_budget {
-                        if st.events_dispatched >= budget {
-                            let events = st.events_dispatched;
-                            self.shared.trace_with(&mut st, || TraceEvent::BudgetExhausted {
-                                events,
-                                budget,
-                            });
-                            return Err(SimError::EventBudgetExhausted {
-                                at: st.now,
-                                events,
-                                budget,
-                            });
-                        }
-                    }
-                    match st.queue.pop() {
-                        Some(ev) => {
-                            st.events_dispatched += 1;
-                            let slot = &st.procs[ev.pid.index()];
-                            let stale = match slot.status {
-                                Status::Finished | Status::Running => true,
-                                _ => slot.gen != ev.gen,
-                            };
-                            if !stale {
-                                break ev;
-                            }
-                        }
-                        None => {
-                            let parked = st
-                                .procs
-                                .iter()
-                                .filter(|p| p.status != Status::Finished)
-                                .map(|p| p.name.clone())
-                                .collect();
-                            return Err(SimError::Deadlock { at: st.now, parked });
-                        }
-                    }
+                let ev = match &mc {
+                    Some(ctl) => self.next_event_mc(&mut st, ctl)?,
+                    None => self.next_event(&mut st)?,
                 };
-                debug_assert!(ev.at >= st.now, "event queue went backwards in time");
-                st.now = ev.at;
+                if mc.is_none() {
+                    debug_assert!(ev.at >= st.now, "event queue went backwards in time");
+                }
+                // `max` semantics: a model-checking controller may dispatch
+                // an event that was pushed back behind a slightly later one
+                // (bounded timing skew); virtual time still never reverses.
+                if ev.at > st.now {
+                    st.now = ev.at;
+                }
                 let slot = &mut st.procs[ev.pid.index()];
                 slot.status = Status::Running;
                 slot.gen += 1;
@@ -592,6 +731,12 @@ impl Engine {
                     ProcKind::Event => Resume::Event(ev.pid),
                 };
                 self.shared.trace_with(&mut st, || TraceEvent::ProcResume { pid: ev.pid });
+                if let Some(ctl) = &mc {
+                    let hash = mc_engine_hash(&st);
+                    if !ctl.observe_dispatch(ev.pid.index(), ev.seq, st.now, hash) {
+                        return Err(SimError::Interrupted { at: st.now });
+                    }
+                }
                 resume
             };
             match resume {
@@ -786,7 +931,45 @@ fn wake_at_impl(shared: &Shared, target: Pid, at: SimTime) {
         slot.gen
     };
     st.push_event(at, target, gen);
+    // Waking a peer writes that peer's schedule: record it in the current
+    // execution segment's footprint so the commutation reduction never
+    // reorders a waker past something that touches the same process.
+    if let Some(ctl) = &shared.mc {
+        ctl.touch(mc::pid_bit(target.index()));
+    }
     shared.trace_with(&mut st, || TraceEvent::ProcWake { target, at });
+}
+
+/// Order-insensitive hash of the scheduler state for model-checking
+/// deduplication: per-process status and resume count, plus the live event
+/// queue as a multiset of `(time-to-fire, pid)` pairs. Absolute virtual
+/// time, sequence numbers and dispatch counters are deliberately excluded
+/// so runs reaching the same relative state by different tie orders or at
+/// shifted times can merge; resume counts (`gen`) keep successive
+/// iterations of a process loop from aliasing.
+fn mc_engine_hash(st: &State) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (i, p) in st.procs.iter().enumerate() {
+        let code = match p.status {
+            Status::Ready => 1u64,
+            Status::Running => 2,
+            Status::Sleeping => 3,
+            Status::Parked => 4,
+            Status::Finished => 5,
+        };
+        h = mc::mix(h, (i as u64) << 3 | code);
+        h = mc::mix(h, p.gen);
+    }
+    let now = st.now.as_nanos();
+    let mut qh = 0u64;
+    for ev in st.queue.iter() {
+        if Engine::is_stale(st, ev) {
+            continue;
+        }
+        let delta = ev.at.as_nanos().wrapping_sub(now);
+        qh = qh.wrapping_add(mc::mix(mc::mix(0x9e37_79b9, delta), ev.pid.index() as u64 + 1));
+    }
+    mc::mix(h, qh)
 }
 
 /// Future of [`ProcCtx::advance`].
@@ -1377,14 +1560,19 @@ mod tests {
         // A process that never finishes would spin forever without the
         // budget; with it, the run aborts with a typed error.
         match run_with_budget(100) {
-            Err(SimError::EventBudgetExhausted { at, events, budget }) => {
+            Err(err @ SimError::EventBudgetExhausted { .. }) => {
+                let SimError::EventBudgetExhausted { events, budget, ref parked, .. } = err else {
+                    unreachable!()
+                };
                 assert_eq!(budget, 100);
                 assert_eq!(events, 100);
+                // The abort carries the same live-process diagnostic that
+                // deadlock detection prints, annotated with each process's
+                // scheduler status.
+                assert_eq!(parked, &vec!["spinner (sleeping)".to_string()]);
+                assert!(err.to_string().contains("live processes: spinner (sleeping)"));
                 // Identical program + budget → identical abort point.
-                assert_eq!(run_with_budget(100).unwrap_err().to_string(), {
-                    let err = SimError::EventBudgetExhausted { at, events, budget };
-                    err.to_string()
-                });
+                assert_eq!(run_with_budget(100).unwrap_err().to_string(), err.to_string());
             }
             other => panic!("expected budget exhaustion, got {other:?}"),
         }

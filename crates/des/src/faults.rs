@@ -163,11 +163,38 @@ impl FaultPlan {
         FaultPlan { seed: 0, events: Vec::new() }
     }
 
-    /// Build a plan from explicit events (sorted internally). Useful for
-    /// tests and targeted experiments ("kill node 3 at t=2s").
+    /// Build a plan from explicit events. Useful for tests and targeted
+    /// experiments ("kill node 3 at t=2s").
+    ///
+    /// Events are normalized into a canonical order — sorted by time, ties
+    /// broken by fault class (bit flips, then link windows, then crashes)
+    /// and node — so two plans describing the same fault set compare equal
+    /// and replay identically regardless of the order the caller listed
+    /// them in. A crash tying with another fault on the same node is
+    /// ordered *after* it: the other fault strikes the still-live node.
     pub fn from_events(mut events: Vec<FaultEvent>) -> FaultPlan {
-        events.sort_by_key(|e| e.at);
+        events.sort_by(|a, b| {
+            (a.at, Self::kind_rank(&a.kind), a.kind.node())
+                .cmp(&(b.at, Self::kind_rank(&b.kind), b.kind.node()))
+                .then_with(|| match (&a.kind, &b.kind) {
+                    (
+                        FaultKind::LinkDegrade { loss: la, duration: da, .. },
+                        FaultKind::LinkDegrade { loss: lb, duration: db, .. },
+                    ) => la.total_cmp(lb).then(da.cmp(db)),
+                    _ => std::cmp::Ordering::Equal,
+                })
+        });
         FaultPlan { seed: 0, events }
+    }
+
+    /// Tie-break rank for same-instant events: crashes sort last so that a
+    /// simultaneous fault on the same node applies before the node dies.
+    fn kind_rank(kind: &FaultKind) -> u8 {
+        match kind {
+            FaultKind::BitFlip { .. } => 0,
+            FaultKind::LinkDegrade { .. } => 1,
+            FaultKind::NodeCrash { .. } => 2,
+        }
     }
 
     /// Sample a plan: independent Poisson processes per fault class per
@@ -366,6 +393,20 @@ mod tests {
         assert_eq!(plan.link_loss_at(2, SimTime::from_millis(149)), 0.5);
         assert_eq!(plan.link_loss_at(2, SimTime::from_millis(150)), 0.0);
         assert_eq!(plan.link_loss_at(3, SimTime::from_millis(120)), 0.0);
+    }
+
+    #[test]
+    fn from_events_orders_overlapping_faults_canonically() {
+        let crash =
+            FaultEvent { at: SimTime::from_millis(5), kind: FaultKind::NodeCrash { node: 3 } };
+        let flip = FaultEvent { at: SimTime::from_millis(5), kind: FaultKind::BitFlip { node: 3 } };
+        let a = FaultPlan::from_events(vec![crash, flip]);
+        let b = FaultPlan::from_events(vec![flip, crash]);
+        assert_eq!(a, b, "listing order must not change the plan");
+        assert!(
+            matches!(a.events()[0].kind, FaultKind::BitFlip { .. }),
+            "same-instant tie: the bit flip strikes the still-live node before the crash"
+        );
     }
 
     #[test]

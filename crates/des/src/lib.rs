@@ -50,6 +50,7 @@
 
 mod engine;
 mod faults;
+pub mod mc;
 mod time;
 pub mod trace;
 

@@ -215,6 +215,51 @@ pub struct ResilienceReport {
     pub fatal: Option<MpiFault>,
 }
 
+impl ResilienceReport {
+    /// Check the protocol-level invariants a campaign outcome must satisfy,
+    /// independent of timing: the model checker's safety predicate.
+    ///
+    /// Returns `Err` with a human-readable description on the first violated
+    /// invariant:
+    /// - attempts never exceed the configured budget;
+    /// - a completed campaign carries no fatal fault and never accepted a
+    ///   residual at or above the limit (no silent-data-corruption
+    ///   acceptance; NaN residuals are violations);
+    /// - an abandoned campaign says why (a fatal fault is recorded);
+    /// - crash recovery never consumes more spares than `spares` provided.
+    pub fn check_invariants(&self, rc: &ResilienceConfig, spares: u32) -> Result<(), String> {
+        if self.attempts > rc.max_attempts {
+            return Err(format!(
+                "attempt budget exceeded: {} attempts > max_attempts {}",
+                self.attempts, rc.max_attempts
+            ));
+        }
+        if self.completed {
+            if let Some(f) = &self.fatal {
+                return Err(format!("completed run carries a fatal fault: {f}"));
+            }
+            if let Some(r) = self.residual {
+                // A NaN residual must be rejected too, hence no plain `<`.
+                if r.is_nan() || r >= rc.residual_limit {
+                    return Err(format!(
+                        "SDC accepted: completed with residual {r} >= limit {}",
+                        rc.residual_limit
+                    ));
+                }
+            }
+        } else if self.fatal.is_none() {
+            return Err("abandoned campaign records no fatal fault".to_string());
+        }
+        if self.spares_used > spares {
+            return Err(format!(
+                "spare over-consumption: used {} of {} spares",
+                self.spares_used, spares
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Run HPL to completion under a fault plan, surviving node crashes, lossy
 /// links and detected SDC by checkpoint/restart with spare nodes.
 ///
@@ -412,6 +457,31 @@ mod tests {
         assert_eq!(rep.attempts, 2);
         assert!(rep.residual.unwrap() < 16.0, "residual {:?}", rep.residual);
         assert!(rep.inflation > 1.0);
+    }
+
+    #[test]
+    fn invariant_checks_accept_real_outcomes_and_reject_forged_ones() {
+        let rc = ResilienceConfig::default();
+        let rep = run_hpl_resilient(base(2, 3), HplConfig::small(32, 8), &rc, &FaultPlan::none());
+        assert_eq!(rep.check_invariants(&rc, 1), Ok(()));
+
+        // Forged outcomes each trip exactly the invariant they violate.
+        let mut over = rep.clone();
+        over.attempts = rc.max_attempts + 1;
+        assert!(over.check_invariants(&rc, 1).unwrap_err().contains("attempt budget"));
+
+        let mut sdc = rep.clone();
+        sdc.residual = Some(f64::NAN);
+        assert!(sdc.check_invariants(&rc, 1).unwrap_err().contains("SDC accepted"));
+
+        let mut silent = rep.clone();
+        silent.completed = false;
+        silent.fatal = None;
+        assert!(silent.check_invariants(&rc, 1).unwrap_err().contains("no fatal fault"));
+
+        let mut greedy = rep.clone();
+        greedy.spares_used = 2;
+        assert!(greedy.check_invariants(&rc, 1).unwrap_err().contains("spare over-consumption"));
     }
 
     #[test]

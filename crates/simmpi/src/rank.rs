@@ -180,7 +180,18 @@ where
         Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
 
     let mut engine = Engine::new().with_event_budget(budget);
-    if let Some(tracer) = default_tracer() {
+    // Under a model-checking run (see `des::mc`), wire the thread's
+    // controller into this engine: it arbitrates delivery orderings and
+    // message drops, and hashes the world's message state for
+    // deduplication. The controller's tracer (used for counterexample
+    // replays) takes precedence over the process-global default.
+    let mc = des::mc::current();
+    if let Some(ctl) = &mc {
+        engine.set_mc(Arc::clone(ctl));
+        let world_for_probe = Arc::clone(&world);
+        ctl.set_state_probe(move |now| world_for_probe.mc_state_hash(now));
+    }
+    if let Some(tracer) = mc.as_ref().and_then(|c| c.tracer()).or_else(default_tracer) {
         engine.set_tracer(tracer);
     }
     for r in 0..nranks {
@@ -414,6 +425,19 @@ impl Rank {
         self.world.spec.retry.recv_timeout.map(|t| self.ctx.now() + t)
     }
 
+    /// Under model checking, fold a cross-rank delivery into the current
+    /// execution segment's footprint so the commute reducer knows this step
+    /// touched the destination rank and both link endpoints.
+    fn mc_touch_delivery(&self, dst: u32, src_node: u32, dst_node: u32) {
+        if let Some(ctl) = des::mc::current() {
+            ctl.touch(
+                des::mc::pid_bit(dst as usize)
+                    | des::mc::node_bit(src_node)
+                    | des::mc::node_bit(dst_node),
+            );
+        }
+    }
+
     /// Blocking send of `msg` to rank `dst` with `tag`.
     ///
     /// Eager messages return once the payload has been injected; rendezvous
@@ -458,6 +482,7 @@ impl Rank {
                 }
             };
             self.emit_trace(TraceEvent::MsgEnqueue { src: self.rank, dst, tag, bytes });
+            self.mc_touch_delivery(dst, src_node, dst_node);
             if let Some((pid, at)) = wake {
                 self.ctx.wake_at(pid, at);
             }
@@ -472,13 +497,20 @@ impl Rank {
         // A dropped frame costs an exponential backoff and a retransmission;
         // exhausting the budget fails the run.
         let retry = world.spec.retry;
+        let mc = des::mc::current();
         let mut attempts = 0u32;
         loop {
             let depart = self.ctx.now();
             let dropped = {
                 let mut st = world.state.lock();
                 let loss = st.net.loss_probability(src_node, dst_node, depart);
-                let dropped = loss > 0.0 && st.rng.next_f64() < loss;
+                // Inside a loss window a model-checking controller overrides
+                // the seeded draw with an adversarial verdict; the RNG is
+                // not advanced, and outside MC the draw order is untouched.
+                let dropped = match &mc {
+                    Some(ctl) => loss > 0.0 && ctl.decide_drop(),
+                    None => loss > 0.0 && st.rng.next_f64() < loss,
+                };
                 if dropped {
                     st.stats.retransmits += 1;
                 }
@@ -529,6 +561,7 @@ impl Rank {
             };
             drop(st);
             self.emit_trace(TraceEvent::MsgEnqueue { src: self.rank, dst, tag, bytes });
+            self.mc_touch_delivery(dst, src_node, dst_node);
             if let Some((pid, at)) = wake {
                 self.ctx.wake_at(pid, at);
             }
@@ -657,9 +690,16 @@ impl Rank {
             // delays the (remote) sender's departure by the backoff.
             let mut bulk_depart = cts_arrival;
             let mut attempts = 0u32;
+            let mc = des::mc::current();
             let data_arrival = loop {
                 let loss = st.net.loss_probability(src_node, dst_node, bulk_depart);
-                if loss > 0.0 && st.rng.next_f64() < loss {
+                // As in the eager path, a model-checking controller decides
+                // drops adversarially without advancing the seeded RNG.
+                let dropped = match &mc {
+                    Some(ctl) => loss > 0.0 && ctl.decide_drop(),
+                    None => loss > 0.0 && st.rng.next_f64() < loss,
+                };
+                if dropped {
                     st.stats.retransmits += 1;
                     attempts += 1;
                     if attempts > retry.max_retries {

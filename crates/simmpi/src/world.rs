@@ -367,6 +367,54 @@ impl World {
         }
         SimTime::from_secs_f64(bytes as f64 * (1.0 / total - 1.0 / wire))
     }
+
+    /// Order-insensitive digest of the message-visible world state for the
+    /// model checker's state deduplication (see `des::mc`).
+    ///
+    /// Hashes each rank's mailbox contents, posted receive filter, liveness
+    /// and any surfaced fault. Wire times are folded in relative to `now` so
+    /// states differing only by an absolute-time shift still collide, while
+    /// statistics counters and the RNG are deliberately excluded: they do not
+    /// influence future protocol behaviour under the controller (drops come
+    /// from the controller, not the RNG).
+    pub(crate) fn mc_state_hash(&self, now: SimTime) -> u64 {
+        let st = self.state.lock();
+        let now_ns = now.as_nanos();
+        let mut h = 0x6d63_776f_726c_6421u64;
+        for (i, r) in st.ranks.iter().enumerate() {
+            let mut rh = des::mc::mix(0x5b21, i as u64);
+            rh = des::mc::mix(rh, r.pid.is_some() as u64);
+            rh = des::mc::mix(
+                rh,
+                match r.pending {
+                    None => 0,
+                    Some((s, t)) => {
+                        1 | (s.map_or(0, |s| (s as u64 + 1) << 1))
+                            | (t.map_or(0, |t| (t as u64 + 1) << 33))
+                    }
+                },
+            );
+            // The mailbox is FIFO per rank, so hash it in order.
+            for m in &r.mailbox {
+                rh = des::mc::mix(rh, (m.src as u64) << 32 | m.tag as u64);
+                rh = des::mc::mix(rh, m.msg.bytes);
+                rh = des::mc::mix(
+                    rh,
+                    match m.delivery {
+                        Delivery::Eager { available_at } => {
+                            des::mc::mix(1, available_at.as_nanos().saturating_sub(now_ns))
+                        }
+                        Delivery::Rendezvous { sender_pid, rts_arrival } => des::mc::mix(
+                            2 | (sender_pid.index() as u64) << 2,
+                            rts_arrival.as_nanos().saturating_sub(now_ns),
+                        ),
+                    },
+                );
+            }
+            h = des::mc::mix(h, rh);
+        }
+        des::mc::mix(h, st.fault.is_some() as u64)
+    }
 }
 
 #[cfg(test)]

@@ -9,8 +9,12 @@
 
 use std::sync::Arc;
 
+use des::mc::RunOutcome;
 use des::RingRecorder;
-use socready::harness::{run_plan, RunPlan, RunScales, SweepConfig};
+use socready::harness::trace::record_line;
+use socready::harness::{
+    counterexample_json, mc_scenario, run_plan, McOverrides, RunPlan, RunScales, SweepConfig,
+};
 
 fn items(keys: &[&str]) -> Vec<String> {
     keys.iter().map(|s| s.to_string()).collect()
@@ -70,6 +74,46 @@ fn traced_run_produces_byte_identical_artefacts() {
             a.key
         );
     }
+}
+
+#[test]
+fn mc_counterexample_replays_are_byte_identical() {
+    // The model checker's counterexamples must be deterministic artefacts:
+    // two independent bounded searches over the broken-retry fixture find
+    // the same minimal decision prefix (byte-identical JSON), and replaying
+    // that prefix twice produces byte-identical trace lines. Each replay
+    // records through its own ctl-carried RingRecorder — NOT the process
+    // global tracer, which other tests running in parallel would pollute.
+    let sc = mc_scenario("retry-lossy-broken").expect("fixture scenario registered");
+    let cfg = sc.config(&McOverrides::default());
+
+    let mut jsons = Vec::new();
+    for _ in 0..2 {
+        let report = sc.explore(&cfg);
+        let ce = report.violation.expect("broken fixture must yield a counterexample");
+        jsons.push(counterexample_json(sc.name, &cfg, &ce));
+    }
+    assert_eq!(jsons[0], jsons[1], "counterexample JSON diverged between searches");
+
+    let report = sc.explore(&cfg);
+    let ce = report.violation.expect("broken fixture must yield a counterexample");
+    let mut traces = Vec::new();
+    for _ in 0..2 {
+        let rec = Arc::new(RingRecorder::with_capacity(1 << 20));
+        let rep = sc.replay(&cfg, ce.decisions.clone(), Some(rec.clone()));
+        assert!(rep.divergence.is_none(), "replay diverged: {:?}", rep.divergence);
+        match &rep.outcome {
+            RunOutcome::Violation { property, .. } => {
+                assert_eq!(property, &ce.property, "replay violated a different property")
+            }
+            other => panic!("replay must reproduce the violation, got {other:?}"),
+        }
+        assert_eq!(rec.dropped(), 0, "replay trace must fit the ring");
+        let lines: Vec<String> = rec.drain().iter().map(record_line).collect();
+        assert!(!lines.is_empty(), "replay must record trace events");
+        traces.push(lines.join("\n"));
+    }
+    assert_eq!(traces[0], traces[1], "replayed counterexample traces diverged byte-for-byte");
 }
 
 #[test]

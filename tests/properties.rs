@@ -110,6 +110,65 @@ proptest! {
         prop_assert_eq!(&run.results[dst as usize], &data);
     }
 
+    /// Zero-rate fault plans schedule nothing, for any seed, cluster size
+    /// and horizon.
+    #[test]
+    fn zero_rate_fault_plans_are_empty(
+        seed in 0u64..u64::MAX,
+        nodes in 0u32..256,
+        horizon_s in 0.0..1.0e7_f64,
+    ) {
+        use socready::des::{FaultPlan, FaultRates};
+        let plan = FaultPlan::generate(
+            seed,
+            nodes,
+            socready::des::SimTime::from_secs_f64(horizon_s),
+            &FaultRates::none(),
+        );
+        prop_assert!(plan.is_empty(), "zero rates produced {:?}", plan.events());
+    }
+
+    /// Explicit fault plans are canonical: overlapping crash/flip/degrade
+    /// schedules on the same node come out in one deterministic order no
+    /// matter how the caller listed them, sorted by time with same-instant
+    /// crashes applied after other faults on that node.
+    #[test]
+    fn fault_plans_normalize_overlapping_schedules(
+        specs in proptest::collection::vec((0u64..20, 0u32..4, 0u8..3), 0..16),
+    ) {
+        use socready::des::{FaultEvent, FaultKind, FaultPlan, SimTime};
+        let mk = |s: &[(u64, u32, u8)]| {
+            FaultPlan::from_events(
+                s.iter()
+                    .map(|&(ms, node, k)| FaultEvent {
+                        at: SimTime::from_millis(ms),
+                        kind: match k {
+                            0 => FaultKind::NodeCrash { node },
+                            1 => FaultKind::BitFlip { node },
+                            _ => FaultKind::LinkDegrade {
+                                node,
+                                loss: 0.5,
+                                duration: SimTime::from_millis(10),
+                            },
+                        },
+                    })
+                    .collect(),
+            )
+        };
+        let plan = mk(&specs);
+        let mut rev = specs.clone();
+        rev.reverse();
+        prop_assert_eq!(mk(&rev), plan.clone());
+        prop_assert!(plan.events().windows(2).all(|w| w[0].at <= w[1].at), "plan not sorted");
+        for w in plan.events().windows(2) {
+            if w[0].at == w[1].at && w[0].kind.node() == w[1].kind.node() {
+                let crash_then_other = matches!(w[0].kind, FaultKind::NodeCrash { .. })
+                    && !matches!(w[1].kind, FaultKind::NodeCrash { .. });
+                prop_assert!(!crash_then_other, "crash ordered before same-instant fault: {w:?}");
+            }
+        }
+    }
+
     /// Merge sort sorts any input (exercised through the kernels crate's
     /// public API; complements its unit tests with a larger domain).
     #[test]
