@@ -91,8 +91,39 @@ if [[ $quick -eq 0 ]]; then
     echo "error: NullTracer overhead is ${overhead:-missing}% (budget < 2%)" >&2
     exit 1
   }
-  echo "scale smoke OK: event-driven is ${speedup}x the legacy model, NullTracer overhead ${overhead}%"
+  # The fair-sharing flow model must keep its wall-clock win on the dense
+  # alltoall workload: whole-flow scheduling collapses the event count, so
+  # the same virtual job must simulate at least 5x faster than the
+  # per-message event model.
+  flow_speedup=$(grep -o '"flow_speedup": [0-9.]*' "$scale_json" | awk '{print $2}')
+  awk -v s="$flow_speedup" 'BEGIN { exit !(s != "" && s >= 5.0) }' || {
+    echo "error: flow model only ${flow_speedup:-missing}x the event model (need >= 5x)" >&2
+    exit 1
+  }
+  echo "scale smoke OK: event-driven is ${speedup}x the legacy model, NullTracer overhead ${overhead}%, flow net model ${flow_speedup}x the event model"
   rm -rf "$scale_dir"
+
+  step "net-ablation-smoke: flow model tracks the event model on the goldens"
+  # Run the golden figures under both network models (repro --ablate-net)
+  # and gate the flow model's worst per-point relative error on fig7 — the
+  # paper's Fig 12 ping-pong curves, the figure most sensitive to the
+  # network model — under 2%. The full per-figure delta table lands in
+  # ablate_net.json (journaled like any other artefact).
+  adir=$(mktemp -d)
+  target/release/repro --golden --ablate-net --serial --json "$adir" \
+    >"$adir/stdout.txt" 2>"$adir/stderr.txt"
+  test -s "$adir/ablate_net.json" || {
+    echo "error: --ablate-net produced no ablate_net.json" >&2
+    cat "$adir/stderr.txt" >&2 || true
+    exit 1
+  }
+  fig7_err=$(grep -o '"max_rel_err_fig7": [0-9.e-]*' "$adir/ablate_net.json" | awk '{print $2}')
+  awk -v e="$fig7_err" 'BEGIN { exit !(e != "" && e + 0 < 0.02) }' || {
+    echo "error: flow model fig7 max rel error is ${fig7_err:-missing} (budget < 0.02)" >&2
+    exit 1
+  }
+  echo "net ablation OK: flow model fig7 max rel error ${fig7_err} (< 0.02)"
+  rm -rf "$adir"
 
   step "sweep executor: serial vs parallel byte-identity (binary level)"
   # Full --golden artefact run twice: the reference serial schedule and a

@@ -10,6 +10,8 @@
 //! repro --headline latency-penalty
 //! repro --headline extensions   # beyond-the-paper analyses (ECC, EEE, ...)
 //! repro --headline resilience   # fault injection + checkpoint/restart sweep
+//! repro --net-model flow # fair-sharing flow-level network model everywhere
+//! repro --ablate-net     # interconnect figures under both network models
 //! repro --json DIR       # additionally dump machine-readable JSON
 //! repro --jobs N         # run the scenario cells on N workers
 //! repro --serial         # reference serial schedule (same bytes as --jobs N)
@@ -62,8 +64,12 @@ use des::{RingRecorder, TraceFilter};
 struct Opts {
     items: Vec<String>,
     scales: RunScales,
-    /// Scale name entering the run fingerprint (`golden`/`quick`/`full`).
-    scale_name: &'static str,
+    /// Scale name entering the run fingerprint (`golden`/`quick`/`full`,
+    /// with a `+flow` suffix under `--net-model flow` — the artefacts of the
+    /// two models must never verify against each other on `--resume`).
+    scale_name: String,
+    /// Process-wide network model override (`--net-model`).
+    net_model: Option<simmpi::NetModel>,
     json_dir: Option<PathBuf>,
     sweep: SweepConfig,
     sup: SupervisorConfig,
@@ -99,6 +105,7 @@ const KNOWN_ITEMS: &[&str] = &[
     "latency-penalty",
     "extensions",
     "resilience",
+    "ablate-net",
 ];
 
 /// Exit code for a run that finished but quarantined or lost artefacts.
@@ -119,12 +126,18 @@ items (default: everything, at --quick scale when no scale is given):
   --figure N             one figure: 1, 2a, 2b, 3, 4, 5, 6, 7
   --table N              one table: 1, 2, 3, 4
   --headline NAME        hpl | latency-penalty | extensions | resilience
+  --ablate-net           network-model ablation: the interconnect figures
+                         (6, 7, HPL) under both the event and flow models,
+                         condensed into a per-figure accuracy-delta table
 
 scale:
   --quick                small sizes (Fig 6 truncated to 32 nodes)
   --golden               golden-test scale (seconds, used by CI regression)
 
 execution:
+  --net-model NAME       network model for every simulation: event
+                         (per-message store-and-forward, the default) |
+                         flow (max-min fair-sharing flow-level throughput)
   --jobs N               run scenario cells on N workers
   --serial               reference serial schedule (same bytes as --jobs N)
   --retries N            extra attempts for failing cells (default 1)
@@ -185,6 +198,7 @@ fn parse_args() -> Opts {
     let mut mc = None;
     let mut mc_replay = None;
     let mut mc_overrides = McOverrides::default();
+    let mut net_model: Option<simmpi::NetModel> = None;
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
@@ -200,6 +214,11 @@ fn parse_args() -> Opts {
             "--figure" => items.push(format!("fig{}", value(&mut args, "--figure"))),
             "--table" => items.push(format!("table{}", value(&mut args, "--table"))),
             "--headline" => items.push(value(&mut args, "--headline")),
+            "--ablate-net" => items.push("ablate-net".into()),
+            "--net-model" => {
+                let v = value(&mut args, "--net-model");
+                net_model = Some(simmpi::NetModel::parse(&v).unwrap_or_else(|e| die(&e)));
+            }
             "--json" => json_dir = Some(PathBuf::from(value(&mut args, "--json"))),
             "--jobs" => {
                 let v = value(&mut args, "--jobs");
@@ -302,12 +321,18 @@ fn parse_args() -> Opts {
     if fsck && resume {
         die("--fsck and --resume are mutually exclusive");
     }
-    let (scales, scale_name) = if golden {
+    let (scales, base_scale) = if golden {
         (RunScales::golden(), "golden")
     } else if quick {
         (RunScales::quick(), "quick")
     } else {
         (RunScales::full(), "full")
+    };
+    // The fingerprint must distinguish the models: a flow-model run may not
+    // --resume past artefacts an event-model run journaled, and vice versa.
+    let scale_name = match net_model {
+        Some(simmpi::NetModel::Flow) => format!("{base_scale}+flow"),
+        _ => base_scale.to_string(),
     };
     let sweep = if serial {
         SweepConfig::serial()
@@ -328,6 +353,7 @@ fn parse_args() -> Opts {
         items,
         scales,
         scale_name,
+        net_model,
         json_dir,
         sweep,
         sup,
@@ -381,8 +407,18 @@ fn dump_trace(opts: &Opts, rec: &RingRecorder) -> bool {
     }
 }
 
+/// Map a journaled scale name back to its scales. The `+flow` suffix (a
+/// `--net-model flow` run) also restores the process-wide flow model, so
+/// `--fsck` re-derives artefacts under the model that produced them.
 fn scales_by_name(name: &str) -> Option<RunScales> {
-    match name {
+    let base = match name.strip_suffix("+flow") {
+        Some(b) => {
+            simmpi::set_default_net_model(simmpi::NetModel::Flow);
+            b
+        }
+        None => name,
+    };
+    match base {
         "golden" => Some(RunScales::golden()),
         "quick" => Some(RunScales::quick()),
         "full" => Some(RunScales::full()),
@@ -451,7 +487,7 @@ fn run_supervised(opts: &Opts) -> i32 {
     }
 
     let verified = match (&opts.json_dir, opts.resume) {
-        (Some(dir), true) => verified_artifacts(dir, &opts.items, opts.scale_name),
+        (Some(dir), true) => verified_artifacts(dir, &opts.items, &opts.scale_name),
         _ => Vec::new(),
     };
     let skip = |key: &'static str| verified.iter().any(|(k, _, _, _)| k == key);
@@ -462,7 +498,7 @@ fn run_supervised(opts: &Opts) -> i32 {
     // run but does not stop it.
     let mut degraded = false;
     let mut journal = match &opts.json_dir {
-        Some(dir) => match Journal::create(dir, &opts.items, opts.scale_name) {
+        Some(dir) => match Journal::create(dir, &opts.items, &opts.scale_name) {
             Ok(j) => Some(j),
             Err(e) => {
                 eprintln!("error: cannot write journal: {e}");
@@ -774,6 +810,10 @@ fn run_fsck(opts: &Opts) -> i32 {
 
 fn main() {
     let opts = parse_args();
+    if let Some(model) = opts.net_model {
+        simmpi::set_default_net_model(model);
+        eprintln!("network model: {}", model.name());
+    }
     let tracer = install_tracer(&opts);
     let mut code = if let Some(name) = opts.mc.clone() {
         run_mc(&opts, &name)

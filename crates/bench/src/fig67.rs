@@ -6,7 +6,7 @@ use hpc_apps::hpl::HplConfig;
 use hpc_apps::{fig6 as fig6_series, ScalingSeries};
 use netsim::{penalty_table, PenaltyRow, ProtocolModel};
 use serde::Serialize;
-use simmpi::{pingpong, JobSpec, PingPongPoint};
+use simmpi::{pingpong, JobSpec, NetModel, PingPongPoint};
 use soc_arch::Platform;
 use soc_power::EfficiencyReport;
 
@@ -133,9 +133,22 @@ pub(crate) fn fig7_panel(
     freq: f64,
     proto: ProtocolModel,
 ) -> Fig7Panel {
+    fig7_panel_on(label, plat, freq, proto, None)
+}
+
+/// [`fig7_panel`] with the job pinned to a specific network model — the
+/// `--ablate-net` harness runs every panel under both models regardless of
+/// the process-wide default.
+pub(crate) fn fig7_panel_on(
+    label: &str,
+    plat: Platform,
+    freq: f64,
+    proto: ProtocolModel,
+    model: Option<NetModel>,
+) -> Fig7Panel {
     let small = simmpi::small_sizes();
     let large: Vec<u64> = (10..=24).map(|e| 1u64 << e).collect();
-    let spec = JobSpec::new(plat, 2).with_freq(freq).with_proto(proto);
+    let spec = JobSpec::new(plat, 2).with_freq(freq).with_proto(proto).with_net_model(model);
     let latency = pingpong(spec.clone(), &small, 2);
     let bandwidth = pingpong(spec, &large, 1);
     Fig7Panel { label: label.to_string(), latency, bandwidth }
@@ -221,7 +234,13 @@ pub fn hpl_headline(nodes: u32) -> HplHeadline {
 /// [`hpl_headline`], surfacing the fault (watchdog event budget, injected
 /// crash, engine failure) that stopped the run instead of panicking.
 pub fn try_hpl_headline(nodes: u32) -> Result<HplHeadline, simmpi::MpiFault> {
-    let m = Machine::tibidabo();
+    try_hpl_headline_on(&Machine::tibidabo(), nodes)
+}
+
+/// [`try_hpl_headline`] on an explicit machine — lets the `--ablate-net`
+/// harness pin the machine's network model while keeping the same weak-scaling
+/// HPL configuration.
+pub fn try_hpl_headline_on(m: &Machine, nodes: u32) -> Result<HplHeadline, simmpi::MpiFault> {
     let cfg = HplConfig::tibidabo_weak(nodes);
     let spec = m.job(nodes);
     let run = simmpi::run_mpi(spec, move |mut r| async move {
@@ -231,7 +250,7 @@ pub fn try_hpl_headline(nodes: u32) -> Result<HplHeadline, simmpi::MpiFault> {
     })?;
     let seconds = run.results.iter().cloned().fold(0.0, f64::max);
     let gflops = cfg.flops() / seconds / 1e9;
-    let green = green500(&m, &run, nodes, 1.0, gflops);
+    let green = green500(m, &run, nodes, 1.0, gflops);
     Ok(HplHeadline {
         nodes,
         n: cfg.n,

@@ -18,6 +18,7 @@
 //! | §4 HPL headline | [`hpl_headline`] |
 //! | §4.1 latency penalty | [`latency_penalty_render`] |
 //! | §6.3 resilience | [`resilience_study`] |
+//! | network-model ablation | [`ablate_merge`] (`repro --ablate-net`) |
 
 #![warn(missing_docs)]
 
@@ -40,6 +41,7 @@
 //! explores its delivery orderings, adversarial message drops and crash
 //! timings within budgets, emitting replayable counterexamples on violation.
 
+pub mod ablate;
 pub mod artifact;
 mod extensions;
 mod fig12;
@@ -54,6 +56,7 @@ pub mod sweep;
 pub mod table;
 pub mod trace;
 
+pub use ablate::{ablate_merge, ablate_side, AblateFigure, AblateNet, AblateRow, AblateSide};
 pub use artifact::{write_json_atomic, ArtifactIoError, WriteOutcome};
 pub use extensions::{ecc_risk_render, eee_render, imb_render, roofline_render};
 pub use fig12::{fig1, fig2a, fig2b, Fig1, Fig2};
@@ -63,7 +66,7 @@ pub use fig345::{
 };
 pub use fig67::{
     fig6, fig7, hpl_headline, latency_penalty, latency_penalty_render, table3_render,
-    table4_render, try_hpl_headline, Fig6, Fig7, Fig7Panel, HplHeadline,
+    table4_render, try_hpl_headline, try_hpl_headline_on, Fig6, Fig7, Fig7Panel, HplHeadline,
 };
 pub use journal::{read_journal, run_fingerprint, Journal, JsonlWriter, ResumeState};
 pub use mc::{

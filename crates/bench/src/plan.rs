@@ -21,6 +21,7 @@ use std::time::Instant;
 use hpc_apps::{AppId, ScalingMeasurement};
 use soc_arch::{cache_counters, Platform};
 
+use crate::ablate::{ablate_merge, ablate_side, AblateSide, ABLATE_FIGURES};
 use crate::artifact::fnv1a64;
 use crate::fig345::{fig34_base_energy, fig34_series_for, fig5_rows_for, SweepSeries};
 use crate::fig67::{fig7_cases, fig7_panel, try_hpl_headline, Fig6, Fig7, Fig7Panel, HplHeadline};
@@ -83,6 +84,7 @@ enum CellOutput {
     Text(String),
     ResCell(Box<ResilienceCell>),
     Contrast(Box<ResilienceContrast>),
+    Ablate(Box<AblateSide>),
     Failed(String),
 }
 
@@ -114,6 +116,7 @@ fn digest_cell(o: &CellOutput) -> u64 {
         CellOutput::Text(t) => fnv1a64(t.as_bytes()),
         CellOutput::ResCell(c) => json(c.as_ref()),
         CellOutput::Contrast(c) => json(c.as_ref()),
+        CellOutput::Ablate(s) => json(s.as_ref()),
         CellOutput::Failed(m) => fnv1a64(m.as_bytes()),
     }
 }
@@ -372,6 +375,44 @@ fn resilience_artefact(sizes: Vec<u32>) -> ArtefactSpec {
     }
 }
 
+fn ablate_net_artefact(scales: &RunScales) -> ArtefactSpec {
+    // One cell per (figure, model): six independent regenerations, each
+    // pinning its model on the job spec, merged into the accuracy table.
+    let mut cells = Vec::new();
+    for figure in ABLATE_FIGURES {
+        for model in [netsim::NetModel::Event, netsim::NetModel::Flow] {
+            let fig6_nodes = scales.fig6_nodes.clone();
+            let hpl_nodes = scales.hpl_nodes;
+            cells.push(Cell::new(format!("ablate-net/{figure}/{}", model.name()), move || {
+                match ablate_side(figure, model, &fig6_nodes, hpl_nodes) {
+                    Ok(s) => CellOutput::Ablate(Box::new(s)),
+                    Err(e) => CellOutput::Failed(e.to_string()),
+                }
+            }));
+        }
+    }
+    ArtefactSpec {
+        key: "ablate-net",
+        json_stem: Some("ablate_net"),
+        cells,
+        merge: Box::new(|outs| {
+            let sides = outs
+                .into_iter()
+                .map(|o| match o {
+                    CellOutput::Ablate(s) => *s,
+                    _ => unreachable!("ablate-net produced a non-ablation cell"),
+                })
+                .collect();
+            let merged = ablate_merge(sides);
+            ArtefactOut {
+                key: "ablate-net",
+                blocks: vec![merged.render()],
+                json: Some(("ablate_net", json_of(&merged))),
+            }
+        }),
+    }
+}
+
 impl RunPlan {
     /// Enumerate the cells for the requested `items` (the `repro` item keys,
     /// where `all` selects everything) at the given scales, in canonical
@@ -477,6 +518,9 @@ impl RunPlan {
         }
         if want("resilience") {
             artefacts.push(resilience_artefact(scales.resilience_sizes.clone()));
+        }
+        if want("ablate-net") {
+            artefacts.push(ablate_net_artefact(scales));
         }
         RunPlan { artefacts }
     }
@@ -697,6 +741,7 @@ mod tests {
                 "latency-penalty",
                 "extensions",
                 "resilience",
+                "ablate-net",
             ]
         );
         // Scenario grid: the plan decomposes well past the artefact count.

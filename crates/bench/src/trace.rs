@@ -86,6 +86,12 @@ pub fn record_line(rec: &TraceRecord) -> String {
         TraceEvent::SpanBegin { rank, name } | TraceEvent::SpanEnd { rank, name } => {
             format!(",\"rank\":{rank},\"name\":{}", esc(name))
         }
+        TraceEvent::FlowStart { src, dst, bytes } | TraceEvent::FlowFinish { src, dst, bytes } => {
+            format!(",\"src\":{src},\"dst\":{dst},\"bytes\":{bytes}")
+        }
+        TraceEvent::FlowReshare { rank, flows } => {
+            format!(",\"rank\":{rank},\"flows\":{flows}")
+        }
     };
     format!("{head}{body}}}")
 }

@@ -38,6 +38,8 @@ fn help_exits_zero_and_matches_the_snapshot() {
         "--mc-replay FILE",
         "--mc-max-states N",
         "--mc-max-depth N",
+        "--net-model NAME",
+        "--ablate-net",
     ] {
         assert!(text.contains(flag), "--help lost flag '{flag}':\n{text}");
     }
@@ -51,6 +53,8 @@ fn help_exits_zero_and_matches_the_snapshot() {
         "model checking:",
         "retry-lossy-broken",
         "spare-race",
+        "max-min fair-sharing flow-level throughput",
+        "per-figure accuracy-delta table",
     ] {
         assert!(text.contains(phrase), "--help lost phrase '{phrase}':\n{text}");
     }
@@ -59,7 +63,12 @@ fn help_exits_zero_and_matches_the_snapshot() {
 
 #[test]
 fn unknown_arguments_exit_two() {
-    for args in [&["--bogus"][..], &["--figure", "99"], &["--trace-filter", "nonsense"]] {
+    for args in [
+        &["--bogus"][..],
+        &["--figure", "99"],
+        &["--trace-filter", "nonsense"],
+        &["--net-model", "warp"],
+    ] {
         let out = repro(args);
         assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
         assert!(!out.stderr.is_empty(), "{args:?} must explain itself on stderr");
@@ -86,4 +95,37 @@ fn mc_usage_errors_exit_two() {
         assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
         assert!(!out.stderr.is_empty(), "{args:?} must explain itself on stderr");
     }
+}
+
+#[test]
+fn flow_model_runs_are_byte_identical_across_processes() {
+    // Two *independent processes* running the same golden figure under the
+    // flow-level network model must write byte-identical JSON: the flow
+    // fast path may keep no process-lifetime state (allocator addresses,
+    // hash seeds, id counters) that leaks into artefact bytes. In-process
+    // determinism is covered by tests/determinism.rs; this is the stronger
+    // cross-process form.
+    let mut jsons = Vec::new();
+    for run in 0..2 {
+        let dir = std::env::temp_dir().join(format!("repro_flow_det_{}_{run}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create artefact dir");
+        let out = repro(&[
+            "--golden",
+            "--figure",
+            "6",
+            "--net-model",
+            "flow",
+            "--serial",
+            "--json",
+            dir.to_str().expect("tmp path is UTF-8"),
+        ]);
+        assert!(
+            out.status.success(),
+            "flow-model run {run} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        jsons.push(std::fs::read(dir.join("fig6.json")).expect("fig6.json written"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert_eq!(jsons[0], jsons[1], "flow-model fig6.json diverged between processes");
 }

@@ -132,6 +132,35 @@ pub enum TraceEvent {
         /// 1-based transmission attempt number that was lost.
         attempt: u32,
     },
+    /// A transfer entered the flow-level network model (`NetModel::Flow`) as
+    /// a fluid flow with a max-min fair bandwidth share.
+    FlowStart {
+        /// Source rank.
+        src: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Wire bytes of the flow (payload after framing).
+        bytes: u64,
+    },
+    /// A flow's last byte cleared the network (the receiver observed the
+    /// completion; the matching delivery follows as a `msg_deliver`).
+    FlowFinish {
+        /// Source rank.
+        src: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Wire bytes of the flow (payload after framing).
+        bytes: u64,
+    },
+    /// A waiter woke at a bandwidth re-share: some other flow started or
+    /// finished, changing the fair shares, so the waiter re-polled before its
+    /// own flow completed.
+    FlowReshare {
+        /// The re-polling rank.
+        rank: u32,
+        /// Concurrent flows sharing the network after the transition.
+        flows: u64,
+    },
     /// An injected fault fired (node crash, memory bit flip, ...).
     Fault {
         /// Fault class, e.g. `"node_crash"` or `"bit_flip"`.
@@ -183,7 +212,10 @@ impl TraceEvent {
             | TraceEvent::BudgetExhausted { .. } => TraceClass::Proc,
             TraceEvent::MsgEnqueue { .. }
             | TraceEvent::MsgDeliver { .. }
-            | TraceEvent::MsgDrop { .. } => TraceClass::Msg,
+            | TraceEvent::MsgDrop { .. }
+            | TraceEvent::FlowStart { .. }
+            | TraceEvent::FlowFinish { .. }
+            | TraceEvent::FlowReshare { .. } => TraceClass::Msg,
             TraceEvent::Fault { .. } => TraceClass::Fault,
             TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. } => TraceClass::Span,
         }
@@ -203,6 +235,9 @@ impl TraceEvent {
             TraceEvent::MsgEnqueue { .. } => "msg_enqueue",
             TraceEvent::MsgDeliver { .. } => "msg_deliver",
             TraceEvent::MsgDrop { .. } => "msg_drop",
+            TraceEvent::FlowStart { .. } => "flow_start",
+            TraceEvent::FlowFinish { .. } => "flow_finish",
+            TraceEvent::FlowReshare { .. } => "flow_reshare",
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::SpanBegin { .. } => "span_begin",
             TraceEvent::SpanEnd { .. } => "span_end",
@@ -483,6 +518,9 @@ mod tests {
             TraceEvent::MsgEnqueue { src: 0, dst: 1, tag: 0, bytes: 8 },
             TraceEvent::MsgDeliver { src: 0, dst: 1, tag: 0, bytes: 8 },
             TraceEvent::MsgDrop { src: 0, dst: 1, attempt: 1 },
+            TraceEvent::FlowStart { src: 0, dst: 1, bytes: 8 },
+            TraceEvent::FlowFinish { src: 0, dst: 1, bytes: 8 },
+            TraceEvent::FlowReshare { rank: 1, flows: 2 },
             TraceEvent::Fault { kind: "node_crash", node: 0 },
             TraceEvent::SpanBegin { rank: 0, name: "x".into() },
             TraceEvent::SpanEnd { rank: 0, name: "x".into() },

@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 mod eee;
+mod flow;
 pub(crate) mod penalty;
 mod proto;
 mod topology;
 
 pub use eee::{eee_tradeoff, EeeModel, EeeTradeoffPoint};
+pub use flow::{max_min_rates, FlowId, FlowNet, FlowStatus, NetModel};
 pub use penalty::{penalty, penalty_table, snb_penalty, PenaltyRow, SNB_REFERENCE};
 pub use proto::{AttachModel, EndpointModel, ProtocolModel};
 pub use topology::{LossWindow, Network, TopologySpec};

@@ -155,35 +155,55 @@ impl Network {
     }
 
     /// Route from `src` to `dst` as link indices.
-    fn route(&self, src: u32, dst: u32) -> Vec<usize> {
+    pub(crate) fn route(&self, src: u32, dst: u32) -> Vec<usize> {
+        let (links, len) = self.route_arr(src, dst);
+        links[..len as usize].iter().map(|&l| l as usize).collect()
+    }
+
+    /// [`Network::route`] in allocation-free form: the link indices inline
+    /// in a fixed array plus the route length. Every topology's routes fit
+    /// in 4 links (node up, optional trunk up/down, node down) — the flow
+    /// model stores one of these per flow.
+    pub(crate) fn route_arr(&self, src: u32, dst: u32) -> ([u32; 4], u8) {
         debug_assert!(src < self.nodes() && dst < self.nodes());
         if src == dst {
-            return Vec::new();
+            return ([0; 4], 0);
         }
+        let up = (2 * src + NODE_UP as u32, 2 * dst + NODE_DOWN as u32);
         match self.spec {
-            TopologySpec::Star { .. } => {
-                vec![2 * src as usize + NODE_UP, 2 * dst as usize + NODE_DOWN]
-            }
+            TopologySpec::Star { .. } => ([up.0, up.1, 0, 0], 2),
             TopologySpec::Tree { edges, nodes_per_edge, uplinks_per_edge } => {
                 let se = src / nodes_per_edge;
                 let de = dst / nodes_per_edge;
                 if se == de {
-                    return vec![2 * src as usize + NODE_UP, 2 * dst as usize + NODE_DOWN];
+                    return ([up.0, up.1, 0, 0], 2);
                 }
-                let trunk_base = 2 * (edges * nodes_per_edge) as usize;
-                let per_edge = 2 * uplinks_per_edge as usize;
+                let trunk_base = 2 * (edges * nodes_per_edge);
+                let per_edge = 2 * uplinks_per_edge;
                 // Deterministic spread of flows across trunk members.
-                let pick = ((src ^ dst) % uplinks_per_edge) as usize;
-                let up = trunk_base + se as usize * per_edge + pick;
-                let down = trunk_base + de as usize * per_edge + uplinks_per_edge as usize + pick;
-                vec![2 * src as usize + NODE_UP, up, down, 2 * dst as usize + NODE_DOWN]
+                let pick = (src ^ dst) % uplinks_per_edge;
+                let trunk_up = trunk_base + se * per_edge + pick;
+                let trunk_down = trunk_base + de * per_edge + uplinks_per_edge + pick;
+                ([up.0, trunk_up, trunk_down, up.1], 4)
             }
         }
     }
 
+    /// Number of links in the graph (node up/down links plus trunk members).
+    pub(crate) fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether any lossy-link windows are installed (at any time). Fast
+    /// paths that skip per-message loss draws must check this first.
+    pub fn has_loss_windows(&self) -> bool {
+        !self.loss_windows.is_empty()
+    }
+
     /// Total path latency (no queueing, no serialisation) between two nodes.
     pub fn path_latency(&self, src: u32, dst: u32) -> SimTime {
-        self.route(src, dst).iter().map(|&l| self.links[l].latency).sum()
+        let (links, len) = self.route_arr(src, dst);
+        links[..len as usize].iter().map(|&l| self.links[l as usize].latency).sum()
     }
 
     /// Transmit `wire_bytes` from `src` to `dst`, departing the source NIC at

@@ -42,10 +42,11 @@ mod world;
 pub use collectives::{ReduceOp, COLL_TAG_BASE};
 pub use error::{JobSpecError, MpiFault};
 pub use imb::{imb_collective, imb_rank_sweep, ImbOp, ImbPoint};
+pub use netsim::NetModel;
 pub use payload::Msg;
 pub use pingpong::{large_sizes, pingpong, small_sizes, PingPongPoint};
 pub use rank::{
-    default_event_budget, default_tracer, run_mpi, set_default_event_budget, set_default_tracer,
-    MpiRun, Rank,
+    default_event_budget, default_net_model, default_tracer, run_mpi, set_default_event_budget,
+    set_default_net_model, set_default_tracer, MpiRun, Rank,
 };
 pub use world::{JobSpec, NetStats, RetryPolicy};

@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 
 use des::{FaultKind, FaultPlan, Pid, SimRng, SimTime};
-use netsim::{EndpointModel, LossWindow, Network, ProtocolModel, TopologySpec};
+use netsim::{EndpointModel, FlowNet, LossWindow, NetModel, Network, ProtocolModel, TopologySpec};
 use parking_lot::Mutex;
 use soc_arch::Platform;
 
@@ -53,6 +53,11 @@ pub struct JobSpec {
     /// [`MpiFault::Engine`]: crate::MpiFault::Engine
     /// [`SimError::EventBudgetExhausted`]: des::SimError::EventBudgetExhausted
     pub event_budget: Option<u64>,
+    /// Which network model transfers use. `None` falls back to the
+    /// process-global default
+    /// ([`set_default_net_model`](crate::set_default_net_model)), which is
+    /// [`NetModel::Event`] unless an experiment driver says otherwise.
+    pub net_model: Option<NetModel>,
 }
 
 /// Message retransmission and receive-timeout policy.
@@ -95,6 +100,7 @@ impl JobSpec {
             retry: RetryPolicy::default(),
             node_map: None,
             event_budget: None,
+            net_model: None,
         }
     }
 
@@ -146,6 +152,13 @@ impl JobSpec {
     /// (a simulated-event watchdog; `validate` rejects `Some(0)`).
     pub fn with_event_budget(mut self, budget: Option<u64>) -> JobSpec {
         self.event_budget = budget;
+        self
+    }
+
+    /// Builder: pin the network model for this job (`None` keeps the
+    /// process-global default).
+    pub fn with_net_model(mut self, model: Option<NetModel>) -> JobSpec {
+        self.net_model = model;
         self
     }
 
@@ -219,7 +232,7 @@ impl JobSpec {
 }
 
 /// How an in-flight message is delivered.
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 pub(crate) enum Delivery {
     /// Eager: data is on the wire; consumable once `available_at` passes.
     Eager {
@@ -233,6 +246,15 @@ pub(crate) enum Delivery {
         sender_pid: Pid,
         /// Arrival time of the RTS at the receiver.
         rts_arrival: SimTime,
+    },
+    /// Flow model: the data rides a fluid flow in [`WorldState::flows`];
+    /// consumable once the flow completes (the receiver polls it).
+    Flow {
+        /// The flow's id in the job's [`FlowNet`].
+        id: netsim::FlowId,
+        /// Endpoint time past the flow's network completion: path latency
+        /// plus any endpoint serialisation slower than the wire.
+        extra: SimTime,
     },
 }
 
@@ -277,6 +299,8 @@ pub struct NetStats {
 
 pub(crate) struct WorldState {
     pub net: Network,
+    /// The fluid network, present iff the job runs under [`NetModel::Flow`].
+    pub flows: Option<FlowNet>,
     pub ranks: Vec<RankState>,
     pub stats: NetStats,
     /// First injected fault that surfaced; `run_mpi` reports this instead of
@@ -290,6 +314,8 @@ pub(crate) struct WorldState {
 /// The shared world of one job.
 pub struct World {
     pub(crate) spec: JobSpec,
+    /// The resolved network model (spec override or process-global default).
+    pub(crate) net_model: NetModel,
     pub(crate) ep: EndpointModel,
     /// Timing-cache fingerprint of the job's SoC, computed once so the hot
     /// per-rank `compute` path avoids re-fingerprinting the platform model.
@@ -302,8 +328,12 @@ impl World {
         spec.validate().expect("invalid job spec");
         let soc_fp = soc_arch::soc_fingerprint(&spec.platform.soc);
         let ep = EndpointModel::for_platform(&spec.platform, spec.freq_ghz);
+        let net_model = spec.net_model.unwrap_or_else(crate::rank::default_net_model);
         let link_bw = spec.platform.eth_mbit.max(1000) as f64 / 8.0 * 1e6; // cluster NICs are 1GbE
-        let mut net = Network::new(spec.topology, link_bw, SimTime::from_micros_f64(1.25));
+        let link_latency = SimTime::from_micros_f64(1.25);
+        let flows = (net_model == NetModel::Flow)
+            .then(|| FlowNet::new(spec.topology, link_bw, link_latency));
+        let mut net = Network::new(spec.topology, link_bw, link_latency);
         // Link-degradation faults live in the network layer as loss windows;
         // senders consult them per transmission attempt.
         for ev in spec.fault_plan.events() {
@@ -324,10 +354,12 @@ impl World {
         let rng = SimRng::new(spec.fault_plan.seed()).substream(0x1055_d4a3);
         World {
             spec,
+            net_model,
             ep,
             soc_fp,
             state: Mutex::new(WorldState {
                 net,
+                flows,
                 ranks,
                 stats: NetStats::default(),
                 fault: None,
@@ -408,6 +440,9 @@ impl World {
                             2 | (sender_pid.index() as u64) << 2,
                             rts_arrival.as_nanos().saturating_sub(now_ns),
                         ),
+                        Delivery::Flow { id, extra } => {
+                            des::mc::mix(3 | (id << 2), extra.as_nanos())
+                        }
                     },
                 );
             }

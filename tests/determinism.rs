@@ -130,3 +130,30 @@ fn two_figure_run_reuses_timing_cache() {
     );
     assert!(stats.timing_cache.hit_rate() > 0.0);
 }
+
+#[test]
+fn flow_model_ablation_is_byte_identical_across_schedules() {
+    // The flow-level network model must be as deterministic as the event
+    // model it replaces: the model-equivalence ablation (every golden
+    // figure executed under BOTH network models) rendered on 1 worker and
+    // on 8 workers is byte-identical, text and JSON. This exercises the
+    // whole flow fast path — max-min re-shares, the batched alltoall
+    // receiver, and flow start/finish event ordering — under a parallel
+    // sweep schedule.
+    let mk = || RunPlan::from_items(&items(&["ablate-net"]), &RunScales::golden());
+    let (serial, _) = run_plan(mk(), &SweepConfig::with_jobs(1));
+    let (parallel, stats8) = run_plan(mk(), &SweepConfig::with_jobs(8));
+
+    assert_eq!(stats8.jobs, 8);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.key, b.key, "artefact order diverged");
+        assert_eq!(a.blocks, b.blocks, "{}: ablation text diverged across schedules", a.key);
+        assert_eq!(
+            a.json.as_ref().map(|(_, j)| j),
+            b.json.as_ref().map(|(_, j)| j),
+            "{}: ablation JSON diverged across schedules",
+            a.key
+        );
+    }
+}

@@ -115,6 +115,7 @@ golden_tests! {
     fig7_matches_golden => "fig7",
     hpl_headline_matches_golden => "hpl_headline",
     resilience_matches_golden => "resilience",
+    ablate_net_matches_golden => "ablate_net",
 }
 
 #[test]

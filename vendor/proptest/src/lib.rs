@@ -89,6 +89,28 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every sampled value with `f` (real proptest's `prop_map`,
+    /// minus shrinking — this stub never shrinks).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
 }
 
 impl Strategy for Range<f64> {
