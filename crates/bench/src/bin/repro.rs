@@ -14,6 +14,7 @@
 //! repro --ablate-net     # interconnect figures under both network models
 //! repro --json DIR       # additionally dump machine-readable JSON
 //! repro --jobs N         # run the scenario cells on N workers
+//! repro --shards N       # shard each simulation across N DES engines
 //! repro --serial         # reference serial schedule (same bytes as --jobs N)
 //! repro --resume         # skip artefacts whose journal+checksum verify
 //! repro --fsck           # verify/repair artefacts against the journal
@@ -70,6 +71,10 @@ struct Opts {
     scale_name: String,
     /// Process-wide network model override (`--net-model`).
     net_model: Option<simmpi::NetModel>,
+    /// DES engine shards per simulation (`--shards`). Deliberately outside
+    /// the resume fingerprint: sharded runs are bit-identical to serial
+    /// ones, so their artefacts verify interchangeably.
+    shards: Option<u32>,
     json_dir: Option<PathBuf>,
     sweep: SweepConfig,
     sup: SupervisorConfig,
@@ -139,6 +144,11 @@ execution:
                          (per-message store-and-forward, the default) |
                          flow (max-min fair-sharing flow-level throughput)
   --jobs N               run scenario cells on N workers
+  --shards N             shard each simulation across N DES engine threads
+                         (conservative time windows; results bit-identical
+                         to one engine — ineligible jobs, and schedules the
+                         exactness guard cannot prove serial-identical,
+                         fall back to one engine)
   --serial               reference serial schedule (same bytes as --jobs N)
   --retries N            extra attempts for failing cells (default 1)
   --max-cell-seconds S   wall-clock watchdog per cell attempt
@@ -199,6 +209,7 @@ fn parse_args() -> Opts {
     let mut mc_replay = None;
     let mut mc_overrides = McOverrides::default();
     let mut net_model: Option<simmpi::NetModel> = None;
+    let mut shards: Option<u32> = None;
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
@@ -223,6 +234,15 @@ fn parse_args() -> Opts {
             "--jobs" => {
                 let v = value(&mut args, "--jobs");
                 jobs = Some(v.parse().unwrap_or_else(|_| die(&format!("bad --jobs value '{v}'"))));
+            }
+            "--shards" => {
+                let v = value(&mut args, "--shards");
+                let n: u32 = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| die(&format!("bad --shards value '{v}'")));
+                shards = Some(n);
             }
             "--serial" => serial = true,
             "--resume" => resume = true,
@@ -354,6 +374,7 @@ fn parse_args() -> Opts {
         scales,
         scale_name,
         net_model,
+        shards,
         json_dir,
         sweep,
         sup,
@@ -813,6 +834,10 @@ fn main() {
     if let Some(model) = opts.net_model {
         simmpi::set_default_net_model(model);
         eprintln!("network model: {}", model.name());
+    }
+    if let Some(n) = opts.shards {
+        simmpi::set_default_shards(Some(n));
+        eprintln!("engine shards per simulation: {n} (eligible jobs only)");
     }
     let tracer = install_tracer(&opts);
     let mut code = if let Some(name) = opts.mc.clone() {

@@ -101,6 +101,44 @@ struct NetFlowBench {
     event_ratio: f64,
 }
 
+/// One shard count's measurement on the sharded-engine butterfly workload.
+#[derive(Serialize)]
+struct ShardRun {
+    /// DES engine shards the job ran across (1 = the serial engine).
+    shards: u32,
+    /// Wall seconds.
+    wall_secs: f64,
+    /// Engine events dispatched (summed over shards; must not vary).
+    events: u64,
+    /// Engine events dispatched per wall second.
+    events_per_sec: f64,
+}
+
+/// Sharded-engine scaling: one 4096-rank butterfly exchange (every round
+/// pairs rank `r` with `r ^ 2^(round mod 12)`, with per-round compute) run
+/// on 1, 2, and 4 engine shards. The per-rank results must be identical at
+/// every shard count — conservative windowed sync is bit-exact — so the
+/// only thing allowed to change is the wall clock. `ci.sh` gates
+/// `shard_speedup >= 1.5` (the 2-shard wall ratio).
+#[derive(Serialize)]
+struct ShardScaling {
+    /// Ranks in the butterfly (one per star node).
+    ranks: u32,
+    /// Exchange rounds performed.
+    rounds: u32,
+    /// CPUs visible to this process: shard workers are real OS threads, so
+    /// speedup needs real cores. `ci.sh` gates the speedup only when this
+    /// is >= 2; on a single-CPU box it gates the overhead bound instead.
+    host_cpus: u32,
+    /// The runs, in shard order 1, 2, 4.
+    runs: Vec<ShardRun>,
+    /// `wall(1 shard) / wall(2 shards)` — ci.sh gates this >= 1.5 on
+    /// multi-core hosts (>= 0.5, i.e. bounded overhead, on one CPU).
+    shard_speedup: f64,
+    /// `wall(1 shard) / wall(4 shards)` — informational.
+    shard_speedup_4: f64,
+}
+
 /// Throughput of the bounded model checker on the `retry-lossy` scenario:
 /// how fast `repro --mc` burns through its state space. Informational — the
 /// run is truncated by its budgets, so only the rate is meaningful.
@@ -138,6 +176,9 @@ struct ScaleBench {
     /// Dense-collective workload under both network models (flow-model
     /// speedup must stay >= 5x).
     net_flow: NetFlowBench,
+    /// One big job on 1/2/4 engine shards (2-shard speedup must stay
+    /// >= 1.5x, results bit-identical throughout).
+    shard_scaling: ShardScaling,
     /// Model-checker exploration rate on the lossy-ring scenario.
     mc_throughput: McThroughput,
 }
@@ -318,6 +359,74 @@ fn net_flow_bench(ranks: u32, rounds: u32, bytes: u64) -> NetFlowBench {
     NetFlowBench { ranks, rounds, bytes_per_pair: bytes, event, flow, flow_speedup, event_ratio }
 }
 
+/// The shard-scaling workload at one shard count: a `ranks`-rank butterfly
+/// exchange with per-round compute. Returns the measurement and the
+/// per-rank results (the caller cross-checks them across shard counts).
+fn shard_butterfly(ranks: u32, rounds: u32, shards: u32) -> (ShardRun, Vec<u64>) {
+    assert!(ranks.is_power_of_two(), "butterfly needs a power-of-two rank count");
+    let bits = ranks.trailing_zeros();
+    let spec = JobSpec::new(Platform::tegra2(), ranks)
+        .with_net_model(Some(NetModel::Event))
+        .with_shards(Some(shards));
+    let t0 = Instant::now();
+    let run = run_mpi(spec, move |mut r| async move {
+        let me = r.rank();
+        let mut acc = me as u64;
+        for round in 0..rounds {
+            let partner = me ^ (1 << (round % bits));
+            r.compute_secs(1e-5).await;
+            let payload = Msg::from_u64s(&[acc]);
+            if me < partner {
+                r.send(partner, round, payload).await;
+                acc = acc.wrapping_add(r.recv(partner, round).await.to_u64s()[0]);
+            } else {
+                acc = acc.wrapping_add(r.recv(partner, round).await.to_u64s()[0]);
+                r.send(partner, round, payload).await;
+            }
+        }
+        acc
+    })
+    .expect("shard butterfly failed");
+    let wall = t0.elapsed().as_secs_f64();
+    // The speedup datum is meaningless if the job silently fell back to one
+    // engine (ineligibility, or the reservation guard condemning the
+    // schedule) — insist it really ran on the requested shard count.
+    assert_eq!(run.shards, shards, "shard butterfly did not run on {shards} engines");
+    let shard_run = ShardRun {
+        shards,
+        wall_secs: wall,
+        events: run.events,
+        events_per_sec: run.events as f64 / wall,
+    };
+    (shard_run, run.results)
+}
+
+/// The butterfly at 1, 2, and 4 shards, cross-checking bit-identity of the
+/// per-rank results and the dispatched-event count at every shard count.
+fn shard_scaling(ranks: u32, rounds: u32) -> ShardScaling {
+    let mut runs = Vec::new();
+    let mut reference: Option<(Vec<u64>, u64)> = None;
+    for shards in [1u32, 2, 4] {
+        let (run, results) = shard_butterfly(ranks, rounds, shards);
+        eprintln!(
+            "  {shards} shard(s): {} events in {:.2}s ({:.0} events/s)",
+            run.events, run.wall_secs, run.events_per_sec
+        );
+        match &reference {
+            None => reference = Some((results, run.events)),
+            Some((want, events)) => {
+                assert_eq!(&results, want, "per-rank results diverged at {shards} shards");
+                assert_eq!(run.events, *events, "event count diverged at {shards} shards");
+            }
+        }
+        runs.push(run);
+    }
+    let shard_speedup = runs[0].wall_secs / runs[1].wall_secs;
+    let shard_speedup_4 = runs[0].wall_secs / runs[2].wall_secs;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get() as u32);
+    ShardScaling { ranks, rounds, host_cpus, runs, shard_speedup, shard_speedup_4 }
+}
+
 /// 4096-rank simmpi ping-ring: the job the legacy model could not host.
 fn peak_ring(ranks: u32) -> (f64, u64) {
     let spec = JobSpec::new(Platform::tegra2(), ranks);
@@ -388,6 +497,14 @@ fn main() {
         net_flow.event_ratio
     );
 
+    let (sh_ranks, sh_rounds) = (4096, 12);
+    eprintln!("shards: {sh_ranks}-rank x {sh_rounds}-round butterfly on 1/2/4 engine shards ...");
+    let sharding = shard_scaling(sh_ranks, sh_rounds);
+    eprintln!(
+        "  2 shards: {:.2}x, 4 shards: {:.2}x (bit-identical results)",
+        sharding.shard_speedup, sharding.shard_speedup_4
+    );
+
     eprintln!("mc: bounded search over retry-lossy at default budgets ...");
     let mc = mc_throughput();
     eprintln!(
@@ -403,6 +520,7 @@ fn main() {
         peak_messages,
         trace_overhead: overhead,
         net_flow,
+        shard_scaling: sharding,
         mc_throughput: mc,
     };
     std::fs::write(&out, serde_json::to_string_pretty(&bench).unwrap()).expect("write artefact");

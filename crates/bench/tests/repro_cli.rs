@@ -24,6 +24,7 @@ fn help_exits_zero_and_matches_the_snapshot() {
         "--quick",
         "--golden",
         "--jobs N",
+        "--shards N",
         "--serial",
         "--retries N",
         "--max-cell-seconds S",
@@ -55,6 +56,7 @@ fn help_exits_zero_and_matches_the_snapshot() {
         "spare-race",
         "max-min fair-sharing flow-level throughput",
         "per-figure accuracy-delta table",
+        "shard each simulation across N DES engine threads",
     ] {
         assert!(text.contains(phrase), "--help lost phrase '{phrase}':\n{text}");
     }
@@ -80,6 +82,15 @@ fn contradictory_flags_exit_two() {
     assert_eq!(repro(&["--serial", "--jobs", "4"]).status.code(), Some(2));
     assert_eq!(repro(&["--resume"]).status.code(), Some(2), "--resume needs --json");
     assert_eq!(repro(&["--fsck"]).status.code(), Some(2), "--fsck needs --json");
+}
+
+#[test]
+fn bad_shard_counts_exit_two() {
+    for args in [&["--shards", "0"][..], &["--shards", "nope"], &["--shards"]] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        assert!(!out.stderr.is_empty(), "{args:?} must explain itself on stderr");
+    }
 }
 
 #[test]

@@ -695,10 +695,6 @@ impl Engine {
     }
 
     fn drive(&mut self) -> Result<RunReport, SimError> {
-        enum Resume {
-            Thread(SyncSender<()>, Pid),
-            Event(Pid),
-        }
         let mc = self.shared.mc.clone();
         loop {
             let resume = {
@@ -739,66 +735,207 @@ impl Engine {
                 }
                 resume
             };
-            match resume {
-                Resume::Thread(resume_tx, pid) => {
-                    resume_tx
-                        .send(())
-                        .expect("des process thread died outside the engine protocol");
-                    // Block until the resumed process yields back.
-                    self.yield_rx.recv().expect("all des process threads disappeared");
-                    // If the process panicked, surface it immediately.
-                    let st = self.shared.state.lock();
-                    let slot = &st.procs[pid.index()];
-                    if let Some(msg) = &slot.panic_message {
-                        return Err(SimError::ProcessPanic {
-                            process: slot.name.clone(),
-                            message: msg.clone(),
-                        });
-                    }
+            self.execute_resume(resume)?;
+        }
+    }
+
+    /// Resume the process selected by the dispatch loop and poll/step it
+    /// until it suspends again (or finishes, or panics).
+    fn execute_resume(&mut self, resume: Resume) -> Result<(), SimError> {
+        match resume {
+            Resume::Thread(resume_tx, pid) => {
+                resume_tx.send(()).expect("des process thread died outside the engine protocol");
+                // Block until the resumed process yields back.
+                self.yield_rx.recv().expect("all des process threads disappeared");
+                // If the process panicked, surface it immediately.
+                let st = self.shared.state.lock();
+                let slot = &st.procs[pid.index()];
+                if let Some(msg) = &slot.panic_message {
+                    return Err(SimError::ProcessPanic {
+                        process: slot.name.clone(),
+                        message: msg.clone(),
+                    });
                 }
-                Resume::Event(pid) => {
-                    let mut fut = self.tasks[pid.index()]
-                        .take()
-                        .expect("event process resumed without a stored future");
-                    // The engine is the only scheduler: nothing ever needs to
-                    // wake a task from outside, so a no-op waker suffices.
-                    let mut cx = TaskContext::from_waker(Waker::noop());
-                    let polled =
-                        panic::catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
-                    match polled {
-                        Ok(Poll::Pending) => {
-                            // The leaf primitive already recorded the new
-                            // status (Sleeping/Parked) and scheduled whatever
-                            // event will resume us.
-                            debug_assert!(
-                                self.shared.state.lock().procs[pid.index()].status
-                                    != Status::Running,
-                                "event process returned Pending without blocking on a des primitive"
-                            );
-                            self.tasks[pid.index()] = Some(fut);
-                        }
-                        Ok(Poll::Ready(())) => {
-                            let mut st = self.shared.state.lock();
-                            st.procs[pid.index()].status = Status::Finished;
-                            st.live -= 1;
-                            self.shared.trace_with(&mut st, || TraceEvent::ProcFinish { pid });
-                        }
-                        Err(payload) => {
-                            let message = panic_payload_to_string(&*payload);
-                            let mut st = self.shared.state.lock();
-                            st.live -= 1;
-                            let slot = &mut st.procs[pid.index()];
-                            slot.status = Status::Finished;
-                            slot.panic_message = Some(message.clone());
-                            return Err(SimError::ProcessPanic {
-                                process: slot.name.clone(),
-                                message,
-                            });
-                        }
+            }
+            Resume::Event(pid) => {
+                let mut fut = self.tasks[pid.index()]
+                    .take()
+                    .expect("event process resumed without a stored future");
+                // The engine is the only scheduler: nothing ever needs to
+                // wake a task from outside, so a no-op waker suffices.
+                let mut cx = TaskContext::from_waker(Waker::noop());
+                let polled = panic::catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+                match polled {
+                    Ok(Poll::Pending) => {
+                        // The leaf primitive already recorded the new
+                        // status (Sleeping/Parked) and scheduled whatever
+                        // event will resume us.
+                        debug_assert!(
+                            self.shared.state.lock().procs[pid.index()].status != Status::Running,
+                            "event process returned Pending without blocking on a des primitive"
+                        );
+                        self.tasks[pid.index()] = Some(fut);
+                    }
+                    Ok(Poll::Ready(())) => {
+                        let mut st = self.shared.state.lock();
+                        st.procs[pid.index()].status = Status::Finished;
+                        st.live -= 1;
+                        self.shared.trace_with(&mut st, || TraceEvent::ProcFinish { pid });
+                    }
+                    Err(payload) => {
+                        let message = panic_payload_to_string(&*payload);
+                        let mut st = self.shared.state.lock();
+                        st.live -= 1;
+                        let slot = &mut st.procs[pid.index()];
+                        slot.status = Status::Finished;
+                        slot.panic_message = Some(message.clone());
+                        return Err(SimError::ProcessPanic { process: slot.name.clone(), message });
                     }
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Dispatch every pending event with `at < limit`, in exactly the order
+    /// [`Engine::run`] would, then return. Used by the sharded runner
+    /// (`des::shard`) to advance one shard through a conservative time
+    /// window.
+    ///
+    /// Returns `Ok(())` when the next live event is at or past `limit`, the
+    /// queue is empty, or every process has finished. An empty queue is
+    /// *not* a deadlock here — the sharded coordinator may refill it with
+    /// cross-shard wakes at the window barrier — so termination and deadlock
+    /// detection belong to the caller. Model checking is not supported in
+    /// windowed mode (the sharded entry points never enable it).
+    pub(crate) fn run_window(&mut self, limit: SimTime) -> Result<(), SimError> {
+        debug_assert!(self.shared.mc.is_none(), "windowed runs do not support model checking");
+        loop {
+            let resume = {
+                let mut st = self.shared.state.lock();
+                if st.live == 0 {
+                    return Ok(());
+                }
+                // Prune stale heads so the limit check sees a live event;
+                // stale events are consumed and counted exactly like the
+                // plain dispatch path, keeping event totals identical to a
+                // single-engine run.
+                let ev = loop {
+                    match st.queue.peek() {
+                        None => return Ok(()),
+                        Some(head) if head.at >= limit => return Ok(()),
+                        Some(_) => {}
+                    }
+                    self.check_budget(&mut st)?;
+                    let ev = st.queue.pop().expect("peeked event vanished");
+                    st.events_dispatched += 1;
+                    if !Self::is_stale(&st, &ev) {
+                        break ev;
+                    }
+                };
+                debug_assert!(ev.at >= st.now, "event queue went backwards in time");
+                if ev.at > st.now {
+                    st.now = ev.at;
+                }
+                let slot = &mut st.procs[ev.pid.index()];
+                slot.status = Status::Running;
+                slot.gen += 1;
+                let resume = match &slot.kind {
+                    ProcKind::Thread { resume_tx } => Resume::Thread(resume_tx.clone(), ev.pid),
+                    ProcKind::Event => Resume::Event(ev.pid),
+                };
+                self.shared.trace_with(&mut st, || TraceEvent::ProcResume { pid: ev.pid });
+                resume
+            };
+            self.execute_resume(resume)?;
+        }
+    }
+
+    /// A handle to this engine's scheduler state for the sharded runner:
+    /// lets the coordinator inspect queues and inject cross-shard wakes
+    /// while the shard's worker thread is quiescent between windows.
+    pub(crate) fn handle(&self) -> EngineHandle {
+        EngineHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Collect the final report of a windowed run and tear down any
+    /// thread-backed processes (mirrors the teardown in [`Engine::run`];
+    /// a no-op for fully event-driven jobs).
+    pub(crate) fn finish_windowed(mut self, failed: bool) -> RunReport {
+        let report = {
+            let mut st = self.shared.state.lock();
+            if failed {
+                for slot in &mut st.procs {
+                    if slot.status != Status::Finished {
+                        if let ProcKind::Thread { resume_tx } = &mut slot.kind {
+                            *resume_tx = mpsc::sync_channel(1).0;
+                        }
+                    }
+                }
+            }
+            RunReport {
+                end_time: st.now,
+                events: st.events_dispatched,
+                processes: st.procs.len() as u32,
+            }
+        };
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        report
+    }
+}
+
+/// How the dispatch loop resumes the process owning the chosen event.
+enum Resume {
+    Thread(SyncSender<()>, Pid),
+    Event(Pid),
+}
+
+/// A cloneable view of one engine's scheduler state, used by the sharded
+/// runner (`des::shard`) between windows, when the shard's worker thread is
+/// parked at a barrier and the engine itself is quiescent.
+#[derive(Clone)]
+pub(crate) struct EngineHandle {
+    shared: Arc<Shared>,
+}
+
+impl EngineHandle {
+    /// Schedule a wake for a parked process (same contract as
+    /// [`ProcCtx::wake_at`]).
+    pub(crate) fn wake_at(&self, target: Pid, at: SimTime) {
+        wake_at_impl(&self.shared, target, at);
+    }
+
+    /// Timestamp of the earliest *live* pending event, pruning (and
+    /// counting, as dispatch would) any stale events sitting on top of the
+    /// queue. `None` if no live event is pending.
+    pub(crate) fn next_live_event_time(&self) -> Option<SimTime> {
+        let mut st = self.shared.state.lock();
+        loop {
+            match st.queue.peek() {
+                None => return None,
+                Some(ev) if !Engine::is_stale(&st, ev) => return Some(ev.at),
+                Some(_) => {}
+            }
+            st.queue.pop();
+            st.events_dispatched += 1;
+        }
+    }
+
+    /// Number of unfinished processes on this shard.
+    pub(crate) fn live(&self) -> u32 {
+        self.shared.state.lock().live
+    }
+
+    /// The shard's current virtual time.
+    pub(crate) fn now(&self) -> SimTime {
+        self.shared.state.lock().now
+    }
+
+    /// Status-annotated names of unfinished processes (deadlock reports).
+    pub(crate) fn live_process_diag(&self) -> Vec<String> {
+        Engine::live_process_diag(&self.shared.state.lock())
     }
 }
 

@@ -51,11 +51,13 @@
 mod engine;
 mod faults;
 pub mod mc;
+mod shard;
 mod time;
 pub mod trace;
 
 pub use engine::{Advance, Context, Engine, Park, ParkUntil, Pid, ProcCtx, RunReport, SimError};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates, SimRng};
+pub use shard::{ShardWakers, ShardedEngine};
 pub use time::SimTime;
 pub use trace::{
     NullTracer, RingRecorder, TraceClass, TraceEvent, TraceFilter, TraceRecord, Tracer,

@@ -1,0 +1,285 @@
+//! Conservative time-windowed execution of one job across N engine shards.
+//!
+//! One simulated job is partitioned across `N` [`Engine`]s, each pinned to
+//! its own worker thread. The shards advance in lockstep **windows**: the
+//! coordinator finds the globally earliest pending event at time `t_min`,
+//! sets the window end to `t_min + lookahead` (the minimum latency any
+//! cross-shard interaction needs to take effect — see
+//! `netsim::Network::min_cross_partition_latency`), and lets every shard
+//! dispatch its events with `at < window_end` in parallel. Because no event
+//! inside the window can affect another shard before `window_end`, applying
+//! all cross-shard messages at the barrier afterwards is conservative: no
+//! shard ever receives an event in its past, and the dispatch order within
+//! each shard is exactly what a single engine would have produced.
+//!
+//! Cross-shard messages are exchanged through a caller-supplied `exchange`
+//! callback (the `simmpi` layer owns the message format). The callback is
+//! responsible for draining its outboxes in a canonical order —
+//! `(time, source shard, per-shard sequence)` — and injecting wakes through
+//! [`ShardWakers`], which is what makes the sharded run byte-identical to
+//! the serial one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use parking_lot::Mutex;
+
+use crate::engine::{Engine, EngineHandle, Pid, RunReport, SimError};
+use crate::time::SimTime;
+
+/// Window-end sentinel telling the shard workers to shut down.
+const SHUTDOWN: u64 = u64::MAX;
+
+/// Runs one job partitioned across several [`Engine`]s in conservative time
+/// windows. Construct with every shard's engine fully spawned, then call
+/// [`ShardedEngine::run`].
+pub struct ShardedEngine {
+    engines: Vec<Engine>,
+    lookahead: SimTime,
+}
+
+/// Handles for injecting cross-shard wakes between windows. Passed to the
+/// `exchange` callback of [`ShardedEngine::run`]; `shard` indices match the
+/// order engines were given to [`ShardedEngine::new`].
+pub struct ShardWakers {
+    handles: Vec<EngineHandle>,
+}
+
+impl ShardWakers {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Schedule a wake for a parked process on `shard` (same contract as
+    /// `ProcCtx::wake_at`: `at` must not be in the shard's past and the
+    /// target must be parked).
+    pub fn wake_at(&self, shard: usize, target: Pid, at: SimTime) {
+        self.handles[shard].wake_at(target, at);
+    }
+}
+
+impl ShardedEngine {
+    /// Bundle `engines` (one per shard, at least two) for a windowed run
+    /// with the given `lookahead` (must be positive — a zero lookahead
+    /// would admit empty windows and livelock the window loop).
+    pub fn new(engines: Vec<Engine>, lookahead: SimTime) -> ShardedEngine {
+        assert!(engines.len() >= 2, "a sharded run needs at least 2 shards");
+        assert!(lookahead > SimTime::ZERO, "conservative windows need a positive lookahead");
+        ShardedEngine { engines, lookahead }
+    }
+
+    /// Run every shard to completion.
+    ///
+    /// `exchange` is called at each window barrier (and whenever all queues
+    /// drain) with the shards quiescent; it must apply all buffered
+    /// cross-shard messages in canonical order and return how many it
+    /// applied. The run finishes when every process on every shard has
+    /// finished; it deadlocks when all queues are empty, `exchange` applies
+    /// nothing, and unfinished processes remain.
+    pub fn run<F>(self, mut exchange: F) -> Result<RunReport, SimError>
+    where
+        F: FnMut(&ShardWakers) -> usize,
+    {
+        let n = self.engines.len();
+        let lookahead = self.lookahead;
+        let handles: Vec<EngineHandle> = self.engines.iter().map(|e| e.handle()).collect();
+        let wakers = ShardWakers { handles: handles.clone() };
+        // Window end (as nanos) published by the coordinator before each
+        // start-barrier; SHUTDOWN tells workers to exit and hand their
+        // engine back.
+        let window_end = AtomicU64::new(0);
+        let start_barrier = Barrier::new(n + 1);
+        let end_barrier = Barrier::new(n + 1);
+        let errors: Vec<Mutex<Option<SimError>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(n);
+            for (i, mut engine) in self.engines.into_iter().enumerate() {
+                let window_end = &window_end;
+                let start_barrier = &start_barrier;
+                let end_barrier = &end_barrier;
+                let errors = &errors;
+                workers.push(scope.spawn(move || {
+                    loop {
+                        start_barrier.wait();
+                        let limit = window_end.load(Ordering::Acquire);
+                        if limit == SHUTDOWN {
+                            break;
+                        }
+                        if let Err(e) = engine.run_window(SimTime::from_nanos(limit)) {
+                            *errors[i].lock() = Some(e);
+                        }
+                        end_barrier.wait();
+                    }
+                    engine
+                }));
+            }
+
+            let mut windows: u64 = 0;
+            let result = loop {
+                match handles.iter().filter_map(|h| h.next_live_event_time()).min() {
+                    None => {
+                        // Every queue is empty. Cross-shard messages may
+                        // still be buffered; only if the exchange applies
+                        // nothing and processes remain is this a deadlock.
+                        if exchange(&wakers) > 0 {
+                            continue;
+                        }
+                        if handles.iter().any(|h| h.live() > 0) {
+                            break Err(deadlock_error(&handles, windows));
+                        }
+                        break Ok(());
+                    }
+                    Some(t_min) => {
+                        let limit = t_min + lookahead;
+                        window_end.store(limit.as_nanos(), Ordering::Release);
+                        start_barrier.wait();
+                        end_barrier.wait();
+                        windows += 1;
+                        // Deterministic error selection: the lowest shard
+                        // index wins, regardless of which worker lost the
+                        // race to write first.
+                        if let Some((shard, e)) = errors
+                            .iter()
+                            .enumerate()
+                            .find_map(|(i, m)| m.lock().take().map(|e| (i, e)))
+                        {
+                            break Err(annotate_shard_error(e, shard, windows));
+                        }
+                        exchange(&wakers);
+                    }
+                }
+            };
+
+            window_end.store(SHUTDOWN, Ordering::Release);
+            start_barrier.wait();
+            let failed = result.is_err();
+            let mut report = RunReport { end_time: SimTime::ZERO, events: 0, processes: 0 };
+            for worker in workers {
+                let engine = worker.join().expect("shard worker thread panicked");
+                let r = engine.finish_windowed(failed);
+                report.end_time = report.end_time.max(r.end_time);
+                report.events += r.events;
+                report.processes += r.processes;
+            }
+            result.map(|()| report)
+        })
+    }
+}
+
+/// Deadlock report across all shards, with each parked process annotated
+/// with its owning shard and the window count at the stall.
+fn deadlock_error(handles: &[EngineHandle], windows: u64) -> SimError {
+    let at = handles.iter().map(|h| h.now()).max().unwrap_or(SimTime::ZERO);
+    let mut parked = Vec::new();
+    for (shard, h) in handles.iter().enumerate() {
+        for name in h.live_process_diag() {
+            parked.push(format!("{name} [shard {shard}, window {windows}]"));
+        }
+    }
+    SimError::Deadlock { at, parked }
+}
+
+/// Annotate an error raised inside one shard's window with the shard index
+/// and window count, so cross-shard stalls and budget aborts are
+/// attributable.
+fn annotate_shard_error(e: SimError, shard: usize, windows: u64) -> SimError {
+    let tag = |parked: Vec<String>| {
+        parked.into_iter().map(|p| format!("{p} [shard {shard}, window {windows}]")).collect()
+    };
+    match e {
+        SimError::Deadlock { at, parked } => SimError::Deadlock { at, parked: tag(parked) },
+        SimError::EventBudgetExhausted { at, events, budget, parked } => {
+            SimError::EventBudgetExhausted { at, events, budget, parked: tag(parked) }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    fn ping_pong_engine(rounds: u32, hop: SimTime) -> Engine {
+        // Two processes volleying a wake back and forth `rounds` times,
+        // `hop` apart in virtual time.
+        let mut eng = Engine::new();
+        let a = eng.spawn_process("a", move |ctx| async move {
+            for _ in 0..rounds {
+                ctx.park().await;
+            }
+        });
+        eng.spawn_process("b", move |ctx| async move {
+            for _ in 0..rounds {
+                ctx.advance(hop).await;
+                ctx.wake_at(a, ctx.now());
+            }
+        });
+        eng
+    }
+
+    #[test]
+    fn sharded_run_of_independent_engines_matches_serial_totals() {
+        let hop = SimTime::from_micros(3);
+        let serial: Vec<_> = (0..2).map(|_| ping_pong_engine(5, hop).run().unwrap()).collect();
+        let engines = vec![ping_pong_engine(5, hop), ping_pong_engine(5, hop)];
+        let sharded = ShardedEngine::new(engines, SimTime::from_micros(1)).run(|_| 0).unwrap();
+        assert_eq!(sharded.end_time, serial.iter().map(|r| r.end_time).max().unwrap());
+        assert_eq!(sharded.events, serial.iter().map(|r| r.events).sum::<u64>());
+        assert_eq!(sharded.processes, 4);
+    }
+
+    #[test]
+    fn cross_shard_wakes_applied_at_barriers_unblock_both_sides() {
+        // Shard 0 hosts a parked consumer; shard 1 hosts a producer that
+        // finishes at 10us. The exchange callback delivers the cross-shard
+        // wake once shard 1 has advanced past the producer's send time.
+        let mut eng0 = Engine::new();
+        let consumer = eng0.spawn_process("consumer", |ctx| async move {
+            ctx.park().await;
+            assert_eq!(ctx.now(), SimTime::from_micros(15));
+        });
+        let mut eng1 = Engine::new();
+        eng1.spawn_process("producer", |ctx| async move {
+            ctx.advance(SimTime::from_micros(10)).await;
+        });
+        let mut delivered = false;
+        let report = ShardedEngine::new(vec![eng0, eng1], SimTime::from_micros(1))
+            .run(|wakers| {
+                if delivered {
+                    return 0;
+                }
+                delivered = true;
+                wakers.wake_at(0, consumer, SimTime::from_micros(15));
+                1
+            })
+            .unwrap();
+        assert_eq!(report.end_time, SimTime::from_micros(15));
+    }
+
+    #[test]
+    fn all_shards_stalled_with_empty_exchange_is_a_deadlock_naming_shards() {
+        let mut eng0 = Engine::new();
+        eng0.spawn_process("stuck-consumer", |ctx| async move {
+            ctx.park().await;
+        });
+        let mut eng1 = Engine::new();
+        eng1.spawn_process("done-producer", |ctx| async move {
+            ctx.advance(SimTime::from_micros(1)).await;
+        });
+        let err =
+            ShardedEngine::new(vec![eng0, eng1], SimTime::from_micros(1)).run(|_| 0).unwrap_err();
+        match err {
+            SimError::Deadlock { parked, .. } => {
+                assert_eq!(parked.len(), 1);
+                assert!(
+                    parked[0].contains("stuck-consumer") && parked[0].contains("[shard 0, window"),
+                    "deadlock diagnostic should name the owning shard: {parked:?}"
+                );
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+}

@@ -56,6 +56,9 @@ pub enum JobSpecError {
     /// `event_budget` is `Some(0)`: a zero budget can never dispatch even
     /// the ranks' start events, so the spec is unrunnable by construction.
     BadEventBudget,
+    /// `shards` is `Some(0)`: a job cannot run on zero engine shards.
+    /// (`Some(1)` is valid and pins the serial engine.)
+    BadShards,
 }
 
 impl fmt::Display for JobSpecError {
@@ -80,6 +83,9 @@ impl fmt::Display for JobSpecError {
             }
             JobSpecError::BadEventBudget => {
                 write!(f, "event_budget must be positive when set")
+            }
+            JobSpecError::BadShards => {
+                write!(f, "shards must be positive when set")
             }
         }
     }

@@ -37,6 +37,7 @@ mod imb;
 mod payload;
 mod pingpong;
 mod rank;
+mod shard;
 mod world;
 
 pub use collectives::{ReduceOp, COLL_TAG_BASE};
@@ -46,7 +47,8 @@ pub use netsim::NetModel;
 pub use payload::Msg;
 pub use pingpong::{large_sizes, pingpong, small_sizes, PingPongPoint};
 pub use rank::{
-    default_event_budget, default_net_model, default_tracer, run_mpi, set_default_event_budget,
-    set_default_net_model, set_default_tracer, MpiRun, Rank,
+    default_event_budget, default_net_model, default_shards, default_tracer, run_mpi,
+    set_default_event_budget, set_default_net_model, set_default_shards, set_default_tracer,
+    MpiRun, Rank,
 };
 pub use world::{JobSpec, NetStats, RetryPolicy};

@@ -37,16 +37,17 @@
 //! instant and `run_mpi` reports it.
 
 use std::future::Future;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use des::{Engine, ProcCtx, SimTime, TraceEvent, Tracer};
-use netsim::{FlowStatus, NetModel};
+use netsim::{FlowStatus, NetModel, Partition};
 use parking_lot::Mutex;
 use soc_arch::WorkProfile;
 
 use crate::error::MpiFault;
 use crate::payload::Msg;
+use crate::shard::{apply_cross_packets, Packet, ShardCtx};
 use crate::world::{matches, Delivery, InMsg, JobSpec, NetStats, World};
 
 /// Process-global default engine-event budget applied to every [`run_mpi`]
@@ -112,6 +113,30 @@ pub fn default_net_model() -> NetModel {
     }
 }
 
+/// Process-global default shard count for jobs whose spec leaves
+/// [`JobSpec::shards`] unset (the `repro --shards` plumbing; same
+/// one-switch pattern as the event budget and net model). `0` = unset.
+static DEFAULT_SHARDS: AtomicU32 = AtomicU32::new(0);
+
+/// Set the process-global default shard count applied to every subsequent
+/// [`run_mpi`] job that does not pin one via
+/// [`JobSpec::with_shards`](crate::JobSpec::with_shards). `None` or
+/// `Some(0)` removes the default (serial engine).
+///
+/// Like every process-global default here, the value is **snapshotted once
+/// when `run_mpi` starts a job**: changing a default concurrently with a
+/// running job — including from another of that job's own shard threads —
+/// cannot affect it (see the shard-safety regression test in
+/// `tests/shard_safety.rs`).
+pub fn set_default_shards(shards: Option<u32>) {
+    DEFAULT_SHARDS.store(shards.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The effective process-global default shard count (`1` = serial engine).
+pub fn default_shards() -> u32 {
+    DEFAULT_SHARDS.load(Ordering::Relaxed).max(1)
+}
+
 /// A rank's handle to the simulated job. Passed by value to the rank body
 /// closure by [`run_mpi`]; the body moves it into its `async` block.
 pub struct Rank {
@@ -126,6 +151,9 @@ pub struct Rank {
     flips: Vec<SimTime>,
     /// Flips already consumed by [`Rank::poll_bit_flip`].
     flips_seen: usize,
+    /// On a sharded run: this rank's shard index and the run's cross-shard
+    /// routing state. `None` on a serial run.
+    shard: Option<(u16, Arc<ShardCtx>)>,
 }
 
 /// Result of a completed job.
@@ -144,6 +172,11 @@ pub struct MpiRun<R> {
     /// Engine events dispatched by the run (the simulation-cost currency the
     /// network models trade in; `scale_bench` reports events/sec from this).
     pub events: u64,
+    /// DES engines the job actually executed on: the shard count for a
+    /// windowed run, 1 for the serial engine — including when a sharded
+    /// attempt was condemned by the exactness guard and redone serially
+    /// (see `crate::shard`).
+    pub shards: u32,
 }
 
 impl<R> MpiRun<R> {
@@ -200,8 +233,34 @@ where
     Fut: Future<Output = R> + Send + 'static,
 {
     spec.validate().map_err(MpiFault::InvalidSpec)?;
+    // All process-global defaults are snapshotted here, before any shard
+    // thread exists: a concurrent `set_default_*` cannot affect this job.
+    let requested_shards = spec.shards.unwrap_or_else(default_shards);
     let budget = spec.event_budget.or_else(default_event_budget);
+    let tracer = default_tracer();
     let world = Arc::new(World::new(spec));
+    if requested_shards > 1 && tracer.is_none() {
+        if let Some((partition, lookahead)) = shard_plan(&world, requested_shards) {
+            return run_mpi_sharded(world, budget, partition, lookahead, body);
+        }
+    }
+    run_mpi_serial(world, budget, tracer, body)
+}
+
+/// The single-engine path (and the fallback for shard-ineligible jobs).
+/// `tracer` is the caller's snapshot of the process-wide default (a mid-run
+/// `set_default_tracer` must not affect a job that already started).
+fn run_mpi_serial<R, F, Fut>(
+    world: Arc<World>,
+    budget: Option<u64>,
+    tracer: Option<Arc<dyn Tracer>>,
+    body: F,
+) -> Result<MpiRun<R>, MpiFault>
+where
+    R: Send + 'static,
+    F: Fn(Rank) -> Fut,
+    Fut: Future<Output = R> + Send + 'static,
+{
     let nranks = world.spec.ranks;
     let results: Arc<Mutex<Vec<Option<R>>>> =
         Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
@@ -218,7 +277,7 @@ where
         let world_for_probe = Arc::clone(&world);
         ctl.set_state_probe(move |now| world_for_probe.mc_state_hash(now));
     }
-    if let Some(tracer) = mc.as_ref().and_then(|c| c.tracer()).or_else(default_tracer) {
+    if let Some(tracer) = mc.as_ref().and_then(|c| c.tracer()).or(tracer) {
         engine.set_tracer(tracer);
     }
     for r in 0..nranks {
@@ -229,8 +288,16 @@ where
             let plan = &world_for_rank.spec.fault_plan;
             let crash_at = plan.crash_time(node);
             let flips: Vec<SimTime> = plan.bit_flips(node).collect();
-            let rank =
-                Rank { ctx, rank: r, world: world_for_rank, node, crash_at, flips, flips_seen: 0 };
+            let rank = Rank {
+                ctx,
+                rank: r,
+                world: world_for_rank,
+                node,
+                crash_at,
+                flips,
+                flips_seen: 0,
+                shard: None,
+            };
             let fut = body(rank);
             async move {
                 let out = fut.await;
@@ -247,7 +314,137 @@ where
             return Err(recorded.unwrap_or(MpiFault::Engine(e)));
         }
     };
+    collect_run(&world, results, report.end_time, report.events, 1)
+}
 
+/// Whether (and how) a job can shard: the partition of its used nodes and
+/// the conservative window lookahead. `None` falls back to the serial
+/// engine. Eligibility requires the event network model, a clean fault
+/// plan, identity placement with one rank per node, no model-checking
+/// controller (it observes a global event order that windowed execution
+/// does not reproduce; the caller already ruled out a default tracer for
+/// the same reason), and a partition whose intra-shard routes share no
+/// links with another shard's (so in-window link reservations commute —
+/// see `crate::shard`).
+fn shard_plan(world: &World, requested: u32) -> Option<(Partition, SimTime)> {
+    let spec = &world.spec;
+    let eligible = world.net_model == NetModel::Event
+        && spec.fault_plan.is_empty()
+        && spec.node_map.is_none()
+        && spec.ranks_per_node == 1
+        && des::mc::current().is_none();
+    if !eligible {
+        return None;
+    }
+    // One rank per node with identity placement: used nodes == ranks.
+    let used_nodes = spec.ranks;
+    let partition = Partition::contiguous(used_nodes, requested.min(used_nodes))?;
+    let st = world.state.lock();
+    if !st.net.partition_isolates_links(&partition) {
+        return None;
+    }
+    let lookahead = st.net.min_cross_partition_latency(&partition);
+    drop(st);
+    (lookahead > SimTime::ZERO).then_some((partition, lookahead))
+}
+
+/// The sharded path: ranks partitioned across N engines advancing in
+/// conservative time windows (`des::ShardedEngine`), cross-shard messages
+/// replayed at window barriers (`crate::shard`). Byte-identical to
+/// [`run_mpi_serial`] by construction; `tests/determinism.rs` pins it.
+fn run_mpi_sharded<R, F, Fut>(
+    world: Arc<World>,
+    budget: Option<u64>,
+    partition: Partition,
+    lookahead: SimTime,
+    body: F,
+) -> Result<MpiRun<R>, MpiFault>
+where
+    R: Send + 'static,
+    F: Fn(Rank) -> Fut,
+    Fut: Future<Output = R> + Send + 'static,
+{
+    let nranks = world.spec.ranks;
+    let nshards = partition.shards() as usize;
+    let shard_of_rank: Vec<u16> =
+        (0..nranks).map(|r| partition.shard_of(world.spec.node_of(r)) as u16).collect();
+    let shard_ctx = Arc::new(ShardCtx::new(shard_of_rank, nshards));
+    let results: Arc<Mutex<Vec<Option<R>>>> =
+        Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
+    // Arm the link reservation-order guard: if the windowed schedule ever
+    // touches a link out of the serial engine's order (tightly-cascading
+    // cross-boundary traffic can — see `crate::shard`), or a wildcard
+    // receive observes mailbox arrival order, the guard trips and the whole
+    // job is redone on one engine below. `--shards` is a wall-clock lever,
+    // never a semantics lever.
+    world.state.lock().net.guard_reservations();
+    // Each shard carries the full event budget: the watchdog exists to
+    // bound runaway event chains, and any single shard spinning alone hits
+    // it at the same count the serial engine would.
+    let mut engines: Vec<Engine> =
+        (0..nshards).map(|_| Engine::new().with_event_budget(budget)).collect();
+    // All rank futures are created here, on the caller's thread, before the
+    // engines move to their worker threads — `body` needs no `Sync` bound.
+    for r in 0..nranks {
+        let shard = shard_ctx.shard_of_rank[r as usize];
+        let pid = engines[shard as usize].spawn_process(format!("rank{r}"), |ctx| {
+            let world_for_rank = Arc::clone(&world);
+            let results = Arc::clone(&results);
+            let node = world_for_rank.spec.node_of(r);
+            let plan = &world_for_rank.spec.fault_plan;
+            let crash_at = plan.crash_time(node);
+            let flips: Vec<SimTime> = plan.bit_flips(node).collect();
+            let rank = Rank {
+                ctx,
+                rank: r,
+                world: world_for_rank,
+                node,
+                crash_at,
+                flips,
+                flips_seen: 0,
+                shard: Some((shard, Arc::clone(&shard_ctx))),
+            };
+            let fut = body(rank);
+            async move {
+                let out = fut.await;
+                results.lock()[r as usize] = Some(out);
+            }
+        });
+        world.state.lock().ranks[r as usize].pid = Some(pid);
+    }
+    let world_for_exchange = Arc::clone(&world);
+    let ctx_for_exchange = Arc::clone(&shard_ctx);
+    let run = des::ShardedEngine::new(engines, lookahead)
+        .run(move |wakers| apply_cross_packets(&world_for_exchange, &ctx_for_exchange, wakers));
+    if world.state.lock().net.guard_tripped() {
+        // The guard condemned the windowed schedule: whatever `run` holds —
+        // results, a deadlock, or a timeout provoked by the stalled
+        // wind-down — is discarded, and the job reruns on one engine under
+        // the same snapshotted defaults (the spec pins the world's net
+        // model; eligibility already required no tracer).
+        let mut spec = world.spec.clone();
+        spec.net_model = Some(world.net_model);
+        return run_mpi_serial(Arc::new(World::new(spec)), budget, None, body);
+    }
+    let report = match run {
+        Ok(report) => report,
+        Err(e) => {
+            // A rank that died on purpose recorded why before unwinding.
+            let recorded = world.state.lock().fault.take();
+            return Err(recorded.unwrap_or(MpiFault::Engine(e)));
+        }
+    };
+    collect_run(&world, results, report.end_time, report.events, nshards as u32)
+}
+
+/// Collect a finished run's per-rank tallies and results into an [`MpiRun`].
+fn collect_run<R>(
+    world: &World,
+    results: Arc<Mutex<Vec<Option<R>>>>,
+    elapsed: SimTime,
+    events: u64,
+    shards: u32,
+) -> Result<MpiRun<R>, MpiFault> {
     let mut st = world.state.lock();
     let compute_busy = st.ranks.iter().map(|r| r.compute_busy).collect();
     let comm_busy = st.ranks.iter().map(|r| r.comm_busy).collect();
@@ -259,14 +456,7 @@ where
         .into_iter()
         .map(|o| o.expect("rank did not produce a result"))
         .collect();
-    Ok(MpiRun {
-        elapsed: report.end_time,
-        results,
-        compute_busy,
-        comm_busy,
-        net,
-        events: report.events,
-    })
+    Ok(MpiRun { elapsed, results, compute_busy, comm_busy, net, events, shards })
 }
 
 impl Rank {
@@ -377,6 +567,29 @@ impl Rank {
 
     fn tally_comm(&self, dt: SimTime) {
         self.world.state.lock().ranks[self.rank as usize].comm_busy += dt;
+    }
+
+    /// Whether `peer` runs on a different engine shard (always false on a
+    /// serial run).
+    fn cross_shard(&self, peer: u32) -> bool {
+        self.shard.as_ref().is_some_and(|(me, ctx)| ctx.shard_of_rank[peer as usize] != *me)
+    }
+
+    /// Buffer a cross-shard packet in this rank's shard's outbox for the
+    /// next window barrier.
+    fn push_packet(&self, packet: Packet) {
+        let (me, ctx) = self.shard.as_ref().expect("cross-shard packet on a serial run");
+        ctx.push(*me, packet);
+    }
+
+    /// Stamp this rank's shard as the source stream of the link
+    /// reservations the caller is about to make (see
+    /// `Network::guard_reservations`). No-op on a serial run, where no
+    /// guard is armed.
+    fn stamp_guard_source(&self, st: &mut crate::world::WorldState) {
+        if let Some((me, _)) = &self.shard {
+            st.net.guard_source(*me as u32);
+        }
     }
 
     /// Record `fault` as the run's outcome (first one wins) and unwind this
@@ -490,11 +703,33 @@ impl Rank {
         let bytes = msg.bytes;
         let src_node = world.spec.node_of(self.rank);
         let dst_node = world.spec.node_of(dst);
+        // A cross-shard destination's mailbox, engine, and links cannot be
+        // touched mid-window; the interaction is captured as a packet and
+        // replayed at the window barrier instead (see `crate::shard`). The
+        // shard planner guarantees no loss windows, tracer, or
+        // model-checking controller on this path.
+        let cross = self.cross_shard(dst);
 
         if proto.needs_rendezvous(bytes) {
+            if cross {
+                self.push_packet(Packet::Rts {
+                    depart: self.ctx.now(),
+                    src: self.rank,
+                    dst,
+                    tag,
+                    msg,
+                    sender_pid: self.ctx.pid(),
+                });
+                // Wait until the receiver completes the transfer; the
+                // barrier applier delivers its wake.
+                self.park_or_die(self.recv_deadline(), Some(dst)).await;
+                self.phase_end("send");
+                return;
+            }
             // RTS: a minimal frame to the receiver.
             let wake = {
                 let mut st = world.state.lock();
+                self.stamp_guard_source(&mut st);
                 let depart = self.ctx.now();
                 let rts_arrival = st.net.transmit(depart, src_node, dst_node, 128);
                 st.stats.messages += 1;
@@ -566,10 +801,29 @@ impl Rank {
             self.advance_comm_or_die(backoff(retry.retrans_base, attempts)).await;
         }
 
+        if cross {
+            // Wire reservation, enqueue, and pending-receive wake are
+            // deferred to the barrier; the sender's own injection cost is
+            // purely local and advances inline, exactly as below.
+            self.push_packet(Packet::Eager {
+                depart: self.ctx.now(),
+                src: self.rank,
+                dst,
+                tag,
+                msg,
+            });
+            let injection = SimTime::from_secs_f64(bytes as f64 / world.cpu_stage_rate());
+            self.ctx.advance(injection).await;
+            self.tally_comm(injection);
+            self.phase_end("send");
+            return;
+        }
+
         let injection;
         let flow_started;
         {
             let mut st = world.state.lock();
+            self.stamp_guard_source(&mut st);
             let depart = self.ctx.now();
             let wire = world.framed(bytes);
             let link_bw = st.net.link_bw_bytes;
@@ -646,6 +900,13 @@ impl Rank {
         self.phase_begin("recv");
         let world = Arc::clone(&self.world);
         let proto = world.spec.proto;
+        // A wildcard receive matches on mailbox arrival order, which a
+        // windowed run reorders around barriers; the link guard cannot see
+        // that dependence, so condemn the schedule explicitly (the job is
+        // then redone serially — see `run_mpi_sharded`).
+        if self.shard.is_some() && (src.is_none() || tag.is_none()) {
+            world.state.lock().net.guard_trip();
+        }
         let filter = (src, tag);
         // The timeout (when the retry policy sets one) is absolute from the
         // moment the receive was posted, not re-armed per park.
@@ -1009,6 +1270,26 @@ impl Rank {
         let o_r = proto.recv_overhead(&world.ep);
         self.advance_comm_or_die(o_r).await;
 
+        if self.cross_shard(src) {
+            // The CTS rides the reverse path — the sender's shard's links —
+            // so the whole CTS/bulk-transfer timing resolves at the window
+            // barrier (see `crate::shard`). Park until the applier wakes us
+            // at the bulk data's arrival; it wakes the sender too.
+            self.push_packet(Packet::RdvComplete {
+                at: self.ctx.now(),
+                src,
+                dst: self.rank,
+                bytes: msg.bytes,
+                sender_pid,
+                receiver_pid: self.ctx.pid(),
+            });
+            self.ctx.park().await;
+            let o_r2 = proto.recv_overhead(&world.ep);
+            self.advance_comm_or_die(o_r2).await;
+            self.emit_trace(TraceEvent::MsgDeliver { src, dst: self.rank, tag, bytes: msg.bytes });
+            return (src, tag, msg);
+        }
+
         let src_node = world.spec.node_of(src);
         let dst_node = world.spec.node_of(self.rank);
         // As on the eager path, cross-node bulk data rides a fluid flow under
@@ -1016,6 +1297,7 @@ impl Rank {
         let use_flow = world.net_model == NetModel::Flow && src_node != dst_node;
         let (data_arrival, sender_done, bulk_drops) = {
             let mut st = world.state.lock();
+            self.stamp_guard_source(&mut st);
             let now = self.ctx.now();
             // CTS travels back; the sender starts the bulk transfer on its
             // arrival. The RTS/CTS control frames are assumed reliable; loss

@@ -6,6 +6,17 @@
 //! engine runs exactly one process at a time the mailbox protocol is
 //! race-free — e.g. a receiver that publishes a pending-receive and then
 //! parks cannot be observed "pending but not yet parked" by any sender.
+//!
+//! Under a sharded run (`JobSpec::with_shards`, see `crate::shard`) several
+//! engines run concurrently against this one world, and the mutex does real
+//! arbitration — but every *cross-shard* interaction (a mailbox push, a
+//! pending-receive wake, a reservation on a link another shard's traffic
+//! uses) is deferred into per-shard outboxes and replayed sequentially, in a
+//! canonical order, at the window barrier. In-window concurrent lock
+//! sections from different shards only ever touch disjoint state (their own
+//! rank's entry, their own partition's links — a placement precondition the
+//! shard planner verifies), which is what keeps sharded runs byte-identical
+//! to serial ones.
 
 use std::collections::VecDeque;
 
@@ -58,6 +69,16 @@ pub struct JobSpec {
     /// ([`set_default_net_model`](crate::set_default_net_model)), which is
     /// [`NetModel::Event`] unless an experiment driver says otherwise.
     pub net_model: Option<NetModel>,
+    /// How many DES engine shards to run this job across (see
+    /// [`crate::run_mpi`]'s sharded mode). `None` falls back to the
+    /// process-global default
+    /// ([`set_default_shards`](crate::set_default_shards)); `Some(1)` pins
+    /// the serial engine. Requests above 1 are honoured only when the job is
+    /// eligible (event network model, clean fault plan, one rank per node,
+    /// identity node map, no tracer/model-checker, and a partition of the
+    /// topology whose shards do not share links); ineligible jobs fall back
+    /// to the serial engine, so results are identical either way.
+    pub shards: Option<u32>,
 }
 
 /// Message retransmission and receive-timeout policy.
@@ -101,6 +122,7 @@ impl JobSpec {
             node_map: None,
             event_budget: None,
             net_model: None,
+            shards: None,
         }
     }
 
@@ -159,6 +181,13 @@ impl JobSpec {
     /// process-global default).
     pub fn with_net_model(mut self, model: Option<NetModel>) -> JobSpec {
         self.net_model = model;
+        self
+    }
+
+    /// Builder: run this job across `shards` DES engine shards (`None`
+    /// keeps the process-global default; `validate` rejects `Some(0)`).
+    pub fn with_shards(mut self, shards: Option<u32>) -> JobSpec {
+        self.shards = shards;
         self
     }
 
@@ -226,6 +255,9 @@ impl JobSpec {
         }
         if self.event_budget == Some(0) {
             return Err(JobSpecError::BadEventBudget);
+        }
+        if self.shards == Some(0) {
+            return Err(JobSpecError::BadShards);
         }
         Ok(())
     }

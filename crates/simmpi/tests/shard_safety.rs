@@ -1,0 +1,239 @@
+//! Sharded-execution invariants at the `run_mpi` level.
+//!
+//! 1. A job run across N engine shards is **bit-identical** to the serial
+//!    engine: virtual times, per-rank results and busy tallies, network
+//!    stats, and even the dispatched-event count — on both the eager and
+//!    the rendezvous protocol paths.
+//! 2. Process-wide defaults (`set_default_net_model`, `set_default_tracer`)
+//!    are snapshotted when a job starts: flipping them concurrently —
+//!    which is exactly what another shard's thread could do — can never
+//!    perturb a running job (the shard-safety regression test).
+//! 3. Ineligible jobs (flow model, node maps) silently fall back to the
+//!    serial engine with identical results.
+//! 4. Schedules the reservation-order guard cannot prove serial-identical
+//!    (e.g. wildcard receives) are condemned and rerun serially — same
+//!    bytes, `MpiRun::shards == 1`.
+//!
+//! Every spec here pins `net_model` explicitly, so tests in this binary
+//! stay independent of each other's default flips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use netsim::NetModel;
+use simmpi::{run_mpi, JobSpec, MpiRun, Msg, ReduceOp};
+use soc_arch::Platform;
+
+/// A 16-rank butterfly exchange with per-round compute: each round pairs
+/// rank `r` with `r ^ 2^(round mod 4)`, so at 2 or 4 contiguous shards some
+/// rounds are entirely intra-shard and some entirely cross-shard.
+fn butterfly(shards: Option<u32>) -> MpiRun<u64> {
+    let spec = JobSpec::new(Platform::tegra2(), 16)
+        .with_net_model(Some(NetModel::Event))
+        .with_shards(shards);
+    run_mpi(spec, |mut r| async move {
+        let me = r.rank();
+        let mut acc = me as u64;
+        for round in 0..8u32 {
+            let partner = me ^ (1 << (round % 4));
+            r.compute_secs(2e-5).await;
+            let payload = Msg::from_u64s(&[acc, round as u64]);
+            if me < partner {
+                r.send(partner, round, payload).await;
+                acc += r.recv(partner, round).await.to_u64s()[0];
+            } else {
+                acc += r.recv(partner, round).await.to_u64s()[0];
+                r.send(partner, round, payload).await;
+            }
+        }
+        let sum = r.allreduce(ReduceOp::Sum, vec![acc as f64]).await;
+        acc + sum[0] as u64
+    })
+    .expect("butterfly job failed")
+}
+
+/// A rendezvous-sized (64 KiB > Open-MX's 32 KiB threshold) ping-pong
+/// between the first and last rank — a guaranteed cross-shard pair under
+/// any contiguous 2+-way partition. The middle ranks finish immediately,
+/// which also exercises shards whose engines drain early while the run
+/// continues elsewhere.
+fn rendezvous_pingpong(shards: Option<u32>) -> MpiRun<u64> {
+    let spec = JobSpec::new(Platform::tegra2(), 8)
+        .with_proto(netsim::ProtocolModel::open_mx())
+        .with_net_model(Some(NetModel::Event))
+        .with_shards(shards);
+    run_mpi(spec, |mut r| async move {
+        let me = r.rank();
+        let last = r.size() - 1;
+        let big = Msg::size_only(64 * 1024);
+        if me == 0 {
+            for i in 0..3 {
+                r.send(last, i, big.clone()).await;
+                r.recv(last, i).await;
+            }
+        } else if me == last {
+            for i in 0..3 {
+                r.recv(0, i).await;
+                r.send(0, i, big.clone()).await;
+            }
+        }
+        r.now().as_nanos()
+    })
+    .expect("rendezvous job failed")
+}
+
+/// Every observable of two runs, compared field by field.
+fn assert_runs_identical<R: std::fmt::Debug + PartialEq>(a: &MpiRun<R>, b: &MpiRun<R>, what: &str) {
+    assert_eq!(a.elapsed, b.elapsed, "{what}: elapsed diverged");
+    assert_eq!(a.results, b.results, "{what}: per-rank results diverged");
+    assert_eq!(a.compute_busy, b.compute_busy, "{what}: compute tallies diverged");
+    assert_eq!(a.comm_busy, b.comm_busy, "{what}: comm tallies diverged");
+    assert_eq!(a.net.messages, b.net.messages, "{what}: message count diverged");
+    assert_eq!(a.net.payload_bytes, b.net.payload_bytes, "{what}: payload bytes diverged");
+    assert_eq!(a.net.retransmits, b.net.retransmits, "{what}: retransmit count diverged");
+    assert_eq!(a.events, b.events, "{what}: dispatched-event count diverged");
+}
+
+#[test]
+fn sharded_eager_runs_are_bit_identical_to_serial() {
+    let serial = butterfly(None);
+    assert_eq!(serial.shards, 1);
+    for n in [2u32, 4] {
+        let sharded = butterfly(Some(n));
+        assert_eq!(sharded.shards, n, "butterfly must actually run sharded");
+        assert_runs_identical(&serial, &sharded, &format!("butterfly at {n} shards"));
+    }
+}
+
+#[test]
+fn sharded_rendezvous_runs_are_bit_identical_to_serial() {
+    let serial = rendezvous_pingpong(None);
+    for n in [2u32, 4] {
+        let sharded = rendezvous_pingpong(Some(n));
+        assert_eq!(sharded.shards, n, "ping-pong must actually run sharded");
+        assert_runs_identical(&serial, &sharded, &format!("rendezvous at {n} shards"));
+    }
+}
+
+#[test]
+fn mid_run_default_flips_cannot_perturb_a_sharded_job() {
+    // The shard-safety regression test: a sharded job snapshots every
+    // process-wide default when it starts, so another thread hammering
+    // `set_default_net_model` / `set_default_tracer` while the shards run
+    // (the exact interference concurrent shards could otherwise cause)
+    // must not change a single observable.
+    let baseline = butterfly(Some(2));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flipper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let tracer: Arc<dyn des::Tracer> = Arc::new(des::NullTracer);
+            while !stop.load(Ordering::Relaxed) {
+                simmpi::set_default_net_model(NetModel::Flow);
+                simmpi::set_default_tracer(Some(Arc::clone(&tracer)));
+                simmpi::set_default_net_model(NetModel::Event);
+                simmpi::set_default_tracer(None);
+            }
+        })
+    };
+    let mut disturbed = Vec::new();
+    for _ in 0..5 {
+        disturbed.push(butterfly(Some(2)));
+    }
+    stop.store(true, Ordering::Relaxed);
+    flipper.join().expect("flipper thread panicked");
+    simmpi::set_default_net_model(NetModel::Event);
+    simmpi::set_default_tracer(None);
+
+    for run in &disturbed {
+        // `run.shards` may legitimately be 1 here: a flip that lands at the
+        // instant the job starts is part of its snapshot (a default tracer
+        // routes the job serial). What must never vary are the bytes.
+        assert!(run.shards == 1 || run.shards == 2, "unexpected shard count {}", run.shards);
+        assert_runs_identical(&baseline, run, "sharded run under default flips");
+    }
+}
+
+#[test]
+fn ineligible_jobs_fall_back_to_the_serial_engine() {
+    // Flow-model jobs cannot shard (fluid flows couple all links); a shard
+    // request must quietly run serial with identical results.
+    let flow = |shards: Option<u32>| {
+        let spec = JobSpec::new(Platform::tegra2(), 8)
+            .with_net_model(Some(NetModel::Flow))
+            .with_shards(shards);
+        run_mpi(spec, |mut r| async move {
+            let v = r.alltoall(vec![Msg::size_only(4096); 8]).await;
+            r.barrier().await;
+            v.len() as u64 + r.now().as_nanos()
+        })
+        .expect("flow job failed")
+    };
+    let flow_requested = flow(Some(4));
+    assert_eq!(flow_requested.shards, 1, "flow-model jobs must stay serial");
+    assert_runs_identical(&flow(None), &flow_requested, "flow-model fallback");
+
+    // A node map (restart-on-spares placement) also pins the serial engine.
+    let mapped = |shards: Option<u32>| {
+        let spec = JobSpec::new(Platform::tegra2(), 4)
+            .with_topology(netsim::TopologySpec::Star { nodes: 8 })
+            .with_node_map(vec![7, 2, 5, 0])
+            .with_net_model(Some(NetModel::Event))
+            .with_shards(shards);
+        run_mpi(spec, |mut r| async move {
+            let sum = r.allreduce(ReduceOp::Sum, vec![r.rank() as f64]).await;
+            sum[0] as u64
+        })
+        .expect("mapped job failed")
+    };
+    let mapped_requested = mapped(Some(2));
+    assert_eq!(mapped_requested.shards, 1, "node-mapped jobs must stay serial");
+    assert_runs_identical(&mapped(None), &mapped_requested, "node-map fallback");
+}
+
+#[test]
+fn inexact_schedules_rerun_serially_with_identical_bytes() {
+    // A wildcard receive matches on mailbox arrival order, which a windowed
+    // run reorders around barriers: the reservation guard condemns the
+    // schedule and the job is silently redone on the serial engine — same
+    // bytes in every observable, `shards == 1`. The condemned attempt winds
+    // down through the runner's deadlock path (rank 0 parks forever once
+    // the barrier applier stops feeding wakes), which this test pins too.
+    let gather = |shards: Option<u32>| {
+        let spec = JobSpec::new(Platform::tegra2(), 4)
+            .with_net_model(Some(NetModel::Event))
+            .with_shards(shards);
+        run_mpi(spec, |mut r| async move {
+            let me = r.rank();
+            if me == 0 {
+                let mut seen = 0u64;
+                for _ in 0..3 {
+                    let (src, _, _) = r.recv_any(9).await;
+                    seen = seen * 10 + src as u64;
+                }
+                seen
+            } else {
+                r.compute_secs(1e-6 * me as f64).await;
+                r.send(0, 9, Msg::from_u64s(&[me as u64])).await;
+                me as u64
+            }
+        })
+        .expect("gather job failed")
+    };
+    let serial = gather(None);
+    assert_eq!(serial.shards, 1);
+    let requested = gather(Some(2));
+    assert_eq!(requested.shards, 1, "condemned schedule must rerun serially");
+    assert_runs_identical(&serial, &requested, "wildcard-recv fallback");
+}
+
+#[test]
+fn zero_shards_is_an_invalid_spec() {
+    let spec = JobSpec::new(Platform::tegra2(), 4).with_shards(Some(0));
+    let err = run_mpi(spec, |_r| async move { 0u32 }).unwrap_err();
+    assert!(
+        matches!(err, simmpi::MpiFault::InvalidSpec(simmpi::JobSpecError::BadShards)),
+        "expected BadShards, got {err:?}"
+    );
+}

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use socready::kernels::msort::{self, MsortConfig};
 use socready::mpi::{run_mpi, JobSpec, Msg, ReduceOp};
-use socready::net::{Network, TopologySpec};
+use socready::net::{Network, Partition, TopologySpec};
 use socready::prelude::*;
 
 proptest! {
@@ -63,6 +63,43 @@ proptest! {
             prop_assert!(arr >= last_arrival, "FIFO violated");
             last_arrival = arr;
             depart += socready::des::SimTime::from_micros(5);
+        }
+    }
+
+    /// The sharded runner's lookahead is sound: for any topology and any
+    /// contiguous partition, `min_cross_partition_latency` never exceeds
+    /// the head latency of ANY cross-shard path. (The conservative window
+    /// protocol rests on this: a message emitted inside a window cannot
+    /// take effect on another shard before `window_end = t_min +
+    /// lookahead`, so barrier-applied wakes never travel into a shard's
+    /// past.)
+    #[test]
+    fn shard_lookahead_lower_bounds_every_cross_shard_latency(
+        topo_idx in 0usize..4,
+        used in 2u32..64,
+        shards in 2u32..6,
+    ) {
+        let spec = match topo_idx {
+            0 => TopologySpec::Star { nodes: 64 },
+            1 => TopologySpec::Tree { edges: 4, nodes_per_edge: 16, uplinks_per_edge: 2 },
+            2 => TopologySpec::Tree { edges: 2, nodes_per_edge: 32, uplinks_per_edge: 4 },
+            _ => TopologySpec::tibidabo(),
+        };
+        prop_assume!(used <= spec.nodes() && shards <= used);
+        let p = Partition::contiguous(used, shards).expect("2 <= shards <= used");
+        let net = Network::gbe(spec);
+        let lookahead = net.min_cross_partition_latency(&p);
+        prop_assert!(lookahead > socready::des::SimTime::ZERO);
+        for src in 0..used {
+            for dst in 0..used {
+                if src != dst && p.shard_of(src) != p.shard_of(dst) {
+                    let lat = net.path_latency(src, dst);
+                    prop_assert!(
+                        lat >= lookahead,
+                        "path {src}->{dst} has latency {lat:?} below the lookahead {lookahead:?}"
+                    );
+                }
+            }
         }
     }
 
