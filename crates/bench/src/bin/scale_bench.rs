@@ -4,9 +4,11 @@
 //! ping-ring as the peak-ranks datum, the overhead of an installed
 //! [`NullTracer`] over the zero-tracer path, a dense alltoall under the
 //! per-message event model vs the fair-sharing flow model (`net_flow` —
-//! `ci.sh` gates the flow model's wall speedup at >= 5x), and the model
-//! checker's exploration rate in distinct states/sec on the `retry-lossy`
-//! scenario).
+//! `ci.sh` gates the flow model's wall speedup at >= 5x), the
+//! condemnation-recovery ablation (`condemn_recovery` — `ci.sh` gates that
+//! checkpoint rollback beats the legacy wind-down + full rerun on wall
+//! clock, bytes identical to serial throughout), and the model checker's
+//! exploration rate in distinct states/sec on the `retry-lossy` scenario).
 //!
 //! ```text
 //! cargo run --release -p bench --bin scale_bench -- [out.json]
@@ -139,6 +141,38 @@ struct ShardScaling {
     shard_speedup_4: f64,
 }
 
+/// The condemnation-recovery ablation: the same deliberately-condemned
+/// sharded job under the legacy discard path (wind the dead schedule down,
+/// rerun everything serially) and under checkpoint rollback (abort at the
+/// condemnation barrier, replay serially while re-certifying the recorded
+/// window checkpoints). Both paths must produce bytes identical to the
+/// serial reference; rollback must cost strictly less wall-clock — `ci.sh`
+/// gates `identical` and `rollback_wall_secs < legacy_wall_secs`.
+#[derive(Serialize)]
+struct CondemnRecovery {
+    /// Ranks in the two-phase workload (half per shard).
+    ranks: u32,
+    /// Heavy intra-shard phase-2 rounds the wind-down still simulates.
+    rounds: u32,
+    /// Window at which the guard trip is forced (`condemn_at_window`).
+    condemned_window: u64,
+    /// Verified window checkpoints the condemned attempt recorded.
+    windows_recorded: u64,
+    /// Recovery-replay barriers re-certified against those checkpoints.
+    windows_verified: u64,
+    /// Wall seconds of the uncondemned serial reference run.
+    serial_wall_secs: f64,
+    /// Wall seconds of condemned attempt + checkpoint-verified recovery.
+    rollback_wall_secs: f64,
+    /// Wall seconds of condemned attempt + wind-down + full serial rerun.
+    legacy_wall_secs: f64,
+    /// `legacy_wall_secs / rollback_wall_secs` — what rollback saves.
+    rollback_saving: f64,
+    /// Whether all three runs produced identical results, events, and
+    /// virtual elapsed time.
+    identical: bool,
+}
+
 /// Throughput of the bounded model checker on the `retry-lossy` scenario:
 /// how fast `repro --mc` burns through its state space. Informational — the
 /// run is truncated by its budgets, so only the rate is meaningful.
@@ -179,6 +213,10 @@ struct ScaleBench {
     /// One big job on 1/2/4 engine shards (2-shard speedup must stay
     /// >= 1.5x, results bit-identical throughout).
     shard_scaling: ShardScaling,
+    /// Checkpoint rollback vs legacy wind-down + full rerun on the same
+    /// deliberately-condemned job (rollback must be cheaper, both paths
+    /// bit-identical to the serial reference).
+    condemn_recovery: CondemnRecovery,
     /// Model-checker exploration rate on the lossy-ring scenario.
     mc_throughput: McThroughput,
 }
@@ -427,6 +465,117 @@ fn shard_scaling(ranks: u32, rounds: u32) -> ShardScaling {
     ShardScaling { ranks, rounds, host_cpus, runs, shard_speedup, shard_speedup_4 }
 }
 
+/// The condemnation-recovery workload: a short cross-shard exchange
+/// (phase 1, the windowed prefix the checkpoints certify) followed by
+/// `rounds` of heavy intra-shard neighbour ping-pong (phase 2 — the work
+/// the legacy wind-down keeps simulating after condemnation and the
+/// rollback abort skips). Returns wall seconds and the run.
+fn condemn_workload(
+    ranks: u32,
+    rounds: u32,
+    shards: Option<u32>,
+    condemn_at: Option<u64>,
+) -> (f64, simmpi::MpiRun<u64>) {
+    assert!(ranks.is_multiple_of(4), "condemn workload pairs ranks within each of two halves");
+    let spec = JobSpec::new(Platform::tegra2(), ranks)
+        .with_net_model(Some(NetModel::Event))
+        .with_shards(shards)
+        .with_condemn_at_window(condemn_at);
+    let t0 = Instant::now();
+    let run = run_mpi(spec, move |mut r| async move {
+        let me = r.rank();
+        let half = r.size() / 2;
+        // Phase 1: one exchange with the mirror rank in the other half —
+        // cross-shard under the contiguous 2-shard partition, so the first
+        // few windows carry real cross-engine traffic for the checkpoints
+        // to certify.
+        let mirror = (me + half) % r.size();
+        let hello = Msg::from_u64s(&[me as u64]);
+        let mut acc;
+        if me < half {
+            r.send(mirror, 0, hello).await;
+            acc = r.recv(mirror, 0).await.to_u64s()[0];
+        } else {
+            acc = r.recv(mirror, 0).await.to_u64s()[0];
+            r.send(mirror, 0, hello).await;
+        }
+        // Phase 2: neighbour ping-pong with per-round compute, entirely
+        // within the rank's own half (and therefore its own shard).
+        let buddy = me ^ 1;
+        for round in 1..=rounds {
+            r.compute_secs(2e-6).await;
+            let payload = Msg::from_u64s(&[acc, round as u64]);
+            if me < buddy {
+                r.send(buddy, round, payload).await;
+                acc = acc.wrapping_add(r.recv(buddy, round).await.to_u64s()[0]);
+            } else {
+                acc = acc.wrapping_add(r.recv(buddy, round).await.to_u64s()[0]);
+                r.send(buddy, round, payload).await;
+            }
+        }
+        acc
+    })
+    .expect("condemn workload failed");
+    (t0.elapsed().as_secs_f64(), run)
+}
+
+/// The condemnation-recovery ablation: serial reference, then the same
+/// 2-shard job deliberately condemned at `CONDEMN_AT` under checkpoint
+/// rollback (the default) and under the legacy wind-down + full-rerun
+/// path. Best-of-2 alternating walls on the two condemned variants, since
+/// the gated quantity is a wall comparison.
+fn condemn_recovery(ranks: u32, rounds: u32) -> CondemnRecovery {
+    const CONDEMN_AT: u64 = 6;
+    let (serial_wall, serial) = condemn_workload(ranks, rounds, None, None);
+    assert!(serial.recovery.is_none(), "serial reference must not be condemned");
+    let mut rollback_wall = f64::INFINITY;
+    let mut legacy_wall = f64::INFINITY;
+    let mut rollback = None;
+    let mut legacy = None;
+    for _ in 0..2 {
+        let (wall, run) = condemn_workload(ranks, rounds, Some(2), Some(CONDEMN_AT));
+        rollback_wall = rollback_wall.min(wall);
+        rollback = Some(run);
+        simmpi::set_default_condemn_winddown(true);
+        let (wall, run) = condemn_workload(ranks, rounds, Some(2), Some(CONDEMN_AT));
+        simmpi::set_default_condemn_winddown(false);
+        legacy_wall = legacy_wall.min(wall);
+        legacy = Some(run);
+    }
+    let (rollback, legacy) = (rollback.unwrap(), legacy.unwrap());
+    for (name, run) in [("rollback", &rollback), ("legacy", &legacy)] {
+        assert_eq!(run.shards, 1, "{name} run must have recovered on one engine");
+    }
+    let rb = rollback.recovery.as_ref().expect("rollback run must report recovery stats");
+    assert_eq!(rb.reason, simmpi::CondemnReason::Forced, "condemnation was forced by the spec");
+    assert_eq!(rb.condemned_window, CONDEMN_AT, "trip must land on the requested barrier");
+    assert!(rb.windows_recorded > 0, "condemned attempt must have recorded checkpoints");
+    assert_eq!(
+        rb.windows_verified, rb.windows_recorded,
+        "recovery replay must re-certify every recorded checkpoint"
+    );
+    let lg = legacy.recovery.as_ref().expect("legacy run must report recovery stats");
+    assert_eq!(lg.windows_recorded, 0, "legacy wind-down discards its checkpoints");
+    let identical = rollback.results == serial.results
+        && legacy.results == serial.results
+        && rollback.events == serial.events
+        && legacy.events == serial.events
+        && rollback.elapsed == serial.elapsed
+        && legacy.elapsed == serial.elapsed;
+    CondemnRecovery {
+        ranks,
+        rounds,
+        condemned_window: CONDEMN_AT,
+        windows_recorded: rb.windows_recorded,
+        windows_verified: rb.windows_verified,
+        serial_wall_secs: serial_wall,
+        rollback_wall_secs: rollback_wall,
+        legacy_wall_secs: legacy_wall,
+        rollback_saving: legacy_wall / rollback_wall,
+        identical,
+    }
+}
+
 /// 4096-rank simmpi ping-ring: the job the legacy model could not host.
 fn peak_ring(ranks: u32) -> (f64, u64) {
     let spec = JobSpec::new(Platform::tegra2(), ranks);
@@ -505,6 +654,21 @@ fn main() {
         sharding.shard_speedup, sharding.shard_speedup_4
     );
 
+    let (cr_ranks, cr_rounds) = (64, 400);
+    eprintln!(
+        "condemn: {cr_ranks}-rank x {cr_rounds}-round job condemned mid-run, \
+         rollback vs legacy rerun (best of 2, alternating) ..."
+    );
+    let condemned = condemn_recovery(cr_ranks, cr_rounds);
+    eprintln!(
+        "  serial {:.3}s; rollback {:.3}s ({} ckpts verified); legacy {:.3}s -> {:.2}x saving",
+        condemned.serial_wall_secs,
+        condemned.rollback_wall_secs,
+        condemned.windows_verified,
+        condemned.legacy_wall_secs,
+        condemned.rollback_saving
+    );
+
     eprintln!("mc: bounded search over retry-lossy at default budgets ...");
     let mc = mc_throughput();
     eprintln!(
@@ -521,6 +685,7 @@ fn main() {
         trace_overhead: overhead,
         net_flow,
         shard_scaling: sharding,
+        condemn_recovery: condemned,
         mc_throughput: mc,
     };
     std::fs::write(&out, serde_json::to_string_pretty(&bench).unwrap()).expect("write artefact");

@@ -11,6 +11,9 @@
 //! * `artifact` — one per finished artefact: key, JSON file stem (absent
 //!   for text-only artefacts), byte count and FNV-1a 64 checksum of the
 //!   written JSON, or `"status":"failed"` for quarantined artefacts;
+//! * `ckpt` — the run's simulation-checkpoint configuration (`--ckpt-every`
+//!   / `--ckpt-dir`), so a `--resume` invocation re-arms the same mid-job
+//!   checkpoint files (documented in `docs/CKPT_FORMAT.md`);
 //! * `run_end` — `clean` or `degraded`.
 //!
 //! The reader is *prefix-tolerant*: a journal killed mid-write (SIGKILL,
@@ -197,6 +200,13 @@ impl Journal {
         ))
     }
 
+    /// Record the run's simulation-checkpoint configuration (`--ckpt-every`
+    /// / `--ckpt-dir`): where mid-job window checkpoints live and how often
+    /// they are written, so a resumed invocation re-arms the same files.
+    pub fn ckpt(&mut self, dir: &str, every: u64) -> Result<(), ArtifactIoError> {
+        self.append(&format!("{{\"kind\":\"ckpt\",\"dir\":{},\"every\":{every}}}", esc(dir)))
+    }
+
     /// Record the end of the run.
     pub fn run_end(&mut self, clean: bool) -> Result<(), ArtifactIoError> {
         let status = if clean { "clean" } else { "degraded" };
@@ -254,6 +264,10 @@ pub struct ResumeState {
     pub artifacts: Vec<JournaledArtifact>,
     /// Cell records, in execution order.
     pub cells: Vec<JournaledCell>,
+    /// Simulation-checkpoint directory from the `ckpt` record, if any.
+    pub ckpt_dir: Option<String>,
+    /// Window period of the journaled run's disk checkpoints (0 = none).
+    pub ckpt_every: u64,
     /// Whether a `run_end` record was seen.
     pub complete: bool,
 }
@@ -351,6 +365,10 @@ pub fn parse_journal(content: &str) -> ResumeState {
                     st.artifacts.push(rec);
                 }
             }
+            "ckpt" => {
+                st.ckpt_dir = get_str(&v, "dir");
+                st.ckpt_every = get_u64(&v, "every").unwrap_or(0);
+            }
             "run_end" => st.complete = true,
             _ => {} // unknown record kind: skip, keep reading
         }
@@ -385,6 +403,7 @@ mod tests {
         let d = tmpdir("roundtrip");
         let items = strings(&["fig5", "hpl"]);
         let mut j = Journal::create(&d, &items, "golden").unwrap();
+        j.ckpt("/tmp/out/_ckpt", 8).unwrap();
         j.cell("fig5", "fig5/tegra2", "ok", 1, 1.5, None).unwrap();
         j.cell("fig5", "fig5/tegra3", "recovered", 3, 4.0, None).unwrap();
         j.artifact_json("fig5", "fig5", 123, "00deadbeef001122", false).unwrap();
@@ -404,6 +423,8 @@ mod tests {
         assert_eq!(fig5.stem.as_deref(), Some("fig5"));
         assert_eq!(fig5.checksum.as_deref(), Some("00deadbeef001122"));
         assert!(!st.artifact("hpl").unwrap().ok);
+        assert_eq!(st.ckpt_dir.as_deref(), Some("/tmp/out/_ckpt"));
+        assert_eq!(st.ckpt_every, 8);
         let _ = std::fs::remove_dir_all(&d);
     }
 

@@ -92,6 +92,12 @@ pub fn record_line(rec: &TraceRecord) -> String {
         TraceEvent::FlowReshare { rank, flows } => {
             format!(",\"rank\":{rank},\"flows\":{flows}")
         }
+        TraceEvent::Condemned { reason } => {
+            format!(",\"reason\":{}", esc(reason))
+        }
+        TraceEvent::CkptWindow { window } => {
+            format!(",\"window\":{window}")
+        }
     };
     format!("{head}{body}}}")
 }

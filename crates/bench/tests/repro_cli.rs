@@ -25,6 +25,8 @@ fn help_exits_zero_and_matches_the_snapshot() {
         "--golden",
         "--jobs N",
         "--shards N",
+        "--ckpt-every N",
+        "--ckpt-dir DIR",
         "--serial",
         "--retries N",
         "--max-cell-seconds S",
@@ -57,6 +59,8 @@ fn help_exits_zero_and_matches_the_snapshot() {
         "max-min fair-sharing flow-level throughput",
         "per-figure accuracy-delta table",
         "shard each simulation across N DES engine threads",
+        "last verified",
+        "docs/CKPT_FORMAT.md",
     ] {
         assert!(text.contains(phrase), "--help lost phrase '{phrase}':\n{text}");
     }
@@ -87,6 +91,23 @@ fn contradictory_flags_exit_two() {
 #[test]
 fn bad_shard_counts_exit_two() {
     for args in [&["--shards", "0"][..], &["--shards", "nope"], &["--shards"]] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        assert!(!out.stderr.is_empty(), "{args:?} must explain itself on stderr");
+    }
+}
+
+#[test]
+fn bad_checkpoint_flags_exit_two() {
+    for args in [
+        &["--ckpt-every", "0"][..],
+        &["--ckpt-every", "nope"],
+        // Window checkpoints only exist on sharded runs.
+        &["--ckpt-every", "4"],
+        &["--ckpt-every", "4", "--shards", "1"],
+        // No --ckpt-dir and no --json directory to default into.
+        &["--ckpt-every", "4", "--shards", "2"],
+    ] {
         let out = repro(args);
         assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
         assert!(!out.stderr.is_empty(), "{args:?} must explain itself on stderr");

@@ -1,0 +1,356 @@
+//! Window checkpoints for sharded runs: verified-prefix markers in memory,
+//! and an fsync'd on-disk job checkpoint for crash recovery.
+//!
+//! ## Why checkpoints are *replay-verification markers*, not state dumps
+//!
+//! A des process is a pinned `async` future: its continuation (local
+//! variables, suspension point) cannot be serialised or cloned, so a
+//! checkpoint cannot literally capture and re-materialise engine state. It
+//! does not need to: the engine is bit-deterministic, so **deterministic
+//! re-execution is the restoration mechanism**. What a checkpoint stores is
+//! the *certificate* that lets a replay prove it reproduced the checkpointed
+//! prefix exactly — per-engine clocks, dispatch counts, a structural hash of
+//! each engine's scheduler state, and an engine-layout-independent hash of
+//! the simulated world (mailboxes, link reservations, statistics) supplied
+//! by the layer that owns it. This is the snapshot-equivalence idea from
+//! FireSim-style co-validation: comparing state hashes at aligned points is
+//! a correctness instrument as much as a recovery one.
+//!
+//! Two consumers:
+//!
+//! * **Condemned-run recovery** (`des::shard` + the MPI layer): the sharded
+//!   coordinator records a [`WindowCkpt`] at every verified window barrier
+//!   into a [`CkptLog`]. When the exactness guard condemns the windowed
+//!   schedule, the serial recovery run replays window-by-window against the
+//!   recorded ends and certifies each barrier's world hash, so the rerun is
+//!   a *verified replay* of the condemned run's clean prefix instead of an
+//!   unaudited from-scratch rerun — and the condemned run itself stops at
+//!   the trip barrier instead of winding down, which is where the wall-time
+//!   saving comes from.
+//! * **Job durability** ([`JobCkpt`]): every `CkptPolicy::every` windows the
+//!   coordinator persists the latest checkpoint to disk (atomic rename,
+//!   fsync'd). A job restarted after a crash (`repro --resume`) re-derives
+//!   its bytes deterministically and uses the file to certify, mid-job, that
+//!   the replay matches the pre-crash run. Loading **fails closed**: any
+//!   truncation, corruption, version or fingerprint mismatch yields `None`
+//!   and the job simply runs without a resume certificate — never divergent
+//!   bytes.
+//!
+//! The on-disk format is documented field-by-field in `docs/CKPT_FORMAT.md`.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::time::SimTime;
+
+/// Magic first line of the on-disk checkpoint format.
+const MAGIC: &str = "sockpt v1";
+
+/// One engine shard's scheduler certificate at a window barrier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineCkpt {
+    /// The shard's virtual clock at the barrier.
+    pub clock: SimTime,
+    /// Events the shard has dispatched (including stale ones).
+    pub events: u64,
+    /// Unfinished processes on the shard.
+    pub live: u32,
+    /// Structural hash of the shard's scheduler state (per-process status +
+    /// resume counts + live event queue), order-insensitive.
+    pub hash: u64,
+}
+
+/// The certificate captured at one verified window barrier: everything a
+/// replay needs to prove it reproduced the prefix up to `end`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowCkpt {
+    /// 1-based window index (matches the sharded coordinator's count).
+    pub window: u64,
+    /// The window's exclusive end time (events with `at < end` dispatched).
+    pub end: SimTime,
+    /// Engine-layout-independent hash of the simulated world at the
+    /// barrier, supplied by the caller of `ShardedEngine::run` (the MPI
+    /// layer hashes mailboxes, rendezvous state, link reservations and
+    /// statistics keyed by rank, never by pid, so serial and sharded
+    /// layouts hash identically at the same cut).
+    pub world_hash: u64,
+    /// Per-shard scheduler certificates, in shard order.
+    pub engines: Vec<EngineCkpt>,
+}
+
+/// The in-memory checkpoint log of one sharded run: one [`WindowCkpt`] per
+/// window whose barrier the exactness guard verified clean. Windows are
+/// pushed in order, so the log's last entry is the most recent verified
+/// barrier — the rollback target when the run is condemned.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CkptLog {
+    ckpts: Vec<WindowCkpt>,
+}
+
+impl CkptLog {
+    /// An empty log.
+    pub fn new() -> CkptLog {
+        CkptLog::default()
+    }
+
+    /// Record a verified window barrier (windows must arrive in order).
+    pub fn push(&mut self, ck: WindowCkpt) {
+        debug_assert!(self.ckpts.last().is_none_or(|p| p.window < ck.window));
+        self.ckpts.push(ck);
+    }
+
+    /// Number of verified windows recorded.
+    pub fn len(&self) -> usize {
+        self.ckpts.len()
+    }
+
+    /// Whether no window was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ckpts.is_empty()
+    }
+
+    /// The most recent verified window, if any.
+    pub fn last(&self) -> Option<&WindowCkpt> {
+        self.ckpts.last()
+    }
+
+    /// The recorded windows in order.
+    pub fn iter(&self) -> impl Iterator<Item = &WindowCkpt> {
+        self.ckpts.iter()
+    }
+}
+
+/// On-disk checkpointing policy for one sharded run (see
+/// `ShardedEngine::with_ckpt`).
+#[derive(Clone, Debug, Default)]
+pub struct CkptPolicy {
+    /// Persist a [`JobCkpt`] every this many windows (`0` disables disk
+    /// checkpoints; the in-memory [`CkptLog`] is always kept).
+    pub every: u64,
+    /// Checkpoint file path. Disk checkpoints are disabled when `None`.
+    pub path: Option<PathBuf>,
+    /// Job-spec fingerprint stamped into the file, so a checkpoint can
+    /// never certify a different job's replay.
+    pub fingerprint: u64,
+    /// A previously saved checkpoint of the same job: the coordinator
+    /// verifies the replay against it when the run reaches its window.
+    pub resume: Option<JobCkpt>,
+}
+
+impl CkptPolicy {
+    /// No disk checkpoints, no resume certificate.
+    pub fn disabled() -> CkptPolicy {
+        CkptPolicy::default()
+    }
+}
+
+/// A persisted job checkpoint: the latest [`WindowCkpt`] of a run plus the
+/// job fingerprint, in the `sockpt v1` text format of `docs/CKPT_FORMAT.md`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobCkpt {
+    /// Fingerprint of the job spec that produced the checkpoint.
+    pub fingerprint: u64,
+    /// The checkpointed window.
+    pub ckpt: WindowCkpt,
+}
+
+/// FNV-1a over a byte slice — the same checksum family the run journal
+/// uses; stable across platforms and versions.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl JobCkpt {
+    /// Serialise to the on-disk text form (everything except the trailing
+    /// checksum line).
+    fn body(&self) -> String {
+        let mut s = String::new();
+        s.push_str(MAGIC);
+        s.push('\n');
+        s.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        s.push_str(&format!("window {}\n", self.ckpt.window));
+        s.push_str(&format!("end_ns {}\n", self.ckpt.end.as_nanos()));
+        s.push_str(&format!("world_hash {:016x}\n", self.ckpt.world_hash));
+        s.push_str(&format!("engines {}\n", self.ckpt.engines.len()));
+        for (i, e) in self.ckpt.engines.iter().enumerate() {
+            s.push_str(&format!(
+                "engine {i} clock_ns {} events {} live {} hash {:016x}\n",
+                e.clock.as_nanos(),
+                e.events,
+                e.live,
+                e.hash
+            ));
+        }
+        s
+    }
+
+    /// Write the checkpoint to `path` atomically: serialise to a sibling
+    /// temp file, fsync it, rename over the target, fsync the directory.
+    /// A reader therefore sees either the previous complete checkpoint or
+    /// this one, never a torn write.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let body = self.body();
+        let full = format!("{body}checksum {:016x}\n", fnv1a(body.as_bytes()));
+        let tmp = path.with_extension("ckpt.tmp");
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(full.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) = fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Load a checkpoint, **failing closed**: any read error, truncation,
+    /// bad magic/version, malformed field, or checksum mismatch returns
+    /// `None`. A missing or damaged checkpoint can therefore only cost the
+    /// resume certificate, never influence the replayed bytes.
+    pub fn load(path: &Path) -> Option<JobCkpt> {
+        let text = fs::read_to_string(path).ok()?;
+        Self::parse(&text)
+    }
+
+    fn parse(text: &str) -> Option<JobCkpt> {
+        let (body, checksum_line) = text.rsplit_once("checksum ")?;
+        // The checksum line must be complete — exactly 16 hex digits and the
+        // terminating newline — or the file is a torn write.
+        let digits = checksum_line.strip_suffix('\n')?;
+        if digits.len() != 16 {
+            return None;
+        }
+        let claimed = u64::from_str_radix(digits, 16).ok()?;
+        if fnv1a(body.as_bytes()) != claimed {
+            return None;
+        }
+        let mut lines = body.lines();
+        if lines.next()? != MAGIC {
+            return None;
+        }
+        let field = |line: &str, key: &str| -> Option<String> {
+            line.strip_prefix(key).map(|v| v.trim().to_string())
+        };
+        let fingerprint = u64::from_str_radix(&field(lines.next()?, "fingerprint ")?, 16).ok()?;
+        let window: u64 = field(lines.next()?, "window ")?.parse().ok()?;
+        let end = SimTime::from_nanos(field(lines.next()?, "end_ns ")?.parse().ok()?);
+        let world_hash = u64::from_str_radix(&field(lines.next()?, "world_hash ")?, 16).ok()?;
+        let n: usize = field(lines.next()?, "engines ")?.parse().ok()?;
+        let mut engines = Vec::with_capacity(n);
+        for i in 0..n {
+            let line = lines.next()?;
+            let rest = field(line, &format!("engine {i} clock_ns "))?;
+            let mut parts = rest.split_whitespace();
+            let clock = SimTime::from_nanos(parts.next()?.parse().ok()?);
+            if parts.next()? != "events" {
+                return None;
+            }
+            let events: u64 = parts.next()?.parse().ok()?;
+            if parts.next()? != "live" {
+                return None;
+            }
+            let live: u32 = parts.next()?.parse().ok()?;
+            if parts.next()? != "hash" {
+                return None;
+            }
+            let hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+            engines.push(EngineCkpt { clock, events, live, hash });
+        }
+        if lines.next().is_some() {
+            return None; // trailing garbage inside the checksummed body
+        }
+        Some(JobCkpt { fingerprint, ckpt: WindowCkpt { window, end, world_hash, engines } })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobCkpt {
+        JobCkpt {
+            fingerprint: 0xdead_beef_0110_2233,
+            ckpt: WindowCkpt {
+                window: 17,
+                end: SimTime::from_micros(420),
+                world_hash: 0x0123_4567_89ab_cdef,
+                engines: vec![
+                    EngineCkpt {
+                        clock: SimTime::from_micros(419),
+                        events: 12_345,
+                        live: 3,
+                        hash: 0xaaaa_bbbb_cccc_dddd,
+                    },
+                    EngineCkpt { clock: SimTime::from_micros(401), events: 999, live: 0, hash: 7 },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("des_ckpt_rt_{}", std::process::id()));
+        let path = dir.join("job.ckpt");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert_eq!(JobCkpt::load(&path), Some(ck));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_or_corrupted_files_fail_closed() {
+        let ck = sample();
+        let body = ck.body();
+        let full = format!("{body}checksum {:016x}\n", fnv1a(body.as_bytes()));
+        // Every strict prefix must be rejected (torn write).
+        for cut in 0..full.len() {
+            assert_eq!(JobCkpt::parse(&full[..cut]), None, "prefix of {cut} bytes accepted");
+        }
+        // Any single-byte corruption must be rejected (bit rot).
+        for i in 0..full.len() {
+            let mut bytes = full.clone().into_bytes();
+            bytes[i] ^= 0x01;
+            if let Ok(s) = String::from_utf8(bytes) {
+                assert_ne!(JobCkpt::parse(&s), Some(ck.clone()), "corrupt byte {i} accepted");
+            }
+        }
+        // Trailing garbage inside the checksummed region is rejected too.
+        assert_eq!(JobCkpt::parse(&format!("{body}junk\nchecksum 0\n")), None);
+        assert_eq!(JobCkpt::parse(""), None);
+        assert_eq!(JobCkpt::parse("sockpt v0\n"), None);
+    }
+
+    #[test]
+    fn load_of_missing_file_is_none() {
+        assert_eq!(JobCkpt::load(Path::new("/nonexistent/deeply/job.ckpt")), None);
+    }
+
+    #[test]
+    fn ckpt_log_orders_and_exposes_last() {
+        let mut log = CkptLog::new();
+        assert!(log.is_empty());
+        for w in 1..=4u64 {
+            log.push(WindowCkpt {
+                window: w,
+                end: SimTime::from_nanos(w * 100),
+                world_hash: w,
+                engines: Vec::new(),
+            });
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.last().unwrap().window, 4);
+        assert_eq!(log.iter().map(|c| c.window).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+}

@@ -128,6 +128,19 @@ pub enum SimError {
         /// Virtual time at which the run was abandoned.
         at: SimTime,
     },
+    /// The run was deliberately abandoned by its coordinator — today this is
+    /// the sharded scheduler stopping *at the condemnation barrier* once the
+    /// exactness guard trips, instead of winding the condemned schedule down
+    /// to completion (see `ShardedEngine`). Like [`SimError::Interrupted`],
+    /// this is not a failure of the simulated program; the caller is
+    /// expected to recover (for the MPI layer: replay from the last
+    /// verified window checkpoint on one engine).
+    Aborted {
+        /// Virtual time at which the run was abandoned.
+        at: SimTime,
+        /// Stable machine-readable reason (e.g. a condemnation reason).
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -154,6 +167,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::Interrupted { at } => {
                 write!(f, "run interrupted at {at} by the model-checking controller")
+            }
+            SimError::Aborted { at, reason } => {
+                write!(f, "run aborted at {at} by its coordinator: {reason}")
             }
         }
     }
@@ -800,7 +816,11 @@ impl Engine {
     /// Dispatch every pending event with `at < limit`, in exactly the order
     /// [`Engine::run`] would, then return. Used by the sharded runner
     /// (`des::shard`) to advance one shard through a conservative time
-    /// window.
+    /// window, and by checkpoint-verified serial recovery (DESIGN.md §4.10)
+    /// to pause a single-engine replay at each recorded window barrier so
+    /// its state hash can be compared against the checkpoint. After the last
+    /// windowed stretch the engine can hand the run to [`Engine::run`] —
+    /// scheduler state persists across calls.
     ///
     /// Returns `Ok(())` when the next live event is at or past `limit`, the
     /// queue is empty, or every process has finished. An empty queue is
@@ -808,7 +828,7 @@ impl Engine {
     /// cross-shard wakes at the window barrier — so termination and deadlock
     /// detection belong to the caller. Model checking is not supported in
     /// windowed mode (the sharded entry points never enable it).
-    pub(crate) fn run_window(&mut self, limit: SimTime) -> Result<(), SimError> {
+    pub fn run_window(&mut self, limit: SimTime) -> Result<(), SimError> {
         debug_assert!(self.shared.mc.is_none(), "windowed runs do not support model checking");
         loop {
             let resume = {
@@ -936,6 +956,30 @@ impl EngineHandle {
     /// Status-annotated names of unfinished processes (deadlock reports).
     pub(crate) fn live_process_diag(&self) -> Vec<String> {
         Engine::live_process_diag(&self.shared.state.lock())
+    }
+
+    /// Total events this shard has dispatched so far (including stale ones).
+    pub(crate) fn events_dispatched(&self) -> u64 {
+        self.shared.state.lock().events_dispatched
+    }
+
+    /// Order-insensitive structural hash of this shard's scheduler state
+    /// (per-process status + resume generation, plus the live event queue
+    /// as a multiset). Used by window checkpoints: equal hashes at aligned
+    /// barriers certify that a replay reproduced the scheduler state.
+    pub(crate) fn state_hash(&self) -> u64 {
+        mc_engine_hash(&self.shared.state.lock())
+    }
+
+    /// Emit one coordinator-level trace event (e.g. a window checkpoint or a
+    /// condemnation) into this shard's trace stream, honouring the installed
+    /// tracer's class filter. Must only be called while the shard's worker
+    /// thread is quiescent at a barrier.
+    pub(crate) fn emit_trace(&self, event: TraceEvent) {
+        if self.shared.trace_mask.accepts(&event) {
+            let mut st = self.shared.state.lock();
+            self.shared.trace_record(&mut st, event);
+        }
     }
 }
 

@@ -184,6 +184,22 @@ pub enum TraceEvent {
         /// Phase name; must match the open span.
         name: String,
     },
+    /// The sharded exactness guard condemned the windowed schedule: the run
+    /// stops at the trip barrier and is replayed from its last verified
+    /// window checkpoint on one engine (see DESIGN.md §4.10). Emitted once,
+    /// by shard 0's tracer stream.
+    Condemned {
+        /// Stable reason string — `CondemnReason::as_str()` in `netsim`:
+        /// `"link_order"`, `"cascade"`, `"wildcard_recv"` or `"forced"`.
+        reason: &'static str,
+    },
+    /// A sharded window barrier was verified clean and captured as a
+    /// rollback checkpoint. Emitted by shard 0's tracer stream at each
+    /// barrier the guard passed.
+    CkptWindow {
+        /// 1-based index of the checkpointed window.
+        window: u64,
+    },
 }
 
 /// Coarse event classes, used by [`TraceFilter`].
@@ -209,14 +225,15 @@ impl TraceEvent {
             | TraceEvent::ProcPark { .. }
             | TraceEvent::ProcWake { .. }
             | TraceEvent::ProcFinish { .. }
-            | TraceEvent::BudgetExhausted { .. } => TraceClass::Proc,
+            | TraceEvent::BudgetExhausted { .. }
+            | TraceEvent::CkptWindow { .. } => TraceClass::Proc,
             TraceEvent::MsgEnqueue { .. }
             | TraceEvent::MsgDeliver { .. }
             | TraceEvent::MsgDrop { .. }
             | TraceEvent::FlowStart { .. }
             | TraceEvent::FlowFinish { .. }
             | TraceEvent::FlowReshare { .. } => TraceClass::Msg,
-            TraceEvent::Fault { .. } => TraceClass::Fault,
+            TraceEvent::Fault { .. } | TraceEvent::Condemned { .. } => TraceClass::Fault,
             TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. } => TraceClass::Span,
         }
     }
@@ -241,6 +258,8 @@ impl TraceEvent {
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::SpanBegin { .. } => "span_begin",
             TraceEvent::SpanEnd { .. } => "span_end",
+            TraceEvent::Condemned { .. } => "condemned",
+            TraceEvent::CkptWindow { .. } => "ckpt_window",
         }
     }
 }
@@ -524,6 +543,8 @@ mod tests {
             TraceEvent::Fault { kind: "node_crash", node: 0 },
             TraceEvent::SpanBegin { rank: 0, name: "x".into() },
             TraceEvent::SpanEnd { rank: 0, name: "x".into() },
+            TraceEvent::Condemned { reason: "link_order" },
+            TraceEvent::CkptWindow { window: 1 },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

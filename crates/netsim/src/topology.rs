@@ -150,6 +150,56 @@ pub struct LossWindow {
     pub loss: f64,
 }
 
+/// Why the reservation-order guard condemned a windowed schedule (see
+/// [`Network::guard_reservations`]). Surfaced through
+/// [`Network::guard_condemn_reason`] so condemned runs are diagnosable from
+/// a trace or a run report instead of opaque.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CondemnReason {
+    /// An in-window reservation touched a link out of departure order (or in
+    /// an ambiguous departure tie with another source stream): the windowed
+    /// schedule is not provably identical to the serial one.
+    LinkOrder,
+    /// A barrier-replayed reservation (source tagged with
+    /// [`GUARD_REPLAY_SOURCE`]) conflicted with an in-window one — the
+    /// tightly-cascading cross-boundary case where a replay lands after a
+    /// reservation the serial engine would have ordered later.
+    Cascade,
+    /// A wildcard receive observed mailbox arrival order, which a windowed
+    /// run does not reproduce. Tripped explicitly by the MPI layer via
+    /// [`Network::guard_trip`].
+    WildcardRecv,
+    /// Condemnation was injected on purpose ([`Network::guard_trip`] from a
+    /// validation knob such as `JobSpec::condemn_at_window`), to exercise
+    /// the recovery path.
+    Forced,
+}
+
+impl CondemnReason {
+    /// Stable snake_case name, used as the trace `reason` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CondemnReason::LinkOrder => "link_order",
+            CondemnReason::Cascade => "cascade",
+            CondemnReason::WildcardRecv => "wildcard_recv",
+            CondemnReason::Forced => "forced",
+        }
+    }
+}
+
+impl std::fmt::Display for CondemnReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Source-tag bit marking barrier-replay reservation streams (the sharded
+/// MPI runner replays cross-shard packets at window barriers under
+/// `GUARD_REPLAY_SOURCE | shard`). The guard classifies a trip caused by a
+/// replay-tagged reservation as [`CondemnReason::Cascade`] rather than
+/// [`CondemnReason::LinkOrder`].
+pub const GUARD_REPLAY_SOURCE: u32 = 1 << 16;
+
 /// Reservation-order guard for sharded runs. The serial engine reserves
 /// links in virtual-time order of the `transmit` calls; a windowed run
 /// reserves intra-shard traffic mid-window and cross-shard traffic at
@@ -165,8 +215,9 @@ struct ResGuard {
     last: Vec<Option<(SimTime, u32)>>,
     /// Source tag stamped on subsequent reservations.
     source: u32,
-    /// Sticky: an out-of-order or ambiguously-tied reservation was seen.
-    tripped: bool,
+    /// Sticky: why the first condemning reservation condemned the schedule
+    /// (`None` while the schedule is still provably serial-identical).
+    tripped: Option<CondemnReason>,
 }
 
 /// The interconnect: topology + per-link reservation state.
@@ -216,7 +267,7 @@ impl Network {
     /// serial engine's. [`Network::guard_tripped`] reports a violation.
     pub fn guard_reservations(&mut self) {
         self.guard =
-            Some(ResGuard { last: vec![None; self.links.len()], source: 0, tripped: false });
+            Some(ResGuard { last: vec![None; self.links.len()], source: 0, tripped: None });
     }
 
     /// Stamp the source stream (e.g. the shard index, or a barrier-replay
@@ -229,17 +280,38 @@ impl Network {
 
     /// Condemn the schedule explicitly — for order dependences the link
     /// guard cannot see, such as wildcard receives observing mailbox
-    /// arrival order. No-op while the guard is unarmed.
-    pub fn guard_trip(&mut self) {
+    /// arrival order ([`CondemnReason::WildcardRecv`]) or deliberate fault
+    /// injection ([`CondemnReason::Forced`]). The first trip's reason wins;
+    /// no-op while the guard is unarmed.
+    pub fn guard_trip(&mut self, reason: CondemnReason) {
         if let Some(g) = &mut self.guard {
-            g.tripped = true;
+            g.tripped.get_or_insert(reason);
         }
     }
 
     /// Whether the guard saw any reservation the serial engine might have
     /// ordered differently (sticky until the guard is re-armed).
     pub fn guard_tripped(&self) -> bool {
-        self.guard.as_ref().is_some_and(|g| g.tripped)
+        self.guard.as_ref().is_some_and(|g| g.tripped.is_some())
+    }
+
+    /// Why the guard condemned the schedule: the first trip's
+    /// [`CondemnReason`], or `None` while clean (or unarmed).
+    pub fn guard_condemn_reason(&self) -> Option<CondemnReason> {
+        self.guard.as_ref().and_then(|g| g.tripped)
+    }
+
+    /// Order-insensitive fingerprint of the per-link reservation state
+    /// (each link's next-free time): the part of the network that shapes
+    /// every *future* transfer's timing. Window checkpoints fold this in so
+    /// a recovered run can certify that its replayed link state matches the
+    /// verified prefix (see `des::ckpt`).
+    pub fn reservation_fingerprint(&self) -> u64 {
+        let mut h = 0x7265_7356_6670u64;
+        for (i, l) in self.links.iter().enumerate() {
+            h = h.wrapping_add(des::mc::mix(i as u64 + 1, l.next_free.as_nanos()));
+        }
+        h
     }
 
     /// Gigabit-Ethernet network (125 MB/s links, 1.25 µs per traversal).
@@ -343,7 +415,14 @@ impl Network {
             if let Some(g) = &mut self.guard {
                 match g.last[li] {
                     Some((d, s)) if depart < d || (depart == d && s != g.source) => {
-                        g.tripped = true;
+                        // Replay-tagged streams mean the conflict came from a
+                        // barrier replay of cascading cross-boundary traffic.
+                        let reason = if g.source & GUARD_REPLAY_SOURCE != 0 {
+                            CondemnReason::Cascade
+                        } else {
+                            CondemnReason::LinkOrder
+                        };
+                        g.tripped.get_or_insert(reason);
                     }
                     _ => g.last[li] = Some((depart, g.source)),
                 }

@@ -59,6 +59,13 @@ pub enum JobSpecError {
     /// `shards` is `Some(0)`: a job cannot run on zero engine shards.
     /// (`Some(1)` is valid and pins the serial engine.)
     BadShards,
+    /// `checkpoint_every` is `Some(0)`: a zero window period would mean a
+    /// disk checkpoint at every barrier *and* still be ambiguous with
+    /// "disabled"; periods start at 1.
+    BadCheckpointEvery,
+    /// `condemn_at_window` is `Some(0)`: windows are 1-based, so there is
+    /// no window 0 to condemn at.
+    BadCondemnWindow,
 }
 
 impl fmt::Display for JobSpecError {
@@ -86,6 +93,12 @@ impl fmt::Display for JobSpecError {
             }
             JobSpecError::BadShards => {
                 write!(f, "shards must be positive when set")
+            }
+            JobSpecError::BadCheckpointEvery => {
+                write!(f, "checkpoint_every must be positive when set")
+            }
+            JobSpecError::BadCondemnWindow => {
+                write!(f, "condemn_at_window must be positive when set (windows are 1-based)")
             }
         }
     }

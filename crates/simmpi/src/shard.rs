@@ -30,7 +30,8 @@
 //! construction: exact windowed schedules keep the speedup, inexact ones
 //! silently pay the serial rerun.
 
-use des::{Pid, ShardWakers, SimTime};
+use des::{ExchangeOutcome, Pid, ShardWakers, SimTime};
+use netsim::GUARD_REPLAY_SOURCE;
 use parking_lot::Mutex;
 
 use crate::payload::Msg;
@@ -121,10 +122,24 @@ impl ShardCtx {
 }
 
 /// Drain every shard's outbox and replay the packets against the world in
-/// canonical `(time, source shard, per-shard sequence)` order. Returns how
-/// many packets were applied (the sharded runner uses a zero return with
-/// empty queues as its deadlock criterion).
-pub(crate) fn apply_cross_packets(world: &World, ctx: &ShardCtx, wakers: &ShardWakers) -> usize {
+/// canonical `(time, source shard, per-shard sequence)` order, reporting the
+/// [`ExchangeOutcome`] the sharded runner acts on: how many packets were
+/// applied (a zero with empty queues is its deadlock criterion), or an abort
+/// when the reservation-order guard has condemned the schedule — whether
+/// before this barrier (a wildcard receive or in-window trip) or during the
+/// replay itself (a cascade).
+///
+/// `winddown` selects the legacy condemnation behaviour kept for the
+/// `scale_bench` recovery ablation: instead of aborting, a condemned run
+/// stops feeding cross-shard wakes (packets are dropped) and the windowed
+/// schedule is simulated to its wound-down end before the serial rerun —
+/// the full-cost path checkpoint rollback replaces.
+pub(crate) fn apply_cross_packets(
+    world: &World,
+    ctx: &ShardCtx,
+    wakers: &ShardWakers,
+    winddown: bool,
+) -> ExchangeOutcome {
     let mut merged: Vec<(SimTime, u16, u32, Packet)> = Vec::new();
     for (shard, outbox) in ctx.outboxes.iter().enumerate() {
         let drained = std::mem::take(&mut *outbox.lock());
@@ -132,32 +147,36 @@ pub(crate) fn apply_cross_packets(world: &World, ctx: &ShardCtx, wakers: &ShardW
             merged.push((packet.time(), shard as u16, seq as u32, packet));
         }
     }
-    if merged.is_empty() {
-        return 0;
-    }
     merged.sort_by_key(|&(time, shard, seq, _)| (time, shard, seq));
     let applied = merged.len();
     let mut st = world.state.lock();
-    if st.net.guard_tripped() {
-        // The reservation-order guard already condemned this schedule: stop
-        // feeding wakes so the run winds down (to a deadlock or timeout the
-        // runner discards) and `run_mpi_sharded` reruns the job serially.
-        return 0;
+    if let Some(reason) = st.net.guard_condemn_reason() {
+        if winddown {
+            // Legacy: the condemned schedule winds down (no more cross-shard
+            // wakes, buffered packets dropped) until it stalls or finishes,
+            // and only then is the job rerun serially from scratch.
+            return ExchangeOutcome::Applied(0);
+        }
+        return ExchangeOutcome::Abort { reason: reason.as_str() };
     }
     for (_, shard, _, packet) in merged {
         // Barrier replay is its own reservation stream per source shard: a
         // replayed reservation that ties with an in-window one (or with a
         // replay from another shard) has no provable serial order, and the
         // guard must trip on it.
-        st.net.guard_source(GUARD_REPLAY_STREAM | shard as u32);
+        st.net.guard_source(GUARD_REPLAY_SOURCE | shard as u32);
         apply_one(world, &mut st, ctx, wakers, packet);
     }
-    applied
+    if !winddown {
+        if let Some(reason) = st.net.guard_condemn_reason() {
+            // A replayed reservation cascaded into a trip at this barrier:
+            // the window just executed is unverified, so abort before the
+            // coordinator checkpoints it.
+            return ExchangeOutcome::Abort { reason: reason.as_str() };
+        }
+    }
+    ExchangeOutcome::Applied(applied)
 }
-
-/// Source-tag bit distinguishing barrier-replay reservations from in-window
-/// ones (whose tag is the bare shard index, a `u16`).
-const GUARD_REPLAY_STREAM: u32 = 1 << 16;
 
 /// Replay one packet: the exact arithmetic of the serial path's lock
 /// section, with the wake routed through the destination rank's shard.

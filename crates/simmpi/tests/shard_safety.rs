@@ -11,18 +11,26 @@
 //! 3. Ineligible jobs (flow model, node maps) silently fall back to the
 //!    serial engine with identical results.
 //! 4. Schedules the reservation-order guard cannot prove serial-identical
-//!    (e.g. wildcard receives) are condemned and rerun serially — same
-//!    bytes, `MpiRun::shards == 1`.
+//!    (e.g. wildcard receives) are condemned and recovered on one engine —
+//!    same bytes, `MpiRun::shards == 1`, with the recovery re-certifying
+//!    the condemned attempt's verified window checkpoints
+//!    (`MpiRun::recovery`).
+//! 5. On-disk checkpoints (`JobSpec::checkpoint_every` + `with_ckpt_dir`)
+//!    let an identical later invocation certify a bit-identical resume.
 //!
 //! Every spec here pins `net_model` explicitly, so tests in this binary
 //! stay independent of each other's default flips.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use netsim::NetModel;
-use simmpi::{run_mpi, JobSpec, MpiRun, Msg, ReduceOp};
+use simmpi::{run_mpi, CondemnReason, JobSpec, MpiRun, Msg, ReduceOp};
 use soc_arch::Platform;
+
+/// Serialises the tests that read the process-wide condemnation telemetry
+/// or flip the wind-down default, so their counter deltas are their own.
+static CONDEMN_LOCK: Mutex<()> = Mutex::new(());
 
 /// A 16-rank butterfly exchange with per-round compute: each round pairs
 /// rank `r` with `r ^ 2^(round mod 4)`, so at 2 or 4 contiguous shards some
@@ -193,13 +201,12 @@ fn ineligible_jobs_fall_back_to_the_serial_engine() {
 }
 
 #[test]
-fn inexact_schedules_rerun_serially_with_identical_bytes() {
+fn inexact_schedules_recover_serially_with_identical_bytes() {
     // A wildcard receive matches on mailbox arrival order, which a windowed
     // run reorders around barriers: the reservation guard condemns the
-    // schedule and the job is silently redone on the serial engine — same
-    // bytes in every observable, `shards == 1`. The condemned attempt winds
-    // down through the runner's deadlock path (rank 0 parks forever once
-    // the barrier applier stops feeding wakes), which this test pins too.
+    // schedule at the next barrier and the job is recovered on one engine —
+    // same bytes in every observable, `shards == 1`, with the typed
+    // condemnation reason reported in `MpiRun::recovery`.
     let gather = |shards: Option<u32>| {
         let spec = JobSpec::new(Platform::tegra2(), 4)
             .with_net_model(Some(NetModel::Event))
@@ -223,9 +230,211 @@ fn inexact_schedules_rerun_serially_with_identical_bytes() {
     };
     let serial = gather(None);
     assert_eq!(serial.shards, 1);
+    assert!(serial.recovery.is_none(), "a serial run is never condemned");
     let requested = gather(Some(2));
-    assert_eq!(requested.shards, 1, "condemned schedule must rerun serially");
+    assert_eq!(requested.shards, 1, "condemned schedule must recover serially");
     assert_runs_identical(&serial, &requested, "wildcard-recv fallback");
+    let rec = requested.recovery.as_ref().expect("condemned run must report its recovery");
+    assert_eq!(rec.reason, CondemnReason::WildcardRecv, "wrong condemnation reason: {rec:?}");
+    assert_eq!(
+        rec.windows_verified, rec.windows_recorded,
+        "every checkpoint the condemned attempt verified must re-certify: {rec:?}"
+    );
+}
+
+#[test]
+fn condemned_runs_recover_from_verified_checkpoints() {
+    let _guard = CONDEMN_LOCK.lock().unwrap();
+    // Force a condemnation at window 3 of an otherwise exact sharded
+    // schedule: the attempt must abort at that barrier (not wind down),
+    // and the serial recovery must re-certify both earlier window
+    // checkpoints before producing bytes identical to the serial engine's.
+    let serial = butterfly(None);
+    let condemn = |shards| {
+        let spec = JobSpec::new(Platform::tegra2(), 16)
+            .with_net_model(Some(NetModel::Event))
+            .with_shards(shards)
+            .with_condemn_at_window(Some(3));
+        run_mpi(spec, |mut r| async move {
+            let me = r.rank();
+            let mut acc = me as u64;
+            for round in 0..8u32 {
+                let partner = me ^ (1 << (round % 4));
+                r.compute_secs(2e-5).await;
+                let payload = Msg::from_u64s(&[acc, round as u64]);
+                if me < partner {
+                    r.send(partner, round, payload).await;
+                    acc += r.recv(partner, round).await.to_u64s()[0];
+                } else {
+                    acc += r.recv(partner, round).await.to_u64s()[0];
+                    r.send(partner, round, payload).await;
+                }
+            }
+            let sum = r.allreduce(ReduceOp::Sum, vec![acc as f64]).await;
+            acc + sum[0] as u64
+        })
+        .expect("condemned butterfly failed")
+    };
+    let before = simmpi::condemn_telemetry();
+    let recovered = condemn(Some(2));
+    let delta = simmpi::condemn_telemetry().since(&before);
+    assert_eq!(recovered.shards, 1, "condemned schedule must recover serially");
+    assert_runs_identical(&serial, &recovered, "forced condemnation at 2 shards");
+    let rec = recovered.recovery.as_ref().expect("condemned run must report its recovery");
+    assert_eq!(rec.reason, CondemnReason::Forced);
+    assert_eq!(rec.condemned_window, 3, "trip was forced at window 3: {rec:?}");
+    assert_eq!(rec.windows_recorded, 2, "windows 1 and 2 were verified-clean: {rec:?}");
+    assert_eq!(rec.windows_verified, 2, "recovery must re-certify both checkpoints: {rec:?}");
+    assert!(rec.condemned_events > 0 && rec.condemned_events < serial.events);
+    assert_eq!(delta.condemned_runs, 1);
+    assert_eq!(delta.windows_recorded, 2);
+    assert_eq!(delta.windows_verified, 2);
+
+    // A serial run ignores the condemnation knob entirely.
+    let serial_with_knob = condemn(None);
+    assert!(serial_with_knob.recovery.is_none());
+    assert_runs_identical(&serial, &serial_with_knob, "condemn knob on the serial engine");
+}
+
+#[test]
+fn legacy_winddown_recovers_with_a_full_rerun() {
+    let _guard = CONDEMN_LOCK.lock().unwrap();
+    // The ablation path scale_bench measures against: a condemned schedule
+    // winds down instead of aborting, records no usable checkpoints, and
+    // the job reruns serially from scratch — bytes still identical.
+    let serial = butterfly(None);
+    simmpi::set_default_condemn_winddown(true);
+    let spec = JobSpec::new(Platform::tegra2(), 16)
+        .with_net_model(Some(NetModel::Event))
+        .with_shards(Some(2))
+        .with_condemn_at_window(Some(3));
+    let legacy = run_mpi(spec, |mut r| async move {
+        let me = r.rank();
+        let mut acc = me as u64;
+        for round in 0..8u32 {
+            let partner = me ^ (1 << (round % 4));
+            r.compute_secs(2e-5).await;
+            let payload = Msg::from_u64s(&[acc, round as u64]);
+            if me < partner {
+                r.send(partner, round, payload).await;
+                acc += r.recv(partner, round).await.to_u64s()[0];
+            } else {
+                acc += r.recv(partner, round).await.to_u64s()[0];
+                r.send(partner, round, payload).await;
+            }
+        }
+        let sum = r.allreduce(ReduceOp::Sum, vec![acc as f64]).await;
+        acc + sum[0] as u64
+    });
+    simmpi::set_default_condemn_winddown(false);
+    let legacy = legacy.expect("legacy wind-down run failed");
+    assert_eq!(legacy.shards, 1);
+    assert_runs_identical(&serial, &legacy, "legacy wind-down recovery");
+    let rec = legacy.recovery.as_ref().expect("legacy path must still report the condemnation");
+    assert_eq!(rec.reason, CondemnReason::Forced);
+    assert_eq!(rec.windows_recorded, 0, "legacy recovery certifies nothing: {rec:?}");
+    assert_eq!(rec.windows_verified, 0);
+}
+
+#[test]
+fn on_disk_checkpoints_certify_a_bit_identical_resume() {
+    let _guard = CONDEMN_LOCK.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("simmpi_ckpt_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    let job = || {
+        let spec = JobSpec::new(Platform::tegra2(), 16)
+            .with_net_model(Some(NetModel::Event))
+            .with_shards(Some(2))
+            .checkpoint_every(Some(2))
+            .with_ckpt_dir(Some(dir.clone()));
+        run_mpi(spec, |mut r| async move {
+            let me = r.rank();
+            let mut acc = me as u64;
+            for round in 0..8u32 {
+                let partner = me ^ (1 << (round % 4));
+                r.compute_secs(2e-5).await;
+                let payload = Msg::from_u64s(&[acc, round as u64]);
+                if me < partner {
+                    r.send(partner, round, payload).await;
+                    acc += r.recv(partner, round).await.to_u64s()[0];
+                } else {
+                    acc += r.recv(partner, round).await.to_u64s()[0];
+                    r.send(partner, round, payload).await;
+                }
+            }
+            acc
+        })
+        .expect("checkpointed job failed")
+    };
+
+    let before = simmpi::condemn_telemetry();
+    let first = job();
+    let mid = simmpi::condemn_telemetry();
+    assert_eq!(first.shards, 2, "checkpointed job must actually run sharded");
+    assert!(
+        mid.since(&before).ckpts_written >= 1,
+        "the first run must persist at least one fsync'd checkpoint"
+    );
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read checkpoint dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    assert_eq!(files.len(), 1, "one job, one fingerprint-named checkpoint file");
+
+    // An identical invocation loads the checkpoint and certifies that its
+    // replay reproduced the recorded per-engine state bit-for-bit.
+    let second = job();
+    let delta = simmpi::condemn_telemetry().since(&mid);
+    assert_eq!(delta.resumed_verified, 1, "resume must certify against the on-disk checkpoint");
+    assert_runs_identical(&first, &second, "resumed run");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_replay_failures_name_the_verified_checkpoint_count() {
+    let _guard = CONDEMN_LOCK.lock().unwrap();
+    // A job that deadlocks *after* its cross-shard phase: the forced trip at
+    // window 2 condemns the sharded attempt first, so the deadlock surfaces
+    // inside the serial recovery replay — and its parked-process diagnostics
+    // must carry the replay context (checkpoints re-certified so far).
+    let spec = JobSpec::new(Platform::tegra2(), 8)
+        .with_net_model(Some(NetModel::Event))
+        .with_shards(Some(2))
+        .with_condemn_at_window(Some(2));
+    let err = run_mpi(spec, |mut r| async move {
+        let me = r.rank();
+        let half = r.size() / 2;
+        for round in 0..3u32 {
+            let partner = (me + half) % r.size();
+            r.compute_secs(1e-6).await;
+            let payload = Msg::from_u64s(&[me as u64, round as u64]);
+            if me < half {
+                r.send(partner, round, payload).await;
+                r.recv(partner, round).await;
+            } else {
+                r.recv(partner, round).await;
+                r.send(partner, round, payload).await;
+            }
+        }
+        if me == 0 {
+            // Tag 99 is never sent: rank 0 parks forever.
+            r.recv(1, 99).await;
+        }
+        me as u64
+    })
+    .expect_err("a recv nobody matches must deadlock");
+    match err {
+        simmpi::MpiFault::Engine(des::SimError::Deadlock { ref parked, .. }) => {
+            assert!(
+                parked.iter().any(|n| n.contains("[recovery replay, verified ckpt ")),
+                "deadlock inside the recovery replay must be annotated with \
+                 the re-certified checkpoint count: {parked:?}"
+            );
+        }
+        other => panic!("expected an annotated recovery deadlock, got {other:?}"),
+    }
 }
 
 #[test]
