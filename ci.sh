@@ -25,11 +25,11 @@ step "rustdoc (no deps, warnings are errors)"
 # Explicit package list: the vendored crates are workspace members but their
 # docs are not ours to gate.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
-  -p socready -p des -p simmpi -p hpc-apps -p bench \
+  -p socready -p des -p simmpi -p hpc-apps -p bench -p sched \
   -p kernels -p netsim -p cluster -p soc-arch -p soc-power -p trends
 
 step "doc-tests (runnable API examples)"
-cargo test --doc --quiet -p des -p simmpi -p bench
+cargo test --doc --quiet -p des -p simmpi -p bench -p sched
 
 step "tests (debug, whole workspace)"
 cargo test --workspace --quiet
@@ -55,6 +55,35 @@ if [[ $quick -eq 0 ]]; then
   }
   echo "smoke OK: $(wc -c <"$out/resilience.json") bytes of resilience.json"
   rm -rf "$out"
+
+  step "datacenter-smoke: 1e5-job replay, serial vs parallel byte-identity"
+  # The multi-tenant scheduler replays the --quick job stream (1e5 jobs per
+  # policy cell, faults active) twice — once on the serial executor and once
+  # with worker threads — and the datacenter.json artefacts must match
+  # byte-for-byte: the stream, the fault plan, and every policy decision are
+  # functions of the seeds alone, never of scheduling on the host.
+  dc_s=$(mktemp -d) && dc_p=$(mktemp -d)
+  cargo run --release -p bench --bin repro -- \
+    --quick --headline datacenter --serial --json "$dc_s" \
+    >"$dc_s/stdout.txt" 2>"$dc_s/stderr.txt"
+  cargo run --release -p bench --bin repro -- \
+    --quick --headline datacenter --jobs "$(nproc)" --json "$dc_p" \
+    >"$dc_p/stdout.txt" 2>"$dc_p/stderr.txt"
+  test -s "$dc_s/datacenter.json" || {
+    echo "error: datacenter smoke run produced no JSON" >&2
+    cat "$dc_s/stderr.txt" >&2 || true
+    exit 1
+  }
+  grep -q '"crashes"' "$dc_s/datacenter.json" || {
+    echo "error: datacenter.json reports no fault accounting" >&2
+    exit 1
+  }
+  diff "$dc_s/datacenter.json" "$dc_p/datacenter.json" || {
+    echo "error: datacenter.json diverged between --serial and --jobs $(nproc)" >&2
+    exit 1
+  }
+  echo "datacenter smoke OK: $(wc -c <"$dc_s/datacenter.json") bytes, serial == parallel"
+  rm -rf "$dc_s" "$dc_p"
 
   step "scale smoke: event-driven process model under time/RSS budget"
   # The 1024-process thread-vs-event ring plus the 4096-rank ping-ring must

@@ -10,6 +10,7 @@
 //! repro --headline latency-penalty
 //! repro --headline extensions   # beyond-the-paper analyses (ECC, EEE, ...)
 //! repro --headline resilience   # fault injection + checkpoint/restart sweep
+//! repro --headline datacenter   # multi-tenant job-stream replay (sched)
 //! repro --net-model flow # fair-sharing flow-level network model everywhere
 //! repro --ablate-net     # interconnect figures under both network models
 //! repro --json DIR       # additionally dump machine-readable JSON
@@ -118,6 +119,7 @@ const KNOWN_ITEMS: &[&str] = &[
     "extensions",
     "resilience",
     "ablate-net",
+    "datacenter",
 ];
 
 /// Exit code for a run that finished but quarantined or lost artefacts.
@@ -137,7 +139,10 @@ items (default: everything, at --quick scale when no scale is given):
   --all                  everything (full scale unless --quick/--golden)
   --figure N             one figure: 1, 2a, 2b, 3, 4, 5, 6, 7
   --table N              one table: 1, 2, 3, 4
-  --headline NAME        hpl | latency-penalty | extensions | resilience
+  --headline NAME        hpl | latency-penalty | extensions | resilience |
+                         datacenter (multi-tenant job-stream replay: FCFS /
+                         EASY backfill / preemptive fair-share against the
+                         Tibidabo-class machine with faults active)
   --ablate-net           network-model ablation: the interconnect figures
                          (6, 7, HPL) under both the event and flow models,
                          condensed into a per-figure accuracy-delta table

@@ -7,8 +7,10 @@
 //! `ci.sh` gates the flow model's wall speedup at >= 5x), the
 //! condemnation-recovery ablation (`condemn_recovery` — `ci.sh` gates that
 //! checkpoint rollback beats the legacy wind-down + full rerun on wall
-//! clock, bytes identical to serial throughout), and the model checker's
-//! exploration rate in distinct states/sec on the `retry-lossy` scenario).
+//! clock, bytes identical to serial throughout), the model checker's
+//! exploration rate in distinct states/sec on the `retry-lossy` scenario,
+//! and the datacenter scheduler's replay rate in jobs/sec at 10⁵ and 10⁶
+//! jobs (`sched_throughput`, best of 3 — informational)).
 //!
 //! ```text
 //! cargo run --release -p bench --bin scale_bench -- [out.json]
@@ -173,6 +175,64 @@ struct CondemnRecovery {
     identical: bool,
 }
 
+/// One stream length's measurement on the datacenter-replay workload.
+#[derive(Serialize)]
+struct SchedRun {
+    /// Jobs in the replayed stream.
+    jobs: u64,
+    /// Wall seconds (best of 3).
+    wall_secs: f64,
+    /// Jobs departed per wall second.
+    jobs_per_sec: f64,
+    /// End-of-run utilisation of the replay (sanity: the stream really
+    /// loaded the machine).
+    utilisation: f64,
+}
+
+/// Scheduler replay throughput: the `sched` crate's EASY-backfill replay of
+/// the three-tenant synthetic mix on Tibidabo at 90% offered load, at 10⁵
+/// and 10⁶ jobs, best-of-3 wall each. Informational — the `datacenter`
+/// artefact gates correctness; this records how far the 10⁵–10⁷-job design
+/// target is from the wall clock.
+#[derive(Serialize)]
+struct SchedThroughput {
+    /// The runs, in stream-length order.
+    runs: Vec<SchedRun>,
+}
+
+/// Replay `jobs` synthetic jobs under EASY backfill, best-of-`rounds` wall.
+fn sched_replay(jobs: u64, rounds: u32) -> SchedRun {
+    use sched::{DcConfig, DcSim, EasyBackfill, RuntimeModel, SyntheticSpec, Tenant};
+    let machine = cluster::Machine::tibidabo();
+    let model = RuntimeModel::for_machine(&machine);
+    let mut spec = SyntheticSpec::standard_mix(jobs, 42, 1.0, 64);
+    spec.arrival_rate_hz = spec.rate_for_load(&model, machine.nodes(), 0.9);
+    let tenants: Vec<Tenant> =
+        spec.tenants.iter().map(|t| Tenant { name: t.name.to_string(), share: t.share }).collect();
+    let stream = spec.generate();
+    let mut wall = f64::INFINITY;
+    let mut util = 0.0;
+    for _ in 0..rounds {
+        let mut sim = DcSim::new(
+            machine.clone(),
+            model.clone(),
+            Box::new(EasyBackfill),
+            tenants.clone(),
+            DcConfig::default(),
+        );
+        let t0 = Instant::now();
+        let out = sim.run(&stream, &des::FaultPlan::none());
+        wall = wall.min(t0.elapsed().as_secs_f64());
+        util = out.report.utilisation;
+        assert_eq!(
+            out.report.completed + out.report.wall_killed,
+            jobs,
+            "replay must drain the stream"
+        );
+    }
+    SchedRun { jobs, wall_secs: wall, jobs_per_sec: jobs as f64 / wall, utilisation: util }
+}
+
 /// Throughput of the bounded model checker on the `retry-lossy` scenario:
 /// how fast `repro --mc` burns through its state space. Informational — the
 /// run is truncated by its budgets, so only the rate is meaningful.
@@ -219,6 +279,8 @@ struct ScaleBench {
     condemn_recovery: CondemnRecovery,
     /// Model-checker exploration rate on the lossy-ring scenario.
     mc_throughput: McThroughput,
+    /// Datacenter-scheduler replay rate at 10⁵ and 10⁶ jobs.
+    sched_throughput: SchedThroughput,
 }
 
 /// Token ring on event-driven processes: `procs` coroutines, `laps` full
@@ -303,8 +365,10 @@ fn ring_thread(procs: u32, laps: u32) -> RingResult {
 /// the three configurations, best-of-`rounds` wall each, so one noisy run
 /// cannot skew the ratios either way. The gated NullTracer residual is
 /// ~1% of a ~0.1 s ring — a couple of milliseconds — so single-core CI
-/// boxes with decaying background load need enough rounds that at least
-/// one lands on a quiet slice; 9 rounds keeps the stage under ~3 s.
+/// boxes with sustained background load need enough rounds that at least
+/// one of each configuration lands on a quiet slice; 21 rounds keeps the
+/// stage under ~8 s and was picked after best-of-9 measured 2–8 % on a
+/// busy 1-CPU host where a quiet run measures ~1 %.
 fn trace_overhead(procs: u32, laps: u32, rounds: u32) -> TraceOverhead {
     // Roomy enough that the recording run never drops (a full ring would
     // make later emissions artificially cheap): each hop costs a resume,
@@ -622,8 +686,8 @@ fn main() {
     let (peak_wall_secs, peak_messages) = peak_ring(peak_ranks);
     eprintln!("  {peak_messages} messages in {peak_wall_secs:.2}s wall");
 
-    eprintln!("ring: trace-layer overhead (best of 9, alternating) ...");
-    let overhead = trace_overhead(procs, 512, 9);
+    eprintln!("ring: trace-layer overhead (best of 21, alternating) ...");
+    let overhead = trace_overhead(procs, 512, 21);
     eprintln!(
         "  untraced {:.3}s, NullTracer {:.3}s -> {:.2}% overhead",
         overhead.untraced_wall_secs, overhead.nulltracer_wall_secs, overhead.trace_overhead_pct
@@ -676,6 +740,21 @@ fn main() {
         mc.runs, mc.distinct_states, mc.wall_secs, mc.states_per_sec, mc.dedup_hit_pct
     );
 
+    eprintln!("sched: EASY-backfill replay at 1e5 and 1e6 jobs (best of 3) ...");
+    let mut sched_runs = Vec::new();
+    for jobs in [100_000u64, 1_000_000] {
+        let run = sched_replay(jobs, 3);
+        eprintln!(
+            "  {} jobs in {:.2}s ({:.0} jobs/s, util {:.1}%)",
+            run.jobs,
+            run.wall_secs,
+            run.jobs_per_sec,
+            100.0 * run.utilisation
+        );
+        sched_runs.push(run);
+    }
+    let sched_throughput = SchedThroughput { runs: sched_runs };
+
     let bench = ScaleBench {
         ring_1024: vec![thread, event],
         speedup,
@@ -687,6 +766,7 @@ fn main() {
         shard_scaling: sharding,
         condemn_recovery: condemned,
         mc_throughput: mc,
+        sched_throughput,
     };
     std::fs::write(&out, serde_json::to_string_pretty(&bench).unwrap()).expect("write artefact");
     eprintln!("wrote {out}");

@@ -19,6 +19,7 @@
 //! | §4.1 latency penalty | [`latency_penalty_render`] |
 //! | §6.3 resilience | [`resilience_study`] |
 //! | network-model ablation | [`ablate_merge`] (`repro --ablate-net`) |
+//! | datacenter replay | [`datacenter_cell`] (`repro --headline datacenter`) |
 
 #![warn(missing_docs)]
 
@@ -43,6 +44,7 @@
 
 pub mod ablate;
 pub mod artifact;
+pub mod datacenter;
 mod extensions;
 mod fig12;
 mod fig345;
@@ -58,6 +60,10 @@ pub mod trace;
 
 pub use ablate::{ablate_merge, ablate_side, AblateFigure, AblateNet, AblateRow, AblateSide};
 pub use artifact::{write_json_atomic, ArtifactIoError, WriteOutcome};
+pub use datacenter::{
+    datacenter_cell, datacenter_study_from, datacenter_validation, DcCase, DcStudy, DcValidation,
+    DATACENTER_CASES,
+};
 pub use extensions::{ecc_risk_render, eee_render, imb_render, roofline_render};
 pub use fig12::{fig1, fig2a, fig2b, Fig1, Fig2};
 pub use fig345::{

@@ -23,6 +23,9 @@ use soc_arch::{cache_counters, Platform};
 
 use crate::ablate::{ablate_merge, ablate_side, AblateSide, ABLATE_FIGURES};
 use crate::artifact::fnv1a64;
+use crate::datacenter::{
+    datacenter_cell, datacenter_study_from, datacenter_validation, DcValidation, DATACENTER_CASES,
+};
 use crate::fig345::{fig34_base_energy, fig34_series_for, fig5_rows_for, SweepSeries};
 use crate::fig67::{fig7_cases, fig7_panel, try_hpl_headline, Fig6, Fig7, Fig7Panel, HplHeadline};
 use crate::resilience::{
@@ -44,6 +47,10 @@ pub struct RunScales {
     pub hpl_nodes: u32,
     /// Cluster sizes for the resilience sweep.
     pub resilience_sizes: Vec<u32>,
+    /// Jobs per replayed stream in the `datacenter` artefact.
+    pub datacenter_jobs: u64,
+    /// Width of the datacenter model-validation simulation.
+    pub datacenter_validation_nodes: u32,
 }
 
 impl RunScales {
@@ -53,19 +60,33 @@ impl RunScales {
             fig6_nodes: hpc_apps::FIG6_NODES.to_vec(),
             hpl_nodes: 96,
             resilience_sizes: vec![8, 16, 32],
+            datacenter_jobs: 1_000_000,
+            datacenter_validation_nodes: 16,
         }
     }
 
     /// The `--quick` scales.
     pub fn quick() -> Self {
-        RunScales { fig6_nodes: vec![4, 8, 16, 32], hpl_nodes: 16, resilience_sizes: vec![4, 8] }
+        RunScales {
+            fig6_nodes: vec![4, 8, 16, 32],
+            hpl_nodes: 16,
+            resilience_sizes: vec![4, 8],
+            datacenter_jobs: 100_000,
+            datacenter_validation_nodes: 8,
+        }
     }
 
     /// The `--golden` scales: small enough that a full-artefact run finishes
     /// in seconds even in debug builds, so the golden-figure regression tests
     /// and the CI determinism gate can regenerate everything from scratch.
     pub fn golden() -> Self {
-        RunScales { fig6_nodes: vec![4, 8], hpl_nodes: 4, resilience_sizes: vec![2] }
+        RunScales {
+            fig6_nodes: vec![4, 8],
+            hpl_nodes: 4,
+            resilience_sizes: vec![2],
+            datacenter_jobs: 10_000,
+            datacenter_validation_nodes: 4,
+        }
     }
 }
 
@@ -85,6 +106,8 @@ enum CellOutput {
     ResCell(Box<ResilienceCell>),
     Contrast(Box<ResilienceContrast>),
     Ablate(Box<AblateSide>),
+    Dc(Box<sched::DcReport>),
+    DcVal(Box<DcValidation>),
     Failed(String),
 }
 
@@ -117,6 +140,8 @@ fn digest_cell(o: &CellOutput) -> u64 {
         CellOutput::ResCell(c) => json(c.as_ref()),
         CellOutput::Contrast(c) => json(c.as_ref()),
         CellOutput::Ablate(s) => json(s.as_ref()),
+        CellOutput::Dc(r) => json(r.as_ref()),
+        CellOutput::DcVal(v) => json(v.as_ref()),
         CellOutput::Failed(m) => fnv1a64(m.as_bytes()),
     }
 }
@@ -413,6 +438,47 @@ fn ablate_net_artefact(scales: &RunScales) -> ArtefactSpec {
     }
 }
 
+fn datacenter_artefact(jobs: u64, validation_nodes: u32) -> ArtefactSpec {
+    let mut cells: Vec<Cell<CellOutput>> = DATACENTER_CASES
+        .iter()
+        .map(|case| {
+            Cell::new(format!("datacenter/{}", case.label), move || {
+                CellOutput::Dc(Box::new(datacenter_cell(case, jobs)))
+            })
+        })
+        .collect();
+    cells.push(Cell::new(format!("datacenter/validation/n={validation_nodes}"), move || {
+        match datacenter_validation(validation_nodes) {
+            Ok(v) => CellOutput::DcVal(Box::new(v)),
+            Err(e) => CellOutput::Failed(e.to_string()),
+        }
+    }));
+    ArtefactSpec {
+        key: "datacenter",
+        json_stem: Some("datacenter"),
+        cells,
+        merge: Box::new(move |mut outs| {
+            let validation = match outs.pop() {
+                Some(CellOutput::DcVal(v)) => *v,
+                _ => unreachable!("datacenter grid lost its validation cell"),
+            };
+            let reports = outs
+                .into_iter()
+                .map(|o| match o {
+                    CellOutput::Dc(r) => *r,
+                    _ => unreachable!("datacenter produced a non-replay cell"),
+                })
+                .collect();
+            let study = datacenter_study_from(jobs, reports, validation);
+            ArtefactOut {
+                key: "datacenter",
+                blocks: vec![study.render()],
+                json: Some(("datacenter", json_of(&study))),
+            }
+        }),
+    }
+}
+
 impl RunPlan {
     /// Enumerate the cells for the requested `items` (the `repro` item keys,
     /// where `all` selects everything) at the given scales, in canonical
@@ -521,6 +587,12 @@ impl RunPlan {
         }
         if want("ablate-net") {
             artefacts.push(ablate_net_artefact(scales));
+        }
+        if want("datacenter") {
+            artefacts.push(datacenter_artefact(
+                scales.datacenter_jobs,
+                scales.datacenter_validation_nodes,
+            ));
         }
         RunPlan { artefacts }
     }
@@ -744,6 +816,7 @@ mod tests {
                 "extensions",
                 "resilience",
                 "ablate-net",
+                "datacenter",
             ]
         );
         // Scenario grid: the plan decomposes well past the artefact count.

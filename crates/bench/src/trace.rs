@@ -98,6 +98,15 @@ pub fn record_line(rec: &TraceRecord) -> String {
         TraceEvent::CkptWindow { window } => {
             format!(",\"window\":{window}")
         }
+        TraceEvent::JobSubmit { job, tenant, nodes } => {
+            format!(",\"job\":{job},\"tenant\":{tenant},\"nodes\":{nodes}")
+        }
+        TraceEvent::JobStart { job, nodes, wait } => {
+            format!(",\"job\":{job},\"nodes\":{nodes},\"wait_ns\":{}", wait.as_nanos())
+        }
+        TraceEvent::JobFinish { job, outcome } => {
+            format!(",\"job\":{job},\"outcome\":{}", esc(outcome))
+        }
     };
     format!("{head}{body}}}")
 }
@@ -348,6 +357,9 @@ mod tests {
             TraceEvent::Fault { kind: "node_crash", node: 6 },
             TraceEvent::SpanBegin { rank: 0, name: "x".into() },
             TraceEvent::SpanEnd { rank: 0, name: "x".into() },
+            TraceEvent::JobSubmit { job: 9, tenant: 1, nodes: 4 },
+            TraceEvent::JobStart { job: 9, nodes: 4, wait: SimTime::from_nanos(3) },
+            TraceEvent::JobFinish { job: 9, outcome: "completed" },
         ];
         for (i, event) in events.into_iter().enumerate() {
             let rec = TraceRecord { at: SimTime::from_nanos(i as u64), seq: i as u64, event };

@@ -61,6 +61,7 @@ fn help_exits_zero_and_matches_the_snapshot() {
         "shard each simulation across N DES engine threads",
         "last verified",
         "docs/CKPT_FORMAT.md",
+        "datacenter (multi-tenant job-stream replay",
     ] {
         assert!(text.contains(phrase), "--help lost phrase '{phrase}':\n{text}");
     }

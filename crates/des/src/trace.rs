@@ -200,6 +200,35 @@ pub enum TraceEvent {
         /// 1-based index of the checkpointed window.
         window: u64,
     },
+    /// The datacenter scheduler accepted a job into its queue (emitted by
+    /// the `sched` crate's replay loop, not by the engine).
+    JobSubmit {
+        /// Stream-unique job id.
+        job: u64,
+        /// Owning tenant index.
+        tenant: u32,
+        /// Nodes requested.
+        nodes: u32,
+    },
+    /// A queued job was placed and began execution on the cluster.
+    JobStart {
+        /// Stream-unique job id.
+        job: u64,
+        /// Nodes allocated.
+        nodes: u32,
+        /// Time the job spent queued before starting.
+        wait: SimTime,
+    },
+    /// A job left the cluster (completed, wall-limit killed, crashed out,
+    /// or declared unplaceable).
+    JobFinish {
+        /// Stream-unique job id.
+        job: u64,
+        /// Outcome string: `"completed"`, `"wall_killed"`, `"fault_failed"`
+        /// or `"unplaceable"`. A crash that leads to a resubmission emits no
+        /// `job_finish`; only the job's final departure does.
+        outcome: &'static str,
+    },
 }
 
 /// Coarse event classes, used by [`TraceFilter`].
@@ -226,7 +255,10 @@ impl TraceEvent {
             | TraceEvent::ProcWake { .. }
             | TraceEvent::ProcFinish { .. }
             | TraceEvent::BudgetExhausted { .. }
-            | TraceEvent::CkptWindow { .. } => TraceClass::Proc,
+            | TraceEvent::CkptWindow { .. }
+            | TraceEvent::JobSubmit { .. }
+            | TraceEvent::JobStart { .. }
+            | TraceEvent::JobFinish { .. } => TraceClass::Proc,
             TraceEvent::MsgEnqueue { .. }
             | TraceEvent::MsgDeliver { .. }
             | TraceEvent::MsgDrop { .. }
@@ -260,6 +292,9 @@ impl TraceEvent {
             TraceEvent::SpanEnd { .. } => "span_end",
             TraceEvent::Condemned { .. } => "condemned",
             TraceEvent::CkptWindow { .. } => "ckpt_window",
+            TraceEvent::JobSubmit { .. } => "job_submit",
+            TraceEvent::JobStart { .. } => "job_start",
+            TraceEvent::JobFinish { .. } => "job_finish",
         }
     }
 }
@@ -545,6 +580,9 @@ mod tests {
             TraceEvent::SpanEnd { rank: 0, name: "x".into() },
             TraceEvent::Condemned { reason: "link_order" },
             TraceEvent::CkptWindow { window: 1 },
+            TraceEvent::JobSubmit { job: 0, tenant: 0, nodes: 4 },
+            TraceEvent::JobStart { job: 0, nodes: 4, wait: SimTime::ZERO },
+            TraceEvent::JobFinish { job: 0, outcome: "completed" },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

@@ -1,0 +1,31 @@
+//! Release-mode throughput smoke: not run by default (`--ignored`), used by
+//! hand and mirrored by `scale_bench`'s `sched_throughput` block. Replays a
+//! 10⁵-job stream at 90% offered load and insists on a sane replay rate.
+
+use cluster::Machine;
+use des::FaultPlan;
+use sched::{DcConfig, DcSim, EasyBackfill, RuntimeModel, SyntheticSpec, Tenant};
+
+#[test]
+#[ignore = "perf smoke; run release with --ignored"]
+fn hundred_k_jobs_replay_quickly() {
+    let machine = Machine::tibidabo();
+    let model = RuntimeModel::for_machine(&machine);
+    let mut spec = SyntheticSpec::standard_mix(100_000, 42, 1.0, 64);
+    spec.arrival_rate_hz = spec.rate_for_load(&model, machine.nodes(), 0.9);
+    let tenants: Vec<Tenant> =
+        spec.tenants.iter().map(|t| Tenant { name: t.name.to_string(), share: t.share }).collect();
+    let stream = spec.generate();
+    let t0 = std::time::Instant::now();
+    let out = DcSim::new(machine, model, Box::new(EasyBackfill), tenants, DcConfig::default())
+        .run(&stream, &FaultPlan::none());
+    let wall = t0.elapsed().as_secs_f64();
+    let rate = 100_000.0 / wall;
+    eprintln!(
+        "100k jobs in {wall:.2}s ({rate:.0} jobs/s), util {:.1}%, mean wait {:.1}s",
+        100.0 * out.report.utilisation,
+        out.report.wait_s.mean
+    );
+    assert_eq!(out.report.completed + out.report.wall_killed, 100_000);
+    assert!(rate > 10_000.0, "replay too slow: {rate:.0} jobs/s");
+}

@@ -1,0 +1,214 @@
+//! End-to-end replay tests: determinism, fault behaviour, wall-limit kills,
+//! and policy sanity on full streams.
+
+use cluster::Machine;
+use des::{FaultEvent, FaultKind, FaultPlan, SimTime};
+use sched::{
+    DcConfig, DcOutcome, DcSim, EasyBackfill, FairShare, Fcfs, Job, JobKind, Policy, QosClass,
+    RuntimeMode, RuntimeModel, SyntheticSpec, Tenant,
+};
+
+fn tenants_of(spec: &SyntheticSpec) -> Vec<Tenant> {
+    spec.tenants.iter().map(|t| Tenant { name: t.name.to_string(), share: t.share }).collect()
+}
+
+fn replay(policy: Box<dyn Policy>, spec: &SyntheticSpec, faults: &FaultPlan) -> DcOutcome {
+    let machine = Machine::tibidabo();
+    let model = RuntimeModel::for_machine(&machine);
+    let cfg = DcConfig { audit: true, ..DcConfig::default() };
+    DcSim::new(machine, model, policy, tenants_of(spec), cfg).run(&spec.generate(), faults)
+}
+
+#[test]
+fn replays_are_deterministic() {
+    let spec = SyntheticSpec::standard_mix(3_000, 11, 2.0, 64);
+    let a = replay(Box::new(EasyBackfill), &spec, &FaultPlan::none());
+    let b = replay(Box::new(EasyBackfill), &spec, &FaultPlan::none());
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.report.completed, 3_000);
+    assert_eq!(a.report.jobs, 3_000);
+    assert!(a.report.utilisation > 0.0 && a.report.utilisation <= 1.0);
+    assert!(a.report.makespan_s > 0.0);
+    assert_eq!(a.audit.head_bound_violations, 0, "EASY must never delay the head");
+    assert!(a.audit.max_busy_nodes <= 192);
+}
+
+#[test]
+fn every_policy_drains_a_fault_free_stream() {
+    let spec = SyntheticSpec::standard_mix(1_500, 5, 1.5, 64);
+    for policy in [
+        Box::new(Fcfs) as Box<dyn Policy>,
+        Box::new(EasyBackfill),
+        Box::new(FairShare::new()),
+        Box::new(FairShare::preempting()),
+    ] {
+        let name = policy.name();
+        let out = replay(policy, &spec, &FaultPlan::none());
+        assert_eq!(
+            out.report.completed + out.report.wall_killed,
+            1_500,
+            "{name}: every job must depart"
+        );
+        assert_eq!(out.report.fault_failed, 0, "{name}");
+        assert_eq!(out.report.unplaceable, 0, "{name}");
+    }
+}
+
+#[test]
+fn backfilling_beats_fcfs_on_mean_wait() {
+    // Heavier load so the queue actually forms.
+    let spec = SyntheticSpec::standard_mix(4_000, 23, 3.0, 128);
+    let fcfs = replay(Box::new(Fcfs), &spec, &FaultPlan::none());
+    let easy = replay(Box::new(EasyBackfill), &spec, &FaultPlan::none());
+    assert!(
+        easy.report.wait_s.mean <= fcfs.report.wait_s.mean,
+        "EASY {} vs FCFS {}",
+        easy.report.wait_s.mean,
+        fcfs.report.wait_s.mean
+    );
+    assert!(easy.report.utilisation >= fcfs.report.utilisation - 1e-9);
+}
+
+#[test]
+fn node_crashes_shrink_the_pool_and_requeue_victims() {
+    let spec = SyntheticSpec::standard_mix(2_000, 9, 2.0, 64);
+    // Deterministic targeted crashes while the machine is saturated.
+    let faults = FaultPlan::from_events(
+        (0..8)
+            .map(|i| FaultEvent {
+                at: SimTime::from_secs_f64(200.0 + 50.0 * i as f64),
+                kind: FaultKind::NodeCrash { node: i * 3 },
+            })
+            .collect(),
+    );
+    let out = replay(Box::new(EasyBackfill), &spec, &faults);
+    assert_eq!(out.report.crashes, 8);
+    assert_eq!(out.report.nodes_alive_end, 192 - 8);
+    assert!(out.report.resubmits > 0, "a saturated machine must lose jobs to crashes");
+    let departed = out.report.completed
+        + out.report.wall_killed
+        + out.report.fault_failed
+        + out.report.unplaceable;
+    assert_eq!(departed, 2_000, "every job departs exactly once");
+}
+
+#[test]
+fn a_dead_machine_rejects_everything_left() {
+    let spec = SyntheticSpec::standard_mix(200, 3, 5.0, 16);
+    let faults = FaultPlan::from_events(
+        (0..192)
+            .map(|n| FaultEvent {
+                at: SimTime::from_secs_f64(10.0),
+                kind: FaultKind::NodeCrash { node: n },
+            })
+            .collect(),
+    );
+    let out = replay(Box::new(EasyBackfill), &spec, &faults);
+    assert_eq!(out.report.nodes_alive_end, 0);
+    let departed = out.report.completed
+        + out.report.wall_killed
+        + out.report.fault_failed
+        + out.report.unplaceable;
+    assert_eq!(departed, 200);
+    assert!(out.report.unplaceable > 0, "jobs arriving after the massacre are unplaceable");
+}
+
+#[test]
+fn recorded_runtimes_and_wall_limits() {
+    // Two hand-built jobs: one whose recorded runtime fits its estimate,
+    // one that blows through it and is killed at the limit.
+    let jobs = vec![
+        Job {
+            id: 0,
+            tenant: 0,
+            qos: QosClass::Standard,
+            kind: JobKind::Stencil,
+            submit: SimTime::ZERO,
+            nodes: 4,
+            work: 100.0,
+            est_secs: 200.0,
+        },
+        Job {
+            id: 1,
+            tenant: 0,
+            qos: QosClass::Standard,
+            kind: JobKind::Stencil,
+            submit: SimTime::from_secs_f64(1.0),
+            nodes: 4,
+            work: 500.0,
+            est_secs: 50.0,
+        },
+    ];
+    let machine = Machine::tibidabo();
+    let model = RuntimeModel::for_machine(&machine);
+    let cfg = DcConfig { runtime: RuntimeMode::Recorded, ..DcConfig::default() };
+    let out = DcSim::new(
+        machine,
+        model,
+        Box::new(Fcfs),
+        vec![Tenant { name: "t0".into(), share: 1.0 }],
+        cfg,
+    )
+    .run(&jobs, &FaultPlan::none());
+    assert_eq!(out.report.completed, 1);
+    assert_eq!(out.report.wall_killed, 1, "job 1 exceeds its 50s estimate and dies");
+    assert_eq!(out.report.slo_violations, 1, "the kill counts as an SLO violation");
+    // Makespan: job 1 starts at t=1 and is killed at t=51.
+    assert!((out.report.makespan_s - 100.0).abs() < 1e-6, "{}", out.report.makespan_s);
+}
+
+#[test]
+fn fair_share_tracks_entitlements() {
+    // Overloaded machine, equal arrival pressure from all three tenants is
+    // not the spec default — use it as-is and check consumption ordering
+    // follows the share weights under the fair policy.
+    let spec = SyntheticSpec::standard_mix(4_000, 17, 4.0, 64);
+    let out = replay(Box::new(FairShare::new()), &spec, &FaultPlan::none());
+    let t = &out.report.tenants;
+    assert_eq!(t.len(), 3);
+    // hpc-batch (share .5, arrivals .5) consumes more than interactive-dev
+    // (share .2, arrivals .2, short jobs).
+    assert!(t[0].node_secs > t[2].node_secs, "{:?}", t);
+    let frac_sum: f64 = t.iter().map(|r| r.used_frac).sum();
+    assert!((frac_sum - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn preemption_fires_under_tenant_starvation() {
+    // One giant-share tenant floods the machine with long jobs; a tiny
+    // tenant with a huge entitlement shows up later and must preempt.
+    let mut jobs: Vec<Job> = (0..64u64)
+        .map(|i| Job {
+            id: i,
+            tenant: 0,
+            qos: QosClass::Batch,
+            kind: JobKind::Solver,
+            submit: SimTime::from_secs_f64(i as f64 * 0.1),
+            nodes: 16,
+            work: 40_000.0,
+            est_secs: 50_000.0,
+        })
+        .collect();
+    jobs.push(Job {
+        id: 64,
+        tenant: 1,
+        qos: QosClass::Interactive,
+        kind: JobKind::Stencil,
+        submit: SimTime::from_secs_f64(10.0),
+        nodes: 64,
+        work: 100.0,
+        est_secs: 300.0,
+    });
+    let machine = Machine::tibidabo();
+    let model = RuntimeModel::for_machine(&machine);
+    let tenants = vec![
+        Tenant { name: "flood".into(), share: 0.1 },
+        Tenant { name: "vip".into(), share: 0.9 },
+    ];
+    let out =
+        DcSim::new(machine, model, Box::new(FairShare::preempting()), tenants, DcConfig::default())
+            .run(&jobs, &FaultPlan::none());
+    assert!(out.report.preemptions > 0, "the starved VIP job must evict flood jobs");
+    let departed = out.report.completed + out.report.wall_killed + out.report.fault_failed;
+    assert_eq!(departed, 65, "preempted jobs still finish eventually");
+}

@@ -19,6 +19,8 @@
 //! * [`cluster`] — machine models (Tibidabo) and job energy accounting;
 //! * [`apps`] — HPL, PEPC, HYDRO, GROMACS-like MD, SPECFEM3D-like SEM;
 //! * [`trends`] — the Fig 1/2 historical datasets and regressions;
+//! * [`sched`] — the multi-tenant datacenter scheduler replaying job
+//!   streams of 10⁵–10⁷ jobs against the cluster models;
 //! * [`harness`] — the artefact generators and the parallel deterministic
 //!   sweep executor behind the `repro` binary.
 //!
@@ -50,6 +52,7 @@ pub use des;
 pub use hpc_apps as apps;
 pub use kernels;
 pub use netsim as net;
+pub use sched;
 pub use simmpi as mpi;
 pub use soc_arch as arch;
 pub use soc_power as power;

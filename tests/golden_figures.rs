@@ -116,6 +116,7 @@ golden_tests! {
     hpl_headline_matches_golden => "hpl_headline",
     resilience_matches_golden => "resilience",
     ablate_net_matches_golden => "ablate_net",
+    datacenter_matches_golden => "datacenter",
 }
 
 #[test]

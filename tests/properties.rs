@@ -348,6 +348,193 @@ proptest! {
     }
 }
 
+/// A random op sequence for the placement-store property: each tuple drives
+/// one reserve/commit/cancel/release/fail decision.
+fn placement_ops() -> impl Strategy<Value = Vec<(u8, u32, u32)>> {
+    proptest::collection::vec((0u8..5, 1u32..17, 0u32..16), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two-phase placement never double-books: under any interleaving of
+    /// reserve, commit, cancel, release and node failure, every node has at
+    /// most one owner, committed jobs never share nodes, reservations never
+    /// hand out dead or busy nodes, and the free/alive counters always agree
+    /// with a recount from scratch.
+    #[test]
+    fn placement_store_never_double_books(ops in placement_ops()) {
+        use socready::sched::{NodeFate, PlacementStore, Reservation};
+        use std::collections::HashMap;
+        const NODES: u32 = 16;
+        let mut store = PlacementStore::new(NODES);
+        let mut held: Vec<Reservation> = Vec::new();
+        let mut running: HashMap<u64, Vec<u32>> = HashMap::new(); // job -> nodes
+        let mut dead: Vec<u32> = Vec::new();
+        let mut next_job: u64 = 0;
+        for (op, count, node) in ops {
+            match op {
+                0 => {
+                    if let Some(r) = store.reserve(count) {
+                        // A fresh hold may not overlap any outstanding hold,
+                        // any running job's nodes, or any dead node.
+                        for &n in r.nodes() {
+                            prop_assert!(!dead.contains(&n), "reserved dead node {n}");
+                            prop_assert!(
+                                held.iter().all(|h| !h.nodes().contains(&n)),
+                                "node {n} reserved twice"
+                            );
+                            prop_assert!(
+                                running.values().all(|ns| !ns.contains(&n)),
+                                "node {n} reserved while busy"
+                            );
+                        }
+                        held.push(r);
+                    }
+                }
+                1 => {
+                    if let Some(r) = held.pop() {
+                        let job = next_job;
+                        next_job += 1;
+                        let granted = store.commit(r, job);
+                        running.insert(job, granted);
+                    }
+                }
+                2 => {
+                    if let Some(r) = held.pop() {
+                        store.cancel(r);
+                    }
+                }
+                3 => {
+                    // Release a pseudo-random running job.
+                    if let Some(&job) = running.keys().min_by_key(|j| *j ^ count as u64) {
+                        let nodes = running.remove(&job).unwrap();
+                        let live = nodes.iter().filter(|n| !dead.contains(n)).count() as u32;
+                        prop_assert_eq!(store.release(job), live);
+                    }
+                }
+                _ => {
+                    // Crashes only strike between passes (no holds out).
+                    if held.is_empty() && !dead.contains(&node) {
+                        let fate = store.fail_node(node);
+                        match fate {
+                            NodeFate::WasRunning(job) => {
+                                prop_assert!(running[&job].contains(&node));
+                                let nodes = running.remove(&job).unwrap();
+                                dead.push(node);
+                                let live =
+                                    nodes.iter().filter(|n| !dead.contains(n)).count() as u32;
+                                prop_assert_eq!(store.release(job), live);
+                            }
+                            NodeFate::WasIdle => dead.push(node),
+                            NodeFate::AlreadyDead => prop_assert!(false, "dead set diverged"),
+                        }
+                    }
+                }
+            }
+            // Counter/model agreement after every op.
+            let busy: u32 = running.values().flatten().filter(|n| !dead.contains(n)).count() as u32;
+            let reserved: u32 = held.iter().map(|r| r.nodes().len() as u32).sum();
+            prop_assert_eq!(store.alive_nodes(), NODES - dead.len() as u32);
+            prop_assert_eq!(store.free_nodes(), store.alive_nodes() - busy - reserved);
+            prop_assert_eq!(store.busy_nodes(), busy);
+            for (&job, nodes) in &running {
+                for &n in nodes {
+                    if !dead.contains(&n) {
+                        prop_assert!(store.owner(n) == Some(job), "node {n} lost its owner");
+                    }
+                }
+            }
+        }
+        // Drain so no reservation is dropped mid-hold.
+        for r in held {
+            store.cancel(r);
+        }
+    }
+
+    /// EASY backfill never delays the head of the queue: on any fault-free
+    /// synthetic stream, every once-blocked head job starts no later than
+    /// the shadow-time bound computed when it first became the blocked head,
+    /// and occupancy never exceeds the machine (or any tenant's nodes the
+    /// whole pool).
+    #[test]
+    fn backfill_never_delays_the_head(
+        jobs in 200u64..800,
+        seed in 0u64..1000,
+        rate_scale in 0.5..2.0f64,
+    ) {
+        use socready::sched::{
+            DcConfig, DcSim, EasyBackfill, RuntimeModel, SyntheticSpec, Tenant,
+        };
+        let machine = socready::cluster::Machine::tibidabo();
+        let model = RuntimeModel::for_machine(&machine);
+        let mut spec = SyntheticSpec::standard_mix(jobs, seed, 1.0, 64);
+        spec.arrival_rate_hz =
+            rate_scale * spec.rate_for_load(&model, machine.nodes(), 0.9);
+        let tenants: Vec<Tenant> = spec
+            .tenants
+            .iter()
+            .map(|t| Tenant { name: t.name.to_string(), share: t.share })
+            .collect();
+        let cfg = DcConfig { audit: true, ..DcConfig::default() };
+        let out = DcSim::new(machine, model, Box::new(EasyBackfill), tenants, cfg)
+            .run(&spec.generate(), &socready::des::FaultPlan::none());
+        prop_assert!(out.audit.head_bound_violations == 0, "EASY delayed a blocked head");
+        prop_assert!(out.audit.max_busy_nodes <= 192, "double-booked the machine");
+        for (t, &peak) in out.audit.max_tenant_nodes.iter().enumerate() {
+            prop_assert!(peak <= 192, "tenant {t} held {peak} of 192 nodes");
+        }
+        prop_assert_eq!(out.report.completed + out.report.wall_killed, jobs);
+    }
+
+    /// Jobs are never placed on dead nodes: under any targeted crash
+    /// schedule the alive pool shrinks by exactly the strikes that land
+    /// before the campaign ends, and every job still departs exactly once.
+    #[test]
+    fn replays_never_place_on_dead_nodes(
+        seed in 0u64..500,
+        crashes in proptest::collection::vec((0u32..192, 10u64..2000), 1..24),
+    ) {
+        use socready::des::{FaultEvent, FaultKind, FaultPlan, SimTime};
+        use socready::sched::{
+            DcConfig, DcSim, EasyBackfill, RuntimeModel, SyntheticSpec, Tenant,
+        };
+        let machine = socready::cluster::Machine::tibidabo();
+        let model = RuntimeModel::for_machine(&machine);
+        let mut spec = SyntheticSpec::standard_mix(400, seed, 1.0, 64);
+        spec.arrival_rate_hz = spec.rate_for_load(&model, machine.nodes(), 1.2);
+        let tenants: Vec<Tenant> = spec
+            .tenants
+            .iter()
+            .map(|t| Tenant { name: t.name.to_string(), share: t.share })
+            .collect();
+        let distinct: std::collections::HashSet<u32> =
+            crashes.iter().map(|&(n, _)| n).collect();
+        let faults = FaultPlan::from_events(
+            crashes
+                .iter()
+                .map(|&(node, at_s)| FaultEvent {
+                    at: SimTime::from_secs_f64(at_s as f64),
+                    kind: FaultKind::NodeCrash { node },
+                })
+                .collect(),
+        );
+        let cfg = DcConfig { audit: true, ..DcConfig::default() };
+        let out = DcSim::new(machine, model, Box::new(EasyBackfill), tenants, cfg)
+            .run(&spec.generate(), &faults);
+        // Crashes scheduled past the campaign's end never strike; every one
+        // that does kills exactly one distinct node, permanently.
+        prop_assert!(out.report.crashes as usize <= distinct.len());
+        prop_assert_eq!(out.report.nodes_alive_end, 192 - out.report.crashes as u32);
+        let departed = out.report.completed
+            + out.report.wall_killed
+            + out.report.fault_failed
+            + out.report.unplaceable;
+        prop_assert!(departed == 400, "a job vanished or departed twice");
+        prop_assert!(out.audit.max_busy_nodes <= 192);
+    }
+}
+
 #[test]
 fn energy_monotone_in_time_for_fixed_power() {
     // Longer runs at the same operating point cost more energy.
